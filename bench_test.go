@@ -1,0 +1,307 @@
+// Benchmarks regenerating the paper's evaluation as testing.B targets —
+// one benchmark family per figure plus the ablations from DESIGN.md §5.
+// The cmd/gsn-bench binary runs the full real-time paced sweeps; these
+// benchmarks measure the per-element costs on the same code paths.
+package gsn_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gsn"
+	"gsn/internal/bench"
+	"gsn/internal/sqlengine"
+	"gsn/internal/sqlparser"
+)
+
+// figure3Node builds the Figure 3 processing pipeline for one device at
+// a given element size: time-window source, aggregate source query,
+// windowed output.
+func figure3Node(b *testing.B, ses string) *gsn.Node {
+	b.Helper()
+	node, err := gsn.NewNode(gsn.NodeOptions{Name: "bench3", SyncProcessing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { node.Close() })
+	desc := fmt.Sprintf(`
+<virtual-sensor name="net">
+  <output-structure>
+    <field name="n" type="integer"/>
+    <field name="image" type="binary"/>
+  </output-structure>
+  <storage size="20"/>
+  <input-stream name="in">
+    <stream-source alias="cam" storage-size="100">
+      <address wrapper="camera">
+        <predicate key="payload" val=%q/>
+        <predicate key="seed" val="5"/>
+      </address>
+      <query>select count(*) as n, last(image) as image from WRAPPER</query>
+    </stream-source>
+    <query>select * from cam</query>
+  </input-stream>
+</virtual-sensor>`, ses)
+	if err := node.DeployXML([]byte(desc)); err != nil {
+		b.Fatal(err)
+	}
+	// Fill the window to steady state before measuring.
+	for i := 0; i < 100; i++ {
+		node.Pulse()
+	}
+	return node
+}
+
+// BenchmarkFigure3 measures the per-element node-internal processing
+// cost (arrival → stored + notified) for each stream element size on
+// the paper's x-axis.
+func BenchmarkFigure3(b *testing.B) {
+	for _, ses := range []string{"15B", "50B", "100B", "16KB", "32KB", "75KB"} {
+		b.Run("SES="+ses, func(b *testing.B) {
+			node := figure3Node(b, ses)
+			size, _ := parseSES(ses)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.Pulse()
+			}
+		})
+	}
+}
+
+func parseSES(s string) (int, error) {
+	switch s {
+	case "15B":
+		return 15, nil
+	case "50B":
+		return 50, nil
+	case "100B":
+		return 100, nil
+	case "16KB":
+		return 16 << 10, nil
+	case "32KB":
+		return 32 << 10, nil
+	case "75KB":
+		return 75 << 10, nil
+	}
+	return 0, fmt.Errorf("unknown SES %s", s)
+}
+
+// BenchmarkFigure4 measures the total client-query evaluation cost per
+// element arrival for increasing client counts (SES=32KB), the paper's
+// Figure 4 series.
+func BenchmarkFigure4(b *testing.B) {
+	for _, clients := range []int{0, 100, 250, 500} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			node, err := gsn.NewNode(gsn.NodeOptions{Name: "bench4", SyncProcessing: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			desc := `
+<virtual-sensor name="frames">
+  <output-structure>
+    <field name="frame" type="integer"/>
+    <field name="sz" type="integer"/>
+  </output-structure>
+  <storage size="20"/>
+  <input-stream name="in">
+    <stream-source alias="cam" storage-size="1">
+      <address wrapper="camera">
+        <predicate key="payload" val="32KB"/>
+        <predicate key="seed" val="7"/>
+      </address>
+      <query>select frame, length(image) as sz from WRAPPER</query>
+    </stream-source>
+    <query>select * from cam</query>
+  </input-stream>
+</virtual-sensor>`
+			if err := node.DeployXML([]byte(desc)); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < clients; i++ {
+				sql := fmt.Sprintf(
+					"select count(*), avg(sz) from frames where timed >= now() - %d and frame %% %d = %d and sz > %d",
+					(time.Duration(i%1800)*time.Second + time.Second).Milliseconds(),
+					2+i%5, i%(2+i%5), 1024*(1+i%32))
+				if _, err := node.RegisterQuery("frames", sql, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 20; i++ {
+				node.Pulse()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.Pulse()
+			}
+		})
+	}
+}
+
+// BenchmarkWrapperProduce isolates device simulation cost per platform,
+// backing the §5 wrapper-effort discussion with a throughput number.
+func BenchmarkWrapperProduce(b *testing.B) {
+	for _, kind := range []string{"mote", "rfid", "timer"} {
+		b.Run(kind, func(b *testing.B) {
+			node, err := gsn.NewNode(gsn.NodeOptions{Name: "benchw", SyncProcessing: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			var query string
+			switch kind {
+			case "mote":
+				query = "select temperature from WRAPPER"
+			case "rfid":
+				query = "select tag_id from WRAPPER"
+			case "timer":
+				query = "select tick from WRAPPER"
+			}
+			desc := fmt.Sprintf(`
+<virtual-sensor name="w">
+  <output-structure><field name="v" type="varchar"/></output-structure>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper=%q><predicate key="seed" val="3"/><predicate key="presence" val="1"/></address>
+      <query>%s</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, kind, query)
+			if err := node.DeployXML([]byte(desc)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.Pulse()
+			}
+		})
+	}
+}
+
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkAblationJoinHash(b *testing.B) {
+	left, right := bench.SyntheticRelations(500, 500, 1)
+	cat := sqlengine.MapCatalog{"L": left, "R": right}
+	stmt, err := sqlparser.Parse("select count(*) from l join r on l.k = r.k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlengine.Execute(stmt, cat, sqlengine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJoinNestedLoop(b *testing.B) {
+	left, right := bench.SyntheticRelations(500, 500, 1)
+	cat := sqlengine.MapCatalog{"L": left, "R": right}
+	stmt, err := sqlparser.Parse("select count(*) from l join r on l.k = r.k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlengine.Execute(stmt, cat, sqlengine.Options{DisableHashJoin: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPlanCacheOn(b *testing.B) {
+	rel := sqlengine.NewRelation("v", "timed")
+	for i := 0; i < 50; i++ {
+		rel.AddRow(int64(i), int64(i*100))
+	}
+	cat := sqlengine.MapCatalog{"T": rel}
+	sql := "select count(*), avg(v) from t where timed >= 100 and v % 3 = 1 and v > 5"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlengine.ExecuteSQL(sql, cat, sqlengine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPlanCacheOff(b *testing.B) {
+	rel := sqlengine.NewRelation("v", "timed")
+	for i := 0; i < 50; i++ {
+		rel.AddRow(int64(i), int64(i*100))
+	}
+	cat := sqlengine.MapCatalog{"T": rel}
+	sql := "select count(*), avg(v) from t where timed >= 100 and v % 3 = 1 and v > 5"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := sqlengine.ParseNoCache(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sqlengine.Execute(stmt, cat, sqlengine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPoolSize(b *testing.B) {
+	// Paper's pool-size knob: async trigger processing with 1 vs 8
+	// workers under a window-scan load.
+	for _, pool := range []int{1, 8} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			node, err := gsn.NewNode(gsn.NodeOptions{Name: "benchp"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			desc := fmt.Sprintf(`
+<virtual-sensor name="pooled">
+  <life-cycle pool-size="%d"/>
+  <output-structure><field name="n" type="integer"/></output-structure>
+  <storage size="10"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="200">
+      <address wrapper="random-walk"><predicate key="seed" val="2"/></address>
+      <query>select count(*) as n from WRAPPER where value > 10</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, pool)
+			if err := node.DeployXML([]byte(desc)); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				node.Pulse()
+			}
+			waitForOutputs(b, node, 1)
+			before, _ := node.SensorStats("pooled")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.Pulse()
+			}
+			// Wait until the pool drains so the timer covers real work.
+			waitForOutputs(b, node, before.Triggers+uint64(b.N))
+		})
+	}
+}
+
+func waitForOutputs(b *testing.B, node *gsn.Node, want uint64) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := node.SensorStats("pooled")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Outputs+st.Dropped >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("pool never drained: %+v (want %d)", st, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

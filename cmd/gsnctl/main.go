@@ -1,0 +1,299 @@
+// Command gsnctl is the control CLI for a running GSN node: list and
+// inspect virtual sensors, run ad-hoc SQL, deploy/remove descriptors,
+// watch live notifications, and browse the discovery directory.
+//
+// Usage:
+//
+//	gsnctl [-server http://localhost:22001] [-apikey KEY] COMMAND [ARG]
+//
+//	gsnctl list
+//	gsnctl info SENSOR
+//	gsnctl data SENSOR [LIMIT]
+//	gsnctl query "select avg(temperature) from temps"
+//	gsnctl deploy descriptor.xml
+//	gsnctl remove SENSOR
+//	gsnctl watch SENSOR
+//	gsnctl directory
+//	gsnctl metrics
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type client struct {
+	server string
+	apiKey string
+	http   *http.Client
+}
+
+func main() {
+	server := flag.String("server", "http://localhost:22001", "GSN node base URL")
+	apiKey := flag.String("apikey", "", "API key (when the node's access control is closed)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &client{
+		server: strings.TrimRight(*server, "/"),
+		apiKey: *apiKey,
+		http:   &http.Client{Timeout: 30 * time.Second},
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = c.list()
+	case "info":
+		err = c.info(arg(args, 1))
+	case "data":
+		limit := "20"
+		if len(args) > 2 {
+			limit = args[2]
+		}
+		err = c.data(arg(args, 1), limit)
+	case "query":
+		err = c.query(arg(args, 1))
+	case "deploy":
+		err = c.deploy(arg(args, 1))
+	case "remove":
+		err = c.remove(arg(args, 1))
+	case "watch":
+		err = c.watch(arg(args, 1))
+	case "directory":
+		err = c.getPretty("/api/directory")
+	case "metrics":
+		err = c.getPretty("/api/metrics")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsnctl:", err)
+		os.Exit(1)
+	}
+}
+
+func arg(args []string, i int) string {
+	if len(args) <= i {
+		usage()
+	}
+	return args[i]
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gsnctl [-server URL] [-apikey KEY] COMMAND [ARG]
+commands: list · info SENSOR · data SENSOR [LIMIT] · query SQL ·
+          deploy FILE · remove SENSOR · watch SENSOR · directory · metrics`)
+	os.Exit(2)
+}
+
+func (c *client) do(method, path string, body io.Reader, contentType string) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.server+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-Gsn-Key", c.apiKey)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return resp, nil
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.do(http.MethodGet, path, nil, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) getPretty(path string) error {
+	resp, err := c.do(http.MethodGet, path, nil, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var v any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	pretty, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
+	return nil
+}
+
+type sensorSummary struct {
+	Name   string            `json:"name"`
+	Fields map[string]string `json:"fields"`
+	Stats  struct {
+		Triggers   uint64 `json:"Triggers"`
+		Outputs    uint64 `json:"Outputs"`
+		Errors     uint64 `json:"Errors"`
+		OutputLive int    `json:"OutputLive"`
+	} `json:"stats"`
+}
+
+func (c *client) list() error {
+	var sensors []sensorSummary
+	if err := c.getJSON("/api/sensors", &sensors); err != nil {
+		return err
+	}
+	fmt.Printf("%-24s%-36s%10s%10s%8s\n", "SENSOR", "FIELDS", "OUTPUTS", "ERRORS", "WINDOW")
+	for _, s := range sensors {
+		var fields []string
+		for name, typ := range s.Fields {
+			fields = append(fields, name+":"+typ)
+		}
+		fmt.Printf("%-24s%-36s%10d%10d%8d\n",
+			s.Name, strings.Join(fields, ","), s.Stats.Outputs, s.Stats.Errors, s.Stats.OutputLive)
+	}
+	return nil
+}
+
+func (c *client) info(name string) error {
+	return c.getPretty("/api/sensors/" + name)
+}
+
+func (c *client) data(name, limit string) error {
+	var out struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := c.getJSON("/api/sensors/"+name+"/data?limit="+limit, &out); err != nil {
+		return err
+	}
+	printTable(out.Columns, out.Rows)
+	return nil
+}
+
+func (c *client) query(sql string) error {
+	payload, err := json.Marshal(map[string]string{"sql": sql})
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/api/query", bytes.NewReader(payload), "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	printTable(out.Columns, out.Rows)
+	return nil
+}
+
+func (c *client) deploy(file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/api/deploy", bytes.NewReader(data), "application/xml")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Println("deployed", file)
+	return nil
+}
+
+func (c *client) remove(name string) error {
+	resp, err := c.do(http.MethodDelete, "/api/sensors/"+name, nil, "")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Println("removed", name)
+	return nil
+}
+
+// watch streams server-sent events until interrupted.
+func (c *client) watch(name string) error {
+	req, err := http.NewRequest(http.MethodGet, c.server+"/api/events?vs="+name, nil)
+	if err != nil {
+		return err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-Gsn-Key", c.apiKey)
+	}
+	resp, err := (&http.Client{}).Do(req) // no timeout: long-lived stream
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "data: ") {
+			fmt.Println(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return scanner.Err()
+}
+
+func printTable(cols []string, rows [][]any) {
+	for i, col := range cols {
+		if i > 0 {
+			fmt.Print(" | ")
+		}
+		fmt.Print(col)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(formatCell(v))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

@@ -1,0 +1,209 @@
+// Command gsnd runs a GSN node: it deploys every descriptor in the
+// configuration directory, serves the web/REST/p2p interface, watches
+// the directory for changes (the paper's on-the-fly reconfiguration —
+// drop a descriptor in, it deploys; edit it, it redeploys; delete it,
+// it undeploys), and gossips its directory with peer nodes.
+//
+// Usage:
+//
+//	gsnd -addr :22001 -conf ./conf [-name lab-node] [-data ./data]
+//	     [-advertise http://host:22001] [-peer http://other:22001]
+//	     [-key secret:admin] [-watch 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gsn"
+	"gsn/internal/access"
+)
+
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+type keyList []string
+
+func (k *keyList) String() string { return strings.Join(*k, ",") }
+func (k *keyList) Set(v string) error {
+	*k = append(*k, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":22001", "listen address for the web/p2p interface")
+		conf      = flag.String("conf", "conf", "directory of virtual sensor descriptors (*.xml)")
+		name      = flag.String("name", "gsn-node", "container name")
+		dataDir   = flag.String("data", "", "data directory for permanent storage (empty = in-memory only)")
+		advertise = flag.String("advertise", "", "address peers use to reach this node (default http://<addr>)")
+		watch     = flag.Duration("watch", 2*time.Second, "configuration directory poll interval (0 disables hot deploy)")
+		gossip    = flag.Duration("gossip", 30*time.Second, "directory gossip interval")
+		peers     peerList
+		keys      keyList
+	)
+	flag.Var(&peers, "peer", "peer node base URL (repeatable)")
+	flag.Var(&keys, "key", "API key as key:role where role is read|deploy|admin (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	adv := *advertise
+	if adv == "" {
+		adv = "http://" + strings.TrimPrefix(*addr, ":")
+		if strings.HasPrefix(*addr, ":") {
+			host, _ := os.Hostname()
+			adv = fmt.Sprintf("http://%s%s", host, *addr)
+		}
+	}
+
+	node, err := gsn.NewNode(gsn.NodeOptions{
+		Name:      *name,
+		DataDir:   *dataDir,
+		Advertise: adv,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatalf("gsnd: %v", err)
+	}
+	defer node.Close()
+
+	for _, spec := range keys {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			logger.Fatalf("gsnd: -key wants key:role, got %q", spec)
+		}
+		role, err := access.ParseRole(parts[1])
+		if err != nil {
+			logger.Fatalf("gsnd: %v", err)
+		}
+		if err := node.Container().ACL().SetKey(parts[0], role); err != nil {
+			logger.Fatalf("gsnd: %v", err)
+		}
+	}
+
+	if _, err := os.Stat(*conf); err == nil {
+		deployed, err := node.DeployDir(*conf)
+		if err != nil {
+			logger.Printf("gsnd: initial deploy: %v", err)
+		}
+		logger.Printf("gsnd: deployed %d sensor(s) from %s: %v", len(deployed), *conf, deployed)
+	} else {
+		logger.Printf("gsnd: configuration directory %s not found; starting empty", *conf)
+	}
+
+	boundAddr, err := node.Listen(*addr)
+	if err != nil {
+		logger.Fatalf("gsnd: listen: %v", err)
+	}
+	logger.Printf("gsnd: %s serving on %s (advertised as %s)", *name, boundAddr, adv)
+
+	if *watch > 0 {
+		go watchConfDir(node, *conf, *watch, logger)
+	}
+	if len(peers) > 0 {
+		go gossipLoop(node, peers, *gossip, logger)
+	}
+	select {} // run until killed
+}
+
+// watchConfDir polls the descriptor directory and hot-(re|un)deploys on
+// changes — the demonstration scenario of the paper's §6.
+func watchConfDir(node *gsn.Node, dir string, interval time.Duration, logger *log.Logger) {
+	type state struct {
+		modTime time.Time
+		sensor  string
+	}
+	known := map[string]state{}
+	// Seed from the initial deployment.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".xml" {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if d, err := parseDescriptorFile(filepath.Join(dir, e.Name())); err == nil {
+				known[e.Name()] = state{modTime: info.ModTime(), sensor: d.Name}
+			}
+		}
+	}
+	for range time.Tick(interval) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".xml" {
+				continue
+			}
+			seen[e.Name()] = true
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			prev, ok := known[e.Name()]
+			if ok && !info.ModTime().After(prev.modTime) {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			d, err := parseDescriptorFile(path)
+			if err != nil {
+				logger.Printf("gsnd: %s: %v", e.Name(), err)
+				continue
+			}
+			if err := node.Redeploy(d); err != nil {
+				logger.Printf("gsnd: redeploy %s: %v", d.Name, err)
+				continue
+			}
+			logger.Printf("gsnd: hot-deployed %s from %s", d.Name, e.Name())
+			known[e.Name()] = state{modTime: info.ModTime(), sensor: d.Name}
+		}
+		for file, st := range known {
+			if !seen[file] {
+				if err := node.Undeploy(st.sensor); err != nil {
+					logger.Printf("gsnd: undeploy %s: %v", st.sensor, err)
+				} else {
+					logger.Printf("gsnd: undeployed %s (descriptor %s removed)", st.sensor, file)
+				}
+				delete(known, file)
+			}
+		}
+	}
+}
+
+func parseDescriptorFile(path string) (*gsn.Descriptor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return gsn.ParseDescriptor(data)
+}
+
+// gossipLoop periodically exchanges directory snapshots with peers.
+func gossipLoop(node *gsn.Node, peers []string, interval time.Duration, logger *log.Logger) {
+	for range time.Tick(interval) {
+		for _, peer := range peers {
+			adopted, err := node.GossipWith(peer)
+			if err != nil {
+				logger.Printf("gsnd: gossip %s: %v", peer, err)
+				continue
+			}
+			if adopted > 0 {
+				logger.Printf("gsnd: adopted %d directory entries from %s", adopted, peer)
+			}
+		}
+	}
+}

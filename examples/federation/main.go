@@ -1,0 +1,110 @@
+// Federation: two GSN nodes connected peer-to-peer over HTTP — the
+// paper's "Sensor Internet" scenario. A field node publishes a mote
+// network; a gateway node discovers it through directory gossip and
+// deploys a virtual sensor over the remote wrapper using logical
+// addressing (predicates, not hostnames), exactly like the paper's
+// Figure 1 address block.
+//
+// Run with:
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gsn"
+)
+
+const fieldSensor = `
+<virtual-sensor name="field-temps">
+  <output-structure><field name="temperature" type="double"/></output-structure>
+  <storage size="50"/>
+  <metadata>
+    <predicate key="type" val="temperature"/>
+    <predicate key="location" val="bc143"/>
+  </metadata>
+  <input-stream name="in">
+    <stream-source alias="net" storage-size="5s">
+      <address wrapper="mote">
+        <predicate key="sensors" val="temperature"/>
+        <predicate key="interval" val="50"/>
+        <predicate key="seed" val="21"/>
+      </address>
+      <query>select avg(temperature) from WRAPPER</query>
+    </stream-source>
+    <query>select * from net</query>
+  </input-stream>
+</virtual-sensor>`
+
+// gatewayMirror uses the paper's logical addressing: the address block
+// names no host — just predicates resolved through the p2p directory.
+const gatewayMirror = `
+<virtual-sensor name="bc143-temperature">
+  <output-structure><field name="temperature" type="double"/></output-structure>
+  <storage size="50"/>
+  <input-stream name="in">
+    <stream-source alias="src1" storage-size="10" disconnect-buffer="10">
+      <address wrapper="remote">
+        <predicate key="type" val="temperature"/>
+        <predicate key="location" val="bc143"/>
+        <predicate key="poll" val="100"/>
+      </address>
+      <query>select avg(temperature) from WRAPPER</query>
+    </stream-source>
+    <query>select * from src1</query>
+  </input-stream>
+</virtual-sensor>`
+
+func main() {
+	// Field node: hosts the physical (simulated) network.
+	field, err := gsn.NewNode(gsn.NodeOptions{Name: "field-node"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer field.Close()
+	addr, err := field.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fieldURL := "http://" + addr
+	// Re-publish with the reachable address so peers can bind to it.
+	field.Container().Directory().Publish("field-temps", fieldURL,
+		map[string]string{"type": "temperature", "location": "bc143"}, time.Hour)
+	if err := field.DeployXML([]byte(fieldSensor)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("field node serving on", fieldURL)
+
+	// Gateway node: knows only the field node's URL for gossip; the
+	// sensor itself is found by predicates.
+	gateway, err := gsn.NewNode(gsn.NodeOptions{Name: "gateway-node"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gateway.Close()
+	adopted, err := gateway.GossipWith(fieldURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway adopted %d directory entries via gossip\n", adopted)
+
+	if err := gateway.DeployXML([]byte(gatewayMirror)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gateway deployed a remote-wrapped mirror:", gateway.SensorNames())
+
+	// Watch the data arrive across the federation.
+	time.Sleep(1500 * time.Millisecond)
+	rel, err := gateway.Query(`select count(*) as n, avg(temperature) as avg_temp from "bc143-temperature"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway view of bc143: %s", rel)
+
+	stats, _ := gateway.SensorStats("bc143-temperature")
+	fmt.Printf("mirror stats: %d triggers, %d outputs, %d errors\n",
+		stats.Triggers, stats.Outputs, stats.Errors)
+}

@@ -1,0 +1,172 @@
+// Package access implements GSN's access control layer (paper §4: "the
+// access control layer ensures that access is provided only to entitled
+// parties"): API keys mapped to ordered roles, with optional per-sensor
+// minimum roles.
+//
+// A container with no keys configured is open (the paper's demo setup);
+// registering the first key closes anonymous access down to the
+// configured anonymous role.
+package access
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// Role is an ordered privilege level.
+type Role int
+
+const (
+	// RoleNone grants nothing.
+	RoleNone Role = iota
+	// RoleRead may query sensors and subscribe to notifications.
+	RoleRead
+	// RoleDeploy may additionally deploy and undeploy virtual sensors.
+	RoleDeploy
+	// RoleAdmin may additionally manage keys and shut the container
+	// down.
+	RoleAdmin
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RoleRead:
+		return "read"
+	case RoleDeploy:
+		return "deploy"
+	case RoleAdmin:
+		return "admin"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ParseRole maps a configuration string to a Role.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "none":
+		return RoleNone, nil
+	case "read":
+		return RoleRead, nil
+	case "deploy":
+		return RoleDeploy, nil
+	case "admin":
+		return RoleAdmin, nil
+	default:
+		return RoleNone, fmt.Errorf("access: unknown role %q", s)
+	}
+}
+
+// ErrDenied is returned (wrapped) on failed authorisation.
+var ErrDenied = fmt.Errorf("access denied")
+
+// Controller evaluates authorisation decisions.
+type Controller struct {
+	mu        sync.RWMutex
+	keys      map[string]Role
+	anonymous Role
+	sensorMin map[string]Role
+}
+
+// NewController creates an open controller: until a key is registered,
+// anonymous requests hold RoleAdmin.
+func NewController() *Controller {
+	return &Controller{
+		keys:      make(map[string]Role),
+		anonymous: RoleAdmin,
+		sensorMin: make(map[string]Role),
+	}
+}
+
+// SetKey registers (or updates) an API key. Registering the first key
+// downgrades anonymous access to RoleNone unless SetAnonymousRole chose
+// otherwise.
+func (c *Controller) SetKey(key string, role Role) error {
+	if key == "" {
+		return fmt.Errorf("access: empty API key")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.keys) == 0 && c.anonymous == RoleAdmin {
+		c.anonymous = RoleNone
+	}
+	c.keys[key] = role
+	return nil
+}
+
+// RemoveKey deletes an API key.
+func (c *Controller) RemoveKey(key string) {
+	c.mu.Lock()
+	delete(c.keys, key)
+	c.mu.Unlock()
+}
+
+// SetAnonymousRole fixes the role granted to requests without a key.
+func (c *Controller) SetAnonymousRole(role Role) {
+	c.mu.Lock()
+	c.anonymous = role
+	c.mu.Unlock()
+}
+
+// RoleOf resolves the role for an API key ("" = anonymous). Key lookup
+// is constant-time in the key string comparison to avoid trivially
+// timing-leaking key prefixes.
+func (c *Controller) RoleOf(key string) Role {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if key == "" {
+		return c.anonymous
+	}
+	for k, role := range c.keys {
+		if len(k) == len(key) && subtle.ConstantTimeCompare([]byte(k), []byte(key)) == 1 {
+			return role
+		}
+	}
+	return c.anonymous
+}
+
+// Require checks that the key holds at least the needed role.
+func (c *Controller) Require(key string, need Role) error {
+	if got := c.RoleOf(key); got < need {
+		return fmt.Errorf("%w: need %s, have %s", ErrDenied, need, got)
+	}
+	return nil
+}
+
+// ProtectSensor sets a per-sensor minimum role for reads (the paper
+// notes integrity/access can be set "for an individual virtual
+// sensor").
+func (c *Controller) ProtectSensor(sensor string, min Role) {
+	c.mu.Lock()
+	c.sensorMin[stream.CanonicalName(sensor)] = min
+	c.mu.Unlock()
+}
+
+// RequireSensor checks read access to a specific sensor: the key must
+// hold RoleRead and any per-sensor minimum.
+func (c *Controller) RequireSensor(key, sensor string) error {
+	c.mu.RLock()
+	min, ok := c.sensorMin[stream.CanonicalName(sensor)]
+	c.mu.RUnlock()
+	if !ok || min < RoleRead {
+		min = RoleRead
+	}
+	if got := c.RoleOf(key); got < min {
+		return fmt.Errorf("%w: sensor %s needs %s, have %s", ErrDenied, sensor, min, got)
+	}
+	return nil
+}
+
+// Open reports whether the controller still grants admin to anonymous
+// requests (no keys configured).
+func (c *Controller) Open() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.anonymous == RoleAdmin
+}

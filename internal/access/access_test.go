@@ -1,0 +1,133 @@
+package access
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpenControllerGrantsEverything(t *testing.T) {
+	c := NewController()
+	if !c.Open() {
+		t.Fatal("fresh controller should be open")
+	}
+	for _, need := range []Role{RoleRead, RoleDeploy, RoleAdmin} {
+		if err := c.Require("", need); err != nil {
+			t.Errorf("open controller denied %s: %v", need, err)
+		}
+	}
+}
+
+func TestFirstKeyClosesAnonymous(t *testing.T) {
+	c := NewController()
+	if err := c.SetKey("secret", RoleAdmin); err != nil {
+		t.Fatal(err)
+	}
+	if c.Open() {
+		t.Error("controller still open after first key")
+	}
+	if err := c.Require("", RoleRead); err == nil {
+		t.Error("anonymous read allowed after closing")
+	}
+	if err := c.Require("secret", RoleAdmin); err != nil {
+		t.Errorf("key denied: %v", err)
+	}
+	if err := c.Require("wrong", RoleRead); err == nil {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestRoleOrdering(t *testing.T) {
+	c := NewController()
+	c.SetKey("reader", RoleRead)
+	c.SetKey("deployer", RoleDeploy)
+	cases := []struct {
+		key  string
+		need Role
+		ok   bool
+	}{
+		{"reader", RoleRead, true},
+		{"reader", RoleDeploy, false},
+		{"reader", RoleAdmin, false},
+		{"deployer", RoleRead, true},
+		{"deployer", RoleDeploy, true},
+		{"deployer", RoleAdmin, false},
+	}
+	for _, tc := range cases {
+		err := c.Require(tc.key, tc.need)
+		if tc.ok && err != nil {
+			t.Errorf("%s needing %s: unexpected %v", tc.key, tc.need, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s needing %s: allowed", tc.key, tc.need)
+			} else if !errors.Is(err, ErrDenied) {
+				t.Errorf("error %v is not ErrDenied", err)
+			}
+		}
+	}
+}
+
+func TestAnonymousRoleConfigurable(t *testing.T) {
+	c := NewController()
+	c.SetKey("k", RoleAdmin)
+	c.SetAnonymousRole(RoleRead)
+	if err := c.Require("", RoleRead); err != nil {
+		t.Errorf("anonymous read denied: %v", err)
+	}
+	if err := c.Require("", RoleDeploy); err == nil {
+		t.Error("anonymous deploy allowed")
+	}
+}
+
+func TestRemoveKey(t *testing.T) {
+	c := NewController()
+	c.SetKey("k", RoleAdmin)
+	c.RemoveKey("k")
+	if err := c.Require("k", RoleRead); err == nil {
+		t.Error("removed key still works")
+	}
+}
+
+func TestProtectSensor(t *testing.T) {
+	c := NewController()
+	c.SetKey("reader", RoleRead)
+	c.SetKey("deployer", RoleDeploy)
+	c.ProtectSensor("secret-cam", RoleDeploy)
+
+	if err := c.RequireSensor("reader", "public-temp"); err != nil {
+		t.Errorf("reader denied on unprotected sensor: %v", err)
+	}
+	if err := c.RequireSensor("reader", "secret-cam"); err == nil {
+		t.Error("reader allowed on protected sensor")
+	}
+	if err := c.RequireSensor("deployer", "SECRET-CAM"); err != nil {
+		t.Errorf("deployer denied on protected sensor (case): %v", err)
+	}
+	if err := c.RequireSensor("", "public-temp"); err == nil {
+		t.Error("anonymous read allowed after keys configured")
+	}
+}
+
+func TestSetKeyValidation(t *testing.T) {
+	c := NewController()
+	if err := c.SetKey("", RoleRead); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for in, want := range map[string]Role{
+		"none": RoleNone, "read": RoleRead, "deploy": RoleDeploy, "admin": RoleAdmin,
+	} {
+		got, err := ParseRole(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRole(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseRole("root"); err == nil {
+		t.Error("unknown role parsed")
+	}
+	if RoleAdmin.String() != "admin" || RoleNone.String() != "none" {
+		t.Error("Role.String broken")
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/sqlparser"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+// Ablations quantify the design choices called out in DESIGN.md §5.
+// Each returns (baseline, variant) timings so callers can report the
+// ratio; they are also exposed as testing.B benchmarks at the
+// repository root.
+
+// SyntheticRelations builds two joinable relations of the given sizes
+// with an 80% key-match rate.
+func SyntheticRelations(nLeft, nRight int, seed int64) (left, right *sqlengine.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	left = sqlengine.NewRelation("k", "x")
+	for i := 0; i < nLeft; i++ {
+		left.AddRow(int64(rng.Intn(nRight)), int64(i))
+	}
+	right = sqlengine.NewRelation("k", "y")
+	for i := 0; i < nRight; i++ {
+		right.AddRow(int64(i), int64(rng.Intn(1000)))
+	}
+	return left, right
+}
+
+// timeIt runs fn iters times and returns the mean duration.
+func timeIt(iters int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// AblationJoin compares hash join vs nested-loop join on an equi-join.
+func AblationJoin(rows, iters int) (hash, nested time.Duration, err error) {
+	left, right := SyntheticRelations(rows, rows, 1)
+	cat := sqlengine.MapCatalog{"L": left, "R": right}
+	stmt, err := sqlparser.Parse("select count(*) from l join r on l.k = r.k")
+	if err != nil {
+		return 0, 0, err
+	}
+	hash, err = timeIt(iters, func() error {
+		_, err := sqlengine.Execute(stmt, cat, sqlengine.Options{})
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	nested, err = timeIt(iters, func() error {
+		_, err := sqlengine.Execute(stmt, cat, sqlengine.Options{DisableHashJoin: true})
+		return err
+	})
+	return hash, nested, err
+}
+
+// AblationPlanCache compares cached parsing against re-parsing the
+// query text on every trigger (the paper attributes part of Figure 4's
+// cost to "query compiling").
+func AblationPlanCache(iters int) (cached, reparsed time.Duration, err error) {
+	rel := sqlengine.NewRelation("v", "timed")
+	for i := 0; i < 50; i++ {
+		rel.AddRow(int64(i), int64(i*100))
+	}
+	cat := sqlengine.MapCatalog{"T": rel}
+	sql := "select count(*), avg(v) from t where timed >= 100 and v % 3 = 1 and v > 5"
+	cached, err = timeIt(iters, func() error {
+		_, err := sqlengine.ExecuteSQL(sql, cat, sqlengine.Options{})
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	reparsed, err = timeIt(iters, func() error {
+		stmt, err := sqlengine.ParseNoCache(sql)
+		if err != nil {
+			return err
+		}
+		_, err = sqlengine.Execute(stmt, cat, sqlengine.Options{})
+		return err
+	})
+	return cached, reparsed, err
+}
+
+// AblationWindowScan compares materialising window snapshots against
+// the zero-copy ForEach scan path.
+func AblationWindowScan(windowSize, iters int) (snapshot, forEach time.Duration, err error) {
+	schema := stream.MustSchema(stream.Field{Name: "v", Type: stream.TypeInt})
+	table, err := storage.NewTable("w", schema,
+		stream.Window{Kind: stream.CountWindow, Count: windowSize}, stream.NewManualClock(0))
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < windowSize; i++ {
+		e, err := stream.NewElement(schema, stream.Timestamp(i+1), int64(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := table.Insert(e); err != nil {
+			return 0, 0, err
+		}
+	}
+	snapshot, err = timeIt(iters, func() error {
+		var sum int64
+		for _, e := range table.Snapshot() {
+			sum += e.Value(0).(int64)
+		}
+		if sum == 0 {
+			return fmt.Errorf("bench: empty scan")
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	forEach, err = timeIt(iters, func() error {
+		var sum int64
+		table.ForEach(func(e stream.Element) bool {
+			sum += e.Value(0).(int64)
+			return true
+		})
+		if sum == 0 {
+			return fmt.Errorf("bench: empty scan")
+		}
+		return nil
+	})
+	return snapshot, forEach, err
+}
+
+// RunAblations executes all ablations and prints a comparison table.
+func RunAblations(w io.Writer) error {
+	hash, nested, err := AblationJoin(500, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s hash=%-12v nested=%-12v speedup=%.1fx\n",
+		"join strategy (500x500 equi-join)", hash, nested, float64(nested)/float64(hash))
+
+	cached, reparsed, err := AblationPlanCache(2000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s cached=%-10v reparsed=%-10v speedup=%.2fx\n",
+		"statement cache", cached, reparsed, float64(reparsed)/float64(cached))
+
+	snap, each, err := AblationWindowScan(1000, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s snapshot=%-9v foreach=%-9v speedup=%.2fx\n",
+		"window scan (1000 elements)", snap, each, float64(snap)/float64(each))
+	return nil
+}

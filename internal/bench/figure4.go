@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gsn/internal/core"
+)
+
+// Figure4Config parameterises the query-processing-latency experiment
+// (paper Figure 4): a single node serves N registered client queries
+// over a stream with 32 KB elements (SES=32KB); each query has ~3
+// filtering predicates, a random history size between 1 s and 30 min,
+// and a uniform random sampling rate; bursts occur with probability
+// 0.05 and appear as spikes.
+type Figure4Config struct {
+	// ClientCounts is the x-axis sweep (paper: 0–500).
+	ClientCounts []int
+	// SES is the stream element size (paper: 32KB).
+	SES string
+	// Window is the output window the queries scan.
+	Window string
+	// ArrivalsPerPoint is how many element arrivals are measured per
+	// client count.
+	ArrivalsPerPoint int
+	// BurstProbability injects a burst of BurstLen back-to-back
+	// arrivals (paper: 0.05).
+	BurstProbability float64
+	BurstLen         int
+	// MinHistory/MaxHistory bound the random query history windows
+	// (paper: 1 s – 30 min).
+	MinHistory, MaxHistory time.Duration
+	// Seed makes the random query workload reproducible.
+	Seed int64
+}
+
+// DefaultFigure4 returns the paper's setup.
+func DefaultFigure4() Figure4Config {
+	counts := []int{0}
+	for n := 50; n <= 500; n += 50 {
+		counts = append(counts, n)
+	}
+	return Figure4Config{
+		ClientCounts:     counts,
+		SES:              "32KB",
+		Window:           "20",
+		ArrivalsPerPoint: 20,
+		BurstProbability: 0.05,
+		BurstLen:         4,
+		MinHistory:       time.Second,
+		MaxHistory:       30 * time.Minute,
+		Seed:             2006,
+	}
+}
+
+// Figure4Point is one measured x position.
+type Figure4Point struct {
+	Clients     int
+	TotalMeanMS float64 // mean total client-set evaluation time per arrival
+	TotalMaxMS  float64 // max (bursts spike here)
+	PerClientMS float64
+	Burst       bool
+}
+
+// Figure4Result is the series.
+type Figure4Result struct {
+	Config Figure4Config
+	Points []Figure4Point
+}
+
+// figure4Descriptor produces 32KB camera frames, keeping a window of
+// recent elements for the clients to query.
+func figure4Descriptor(ses, window string) string {
+	return fmt.Sprintf(`
+<virtual-sensor name="frames">
+  <life-cycle pool-size="4"/>
+  <output-structure>
+    <field name="camera_id" type="integer"/>
+    <field name="frame" type="integer"/>
+    <field name="sz" type="integer"/>
+  </output-structure>
+  <storage size=%q/>
+  <input-stream name="in">
+    <stream-source alias="cam" storage-size="1">
+      <address wrapper="camera">
+        <predicate key="payload" val=%q/>
+        <predicate key="seed" val="9"/>
+      </address>
+      <query>select camera_id, frame, length(image) as sz from WRAPPER</query>
+    </stream-source>
+    <query>select * from cam</query>
+  </input-stream>
+</virtual-sensor>`, window, ses)
+}
+
+// randomClientQuery builds one client query in the paper's shape: ~3
+// filtering predicates in the WHERE clause over a random history.
+func randomClientQuery(rng *rand.Rand, cfg Figure4Config) (sql string, sampling float64) {
+	historyRange := cfg.MaxHistory - cfg.MinHistory
+	history := cfg.MinHistory + time.Duration(rng.Int63n(int64(historyRange)))
+	// Three predicates: history bound, a modulus filter on the frame
+	// counter, and a size/id comparison.
+	mod := 2 + rng.Intn(5)
+	rem := rng.Intn(mod)
+	szBound := 1024 * (1 + rng.Intn(64))
+	sql = fmt.Sprintf(
+		"select count(*), avg(sz) from frames where timed >= now() - %d and frame %% %d = %d and sz > %d",
+		history.Milliseconds(), mod, rem, szBound)
+	sampling = 0.1 + rng.Float64()*0.8 // uniform in [0.1, 0.9)
+	return sql, sampling
+}
+
+// RunFigure4 executes the sweep.
+func RunFigure4(cfg Figure4Config, w io.Writer) (*Figure4Result, error) {
+	result := &Figure4Result{Config: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.ClientCounts {
+		point, err := runFigure4Point(cfg, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		result.Points = append(result.Points, point)
+		if w != nil {
+			burst := ""
+			if point.Burst {
+				burst = "  (burst)"
+			}
+			fmt.Fprintf(w, "figure4: clients=%-4d total=%.3fms max=%.3fms per-client=%.4fms%s\n",
+				point.Clients, point.TotalMeanMS, point.TotalMaxMS, point.PerClientMS, burst)
+		}
+	}
+	return result, nil
+}
+
+func runFigure4Point(cfg Figure4Config, clients int, rng *rand.Rand) (Figure4Point, error) {
+	c, err := core.New(core.Options{Name: "fig4", SyncProcessing: true})
+	if err != nil {
+		return Figure4Point{}, err
+	}
+	defer c.Close()
+	if err := c.DeployXML([]byte(figure4Descriptor(cfg.SES, cfg.Window))); err != nil {
+		return Figure4Point{}, err
+	}
+	for i := 0; i < clients; i++ {
+		sql, sampling := randomClientQuery(rng, cfg)
+		if _, err := c.RegisterQuery("frames", sql, sampling, nil); err != nil {
+			return Figure4Point{}, err
+		}
+	}
+
+	// Fill the window before measuring.
+	for i := 0; i < 10; i++ {
+		c.Pulse()
+	}
+	hist := c.Metrics().Histogram("client_query_time")
+	hist.Reset()
+
+	burst := rng.Float64() < cfg.BurstProbability
+	arrivals := cfg.ArrivalsPerPoint
+	if burst {
+		arrivals += cfg.BurstLen * 4
+	}
+	for i := 0; i < arrivals; i++ {
+		c.Pulse()
+		if burst && i%4 == 0 {
+			// A burst: several elements back-to-back.
+			for b := 0; b < cfg.BurstLen; b++ {
+				c.Pulse()
+			}
+		}
+	}
+
+	st := hist.Snapshot()
+	point := Figure4Point{Clients: clients, Burst: burst}
+	if clients > 0 && st.Count > 0 {
+		point.TotalMeanMS = float64(st.Mean.Microseconds()) / 1000
+		point.TotalMaxMS = float64(st.Max.Microseconds()) / 1000
+		point.PerClientMS = point.TotalMeanMS / float64(clients)
+	}
+	return point, nil
+}
+
+// Table renders the series.
+func (r *Figure4Result) Table() string {
+	out := fmt.Sprintf("Total client-set query processing time (ms), SES=%s — reproduction of Figure 4\n", r.Config.SES)
+	out += fmt.Sprintf("%-10s%14s%14s%16s%8s\n", "clients", "total(ms)", "max(ms)", "per-client(ms)", "burst")
+	for _, p := range r.Points {
+		burst := ""
+		if p.Burst {
+			burst = "*"
+		}
+		out += fmt.Sprintf("%-10d%14.3f%14.3f%16.4f%8s\n",
+			p.Clients, p.TotalMeanMS, p.TotalMaxMS, p.PerClientMS, burst)
+	}
+	return out
+}
+
+// CSV renders the series for plotting.
+func (r *Figure4Result) CSV() string {
+	out := "clients,total_mean_ms,total_max_ms,per_client_ms,burst\n"
+	for _, p := range r.Points {
+		out += fmt.Sprintf("%d,%.4f,%.4f,%.5f,%v\n",
+			p.Clients, p.TotalMeanMS, p.TotalMaxMS, p.PerClientMS, p.Burst)
+	}
+	return out
+}
+
+// ShapeReport validates the paper's qualitative claims: total time
+// grows with the client count and per-client time stays far below the
+// paper's 2006-hardware 1 ms bound.
+func (r *Figure4Result) ShapeReport() string {
+	var first, last Figure4Point
+	maxPerClient := 0.0
+	for i, p := range r.Points {
+		if i == 0 {
+			first = p
+		}
+		last = p
+		if p.PerClientMS > maxPerClient {
+			maxPerClient = p.PerClientMS
+		}
+	}
+	grows := "grows"
+	if last.TotalMeanMS <= first.TotalMeanMS {
+		grows = "does NOT grow"
+	}
+	return fmt.Sprintf(
+		"total time %s with clients (%.3fms @ %d → %.3fms @ %d); worst per-client %.4fms (paper: <1ms on 2006 hardware)\n",
+		grows, first.TotalMeanMS, first.Clients, last.TotalMeanMS, last.Clients, maxPerClient)
+}

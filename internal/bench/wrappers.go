@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WrapperEffort reports the implementation size of one platform
+// wrapper — reproducing the paper's §5 claim that "the effort to
+// implement wrappers is quite low, i.e., typically around 100-200 lines
+// of Java code. For example, the TinyOS wrapper required 150 lines."
+type WrapperEffort struct {
+	Kind  string
+	File  string
+	Lines int // non-blank, non-comment lines
+}
+
+// wrapperSources maps wrapper kinds to their source files.
+var wrapperSources = map[string]string{
+	"mote (TinyOS family)": "internal/wrappers/mote.go",
+	"camera (AXIS-style)":  "internal/wrappers/camera.go",
+	"rfid (TI readers)":    "internal/wrappers/rfid.go",
+	"csv replay":           "internal/wrappers/csvreplay.go",
+	"remote (GSN peer)":    "internal/p2p/remote.go",
+}
+
+// findRepoRoot walks upward from the working directory to the module
+// root (go.mod).
+func findRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bench: go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// countCodeLines counts non-blank, non-comment lines of a Go file —
+// comparable to how implementation effort is usually quoted.
+func countCodeLines(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	inBlock := false
+	for _, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		if inBlock {
+			if strings.Contains(t, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		switch {
+		case t == "":
+		case strings.HasPrefix(t, "//"):
+		case strings.HasPrefix(t, "/*"):
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+			}
+		default:
+			count++
+		}
+	}
+	return count, nil
+}
+
+// RunWrapperEffort measures each wrapper's implementation size.
+func RunWrapperEffort() ([]WrapperEffort, error) {
+	root, err := findRepoRoot()
+	if err != nil {
+		return nil, err
+	}
+	var out []WrapperEffort
+	for kind, rel := range wrapperSources {
+		lines, err := countCodeLines(filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WrapperEffort{Kind: kind, File: rel, Lines: lines})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out, nil
+}
+
+// WrapperEffortTable renders the effort report next to the paper's
+// claim.
+func WrapperEffortTable(efforts []WrapperEffort) string {
+	out := "Wrapper implementation effort — paper §5 claims 100–200 LoC per wrapper (TinyOS: 150)\n"
+	out += fmt.Sprintf("%-24s%-32s%10s\n", "wrapper", "file", "code lines")
+	for _, e := range efforts {
+		out += fmt.Sprintf("%-24s%-32s%10d\n", e.Kind, e.File, e.Lines)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+// storeCatalog adapts the storage layer to the SQL engine: table names
+// resolve to their current window contents with the implicit TIMED
+// column appended. Each resolution takes a fresh snapshot, so a query
+// sees one consistent instant per referenced table.
+type storeCatalog struct {
+	store *storage.Store
+}
+
+// Relation implements sqlengine.Catalog.
+func (c storeCatalog) Relation(name string) (*sqlengine.Relation, error) {
+	tab, ok := c.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", name)
+	}
+	return sqlengine.RelationOfElements(tab.Schema(), tab.Snapshot()), nil
+}
+
+// Catalog exposes the container's stored streams (virtual sensor
+// outputs and source windows) to ad-hoc queries.
+func (c *Container) Catalog() sqlengine.Catalog {
+	return storeCatalog{store: c.store}
+}
+
+// elementsFromRelation converts query result rows into stream elements
+// of the given schema. Field values are taken by (unqualified) column
+// name when every schema field resolves uniquely in the relation, and
+// positionally otherwise — so both
+//
+//	select avg(temperature) as temperature from wrapper
+//	select avg(temperature) from wrapper
+//
+// populate a single-field output structure. The element timestamp comes
+// from an unambiguous TIMED column when present, else from now.
+func elementsFromRelation(schema *stream.Schema, rel *sqlengine.Relation, now stream.Timestamp) ([]stream.Element, error) {
+	idx := make([]int, schema.Len())
+	nameBased := true
+	for i, f := range schema.Fields() {
+		j, err := rel.ColumnIndex("", f.Name)
+		if err != nil {
+			nameBased = false
+			break
+		}
+		idx[i] = j
+	}
+	if !nameBased {
+		if len(rel.Cols) < schema.Len() {
+			return nil, fmt.Errorf("core: query produced %d columns for output structure %s",
+				len(rel.Cols), schema)
+		}
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	timedIdx := -1
+	if j, err := rel.ColumnIndex("", sqlengine.TimedColumn); err == nil {
+		timedIdx = j
+	}
+
+	out := make([]stream.Element, 0, len(rel.Rows))
+	for _, row := range rel.Rows {
+		values := make([]stream.Value, schema.Len())
+		for i, j := range idx {
+			values[i] = row[j]
+		}
+		ts := now
+		if timedIdx >= 0 {
+			if t, ok := row[timedIdx].(int64); ok {
+				ts = stream.Timestamp(t)
+			}
+		}
+		e, err := stream.NewElement(schema, ts, values...)
+		if err != nil {
+			return nil, fmt.Errorf("core: output row does not fit structure %s: %w", schema, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,466 @@
+// Package core implements the GSN container (paper §4, Figure 2): the
+// virtual sensor manager with its life-cycle manager and input stream
+// manager, the storage layer binding, the query manager (query
+// processor + query repository + notification manager) and the
+// supervision loop. A container hosts and manages any number of virtual
+// sensors concurrently and supports adding, removing and reconfiguring
+// them while running.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gsn/internal/access"
+	"gsn/internal/directory"
+	"gsn/internal/integrity"
+	"gsn/internal/metrics"
+	"gsn/internal/notify"
+	"gsn/internal/sqlengine"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+	"gsn/internal/vsensor"
+	"gsn/internal/wrappers"
+)
+
+// Options configures a container. The zero value is a working
+// in-memory, real-time container.
+type Options struct {
+	// Name identifies the container (node) in logs and the directory.
+	Name string
+	// Clock drives timestamping, windows and rate control. Nil means
+	// the system clock; tests install a manual clock.
+	Clock stream.Clock
+	// DataDir enables permanent storage for descriptors that request
+	// it. Empty disables persistence.
+	DataDir string
+	// Registry supplies wrapper factories; nil means the process-wide
+	// default registry.
+	Registry *wrappers.Registry
+	// NodeAddress is the externally reachable address published to the
+	// directory (e.g. "http://host:22001").
+	NodeAddress string
+	// DirectoryTTL is the publication lifetime (default 5 minutes).
+	DirectoryTTL time.Duration
+	// Directory lets multiple in-process containers share one registry
+	// (tests, examples); nil creates a private one.
+	Directory *directory.Registry
+	// Notify tunes the notification manager.
+	Notify notify.Options
+	// SyncProcessing processes triggers inline on the producing
+	// goroutine instead of through the worker pool. Deterministic mode
+	// for tests and benchmarks.
+	SyncProcessing bool
+	// DisableHashJoin forces nested-loop joins (ablation knob).
+	DisableHashJoin bool
+	// MaxQueryRows bounds query results (0 = engine default).
+	MaxQueryRows int
+	// Logger receives warnings and supervision events; nil silences
+	// them. *log.Logger satisfies it.
+	Logger Logger
+	// SuperviseInterval is the supervision loop period (default 1s;
+	// the loop only runs in asynchronous mode).
+	SuperviseInterval time.Duration
+}
+
+// Logger is the minimal logging contract the container needs;
+// *log.Logger satisfies it.
+type Logger interface {
+	Printf(format string, v ...any)
+}
+
+// Container is one GSN node runtime.
+type Container struct {
+	opts     Options
+	name     string
+	clock    stream.Clock
+	store    *storage.Store
+	notifier *notify.Manager
+	dir      *directory.Registry
+	acl      *access.Controller
+	keys     *integrity.KeyRing
+	metrics  *metrics.Registry
+	registry *wrappers.Registry
+	queries  *QueryRepository
+
+	mu      sync.RWMutex
+	sensors map[string]*VirtualSensor
+	closed  bool
+
+	superviseStop chan struct{}
+	superviseDone chan struct{}
+}
+
+// New creates and starts a container.
+func New(opts Options) (*Container, error) {
+	if opts.Clock == nil {
+		opts.Clock = stream.SystemClock()
+	}
+	if opts.Registry == nil {
+		opts.Registry = wrappers.Default()
+	}
+	if opts.Name == "" {
+		opts.Name = "gsn-node"
+	}
+	if opts.SuperviseInterval <= 0 {
+		opts.SuperviseInterval = time.Second
+	}
+	store, err := storage.NewStore(opts.Clock, opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	dir := opts.Directory
+	if dir == nil {
+		dir = directory.NewRegistry(opts.Clock, opts.DirectoryTTL)
+	}
+	c := &Container{
+		opts:     opts,
+		name:     opts.Name,
+		clock:    opts.Clock,
+		store:    store,
+		notifier: notify.NewManager(opts.Notify),
+		dir:      dir,
+		acl:      access.NewController(),
+		keys:     integrity.NewKeyRing(),
+		metrics:  metrics.NewRegistry(),
+		registry: opts.Registry,
+		queries:  NewQueryRepository(),
+		sensors:  make(map[string]*VirtualSensor),
+	}
+	if !opts.SyncProcessing {
+		c.superviseStop = make(chan struct{})
+		c.superviseDone = make(chan struct{})
+		go c.supervise()
+	}
+	return c, nil
+}
+
+// engineOpts builds the SQL engine options for this container.
+func (c *Container) engineOpts() sqlengine.Options {
+	return sqlengine.Options{
+		Clock:           c.clock,
+		DisableHashJoin: c.opts.DisableHashJoin,
+		MaxRows:         c.opts.MaxQueryRows,
+	}
+}
+
+// Deploy validates a descriptor and brings the virtual sensor online:
+// wrapper instantiation, window tables, worker pool, directory
+// publication. Deployment is atomic — on any error nothing remains.
+func (c *Container) Deploy(desc *vsensor.Descriptor) error {
+	if desc == nil {
+		return fmt.Errorf("core: nil descriptor")
+	}
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	name := stream.CanonicalName(desc.Name)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("core: container %s is closed", c.name)
+	}
+	if _, exists := c.sensors[name]; exists {
+		c.mu.Unlock()
+		return fmt.Errorf("core: virtual sensor %s is already deployed", name)
+	}
+	vs, err := newVirtualSensor(c, desc)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.sensors[name] = vs
+	c.mu.Unlock()
+
+	if err := vs.start(); err != nil {
+		c.removeSensor(name, vs)
+		return err
+	}
+	c.dir.Publish(name, c.opts.NodeAddress, desc.MetadataMap(), c.opts.DirectoryTTL)
+	for _, n := range desc.Notify {
+		if err := c.attachNotification(name, n); err != nil {
+			c.logf("gsn: %s: %v", name, err)
+		}
+	}
+	c.metrics.Counter("deployments").Inc()
+	c.logf("gsn: deployed %s (pool-size %d, %d input stream(s))",
+		name, desc.LifeCycle.PoolSize, len(desc.Streams))
+	return nil
+}
+
+// DeployXML parses and deploys a descriptor document.
+func (c *Container) DeployXML(data []byte) error {
+	desc, err := vsensor.Parse(data)
+	if err != nil {
+		return err
+	}
+	return c.Deploy(desc)
+}
+
+// attachNotification wires one declarative <notification> element.
+func (c *Container) attachNotification(sensor string, n vsensor.Notification) error {
+	var ch notify.Channel
+	switch n.Channel {
+	case "log":
+		w := c.opts.Logger
+		if w == nil {
+			return nil // nowhere to log; silently skip
+		}
+		ch = notify.FuncChannel{ChannelName: "log", Fn: func(ev notify.Event) error {
+			data, err := notify.MarshalEvent(ev)
+			if err != nil {
+				return err
+			}
+			w.Printf("notify %s #%d %s", ev.Sensor, ev.Seq, data)
+			return nil
+		}}
+	case "webhook":
+		ch = notify.NewWebhookChannel(n.Target)
+	case "file":
+		fc, err := notify.NewFileChannel(n.Target)
+		if err != nil {
+			return err
+		}
+		ch = fc
+	default:
+		return fmt.Errorf("core: unknown notification channel %q", n.Channel)
+	}
+	_, err := c.notifier.Subscribe(sensor, ch)
+	return err
+}
+
+// Undeploy removes a virtual sensor: wrappers stop, tables drop,
+// subscriptions and client queries for it are cancelled, the directory
+// entry is withdrawn. Running queries finish first (pool drain).
+func (c *Container) Undeploy(name string) error {
+	canonical := stream.CanonicalName(name)
+	c.mu.Lock()
+	vs, ok := c.sensors[canonical]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
+	}
+	c.removeSensor(canonical, vs)
+	c.notifier.UnsubscribeSensor(canonical)
+	c.queries.UnregisterSensor(canonical)
+	c.dir.Unpublish(canonical, c.opts.NodeAddress)
+	c.metrics.Counter("undeployments").Inc()
+	c.logf("gsn: undeployed %s", canonical)
+	return nil
+}
+
+func (c *Container) removeSensor(name string, vs *VirtualSensor) {
+	vs.stop()
+	c.mu.Lock()
+	delete(c.sensors, name)
+	c.mu.Unlock()
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			if err := c.store.DropTable(src.table.Name()); err != nil {
+				c.logf("gsn: %s: %v", name, err)
+			}
+		}
+	}
+	if err := c.store.DropTable(name); err != nil {
+		c.logf("gsn: %s: %v", name, err)
+	}
+}
+
+// Redeploy atomically replaces a sensor's configuration: the paper's
+// on-the-fly reconfiguration. The old instance (if any) is removed
+// first; deployment errors leave the sensor undeployed (the old
+// configuration is already torn down, matching GSN's behaviour).
+func (c *Container) Redeploy(desc *vsensor.Descriptor) error {
+	if desc == nil {
+		return fmt.Errorf("core: nil descriptor")
+	}
+	canonical := stream.CanonicalName(desc.Name)
+	c.mu.RLock()
+	_, exists := c.sensors[canonical]
+	c.mu.RUnlock()
+	if exists {
+		if err := c.Undeploy(canonical); err != nil {
+			return err
+		}
+	}
+	return c.Deploy(desc)
+}
+
+// Sensor looks up a deployed virtual sensor.
+func (c *Container) Sensor(name string) (*VirtualSensor, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vs, ok := c.sensors[stream.CanonicalName(name)]
+	return vs, ok
+}
+
+// Sensors lists deployed sensors sorted by name.
+func (c *Container) Sensors() []*VirtualSensor {
+	c.mu.RLock()
+	out := make([]*VirtualSensor, 0, len(c.sensors))
+	for _, vs := range c.sensors {
+		out = append(out, vs)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Query runs a one-shot SQL query over the container's stored streams
+// (virtual sensor outputs and source windows).
+func (c *Container) Query(sql string) (*sqlengine.Relation, error) {
+	start := time.Now()
+	rel, err := sqlengine.ExecuteSQL(sql, c.Catalog(), c.engineOpts())
+	c.metrics.Histogram("adhoc_query_time").Observe(time.Since(start))
+	return rel, err
+}
+
+// RegisterQuery adds a continuous client query against a deployed
+// sensor (the query repository path; see Figure 4).
+func (c *Container) RegisterQuery(sensor, sql string, sampling float64, cb func(*sqlengine.Relation)) (int64, error) {
+	canonical := stream.CanonicalName(sensor)
+	c.mu.RLock()
+	_, ok := c.sensors[canonical]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
+	}
+	return c.queries.Register(canonical, sql, sampling, cb)
+}
+
+// UnregisterQuery removes a continuous client query.
+func (c *Container) UnregisterQuery(id int64) error { return c.queries.Unregister(id) }
+
+// Subscribe attaches a notification channel to a sensor's output.
+func (c *Container) Subscribe(sensor string, ch notify.Channel) (int64, error) {
+	return c.notifier.Subscribe(sensor, ch)
+}
+
+// Unsubscribe detaches a notification subscription.
+func (c *Container) Unsubscribe(id int64) error { return c.notifier.Unsubscribe(id) }
+
+// Pulse drives every pull-capable wrapper of every sensor once (see
+// VirtualSensor.Pulse) and returns the number of injected elements.
+func (c *Container) Pulse() int {
+	total := 0
+	for _, vs := range c.Sensors() {
+		total += vs.Pulse()
+	}
+	return total
+}
+
+// supervise is the life-cycle manager's background loop: it restarts
+// wrappers whose sources have gone silent past their gap timeout and
+// refreshes directory publications.
+func (c *Container) supervise() {
+	defer close(c.superviseDone)
+	ticker := time.NewTicker(c.opts.SuperviseInterval)
+	defer ticker.Stop()
+	republishEvery := c.opts.DirectoryTTL
+	if republishEvery <= 0 {
+		republishEvery = 5 * time.Minute
+	}
+	republishEvery /= 2
+	lastRepublish := time.Now()
+	for {
+		select {
+		case <-c.superviseStop:
+			return
+		case <-ticker.C:
+		}
+		for _, vs := range c.Sensors() {
+			for _, in := range vs.streams {
+				for _, src := range in.sources {
+					if src.gap.Check() {
+						c.logf("gsn: %s/%s: source silent beyond gap-timeout, restarting wrapper",
+							vs.name, src.alias)
+						src.restarts.Add(1)
+						c.metrics.Counter("wrapper_restarts").Inc()
+						src.wrapper.Stop()
+						src := src
+						if err := src.wrapper.Start(func(e stream.Element) { vs.ingress(src, e) }); err != nil {
+							vs.recordError(err)
+						}
+					}
+				}
+			}
+		}
+		if time.Since(lastRepublish) >= republishEvery {
+			lastRepublish = time.Now()
+			for _, vs := range c.Sensors() {
+				c.dir.Publish(vs.name, c.opts.NodeAddress, vs.desc.MetadataMap(), c.opts.DirectoryTTL)
+			}
+			c.dir.GC()
+		}
+	}
+}
+
+// Notifier exposes the notification manager (web layer, tests).
+func (c *Container) Notifier() *notify.Manager { return c.notifier }
+
+// Directory exposes the discovery registry.
+func (c *Container) Directory() *directory.Registry { return c.dir }
+
+// Store exposes the storage layer.
+func (c *Container) Store() *storage.Store { return c.store }
+
+// Metrics exposes the metrics registry.
+func (c *Container) Metrics() *metrics.Registry { return c.metrics }
+
+// ACL exposes the access controller.
+func (c *Container) ACL() *access.Controller { return c.acl }
+
+// Keys exposes the integrity keyring.
+func (c *Container) Keys() *integrity.KeyRing { return c.keys }
+
+// QueryRepositoryRef exposes the client query repository.
+func (c *Container) QueryRepositoryRef() *QueryRepository { return c.queries }
+
+// Clock returns the container clock.
+func (c *Container) Clock() stream.Clock { return c.clock }
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.name }
+
+// NodeAddress returns the published node address.
+func (c *Container) NodeAddress() string { return c.opts.NodeAddress }
+
+// Close undeploys every sensor and releases resources.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	names := make([]string, 0, len(c.sensors))
+	for name := range c.sensors {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+
+	if c.superviseStop != nil {
+		close(c.superviseStop)
+		<-c.superviseDone
+	}
+	for _, name := range names {
+		c.mu.RLock()
+		vs := c.sensors[name]
+		c.mu.RUnlock()
+		if vs != nil {
+			c.removeSensor(name, vs)
+			c.dir.Unpublish(name, c.opts.NodeAddress)
+		}
+	}
+	c.notifier.Close()
+	return c.store.Close()
+}
+
+func (c *Container) logf(format string, args ...any) {
+	if c.opts.Logger != nil {
+		c.opts.Logger.Printf(format, args...)
+	}
+}

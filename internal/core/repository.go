@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/sqlparser"
+	"gsn/internal/stream"
+)
+
+// ClientQuery is one registered continuous query (a subscription in the
+// paper's query repository, §4). The query re-executes against the
+// container's stored streams whenever the watched virtual sensor
+// produces an element; results go to the callback.
+type ClientQuery struct {
+	ID int64
+	// Sensor is the watched virtual sensor (canonical name).
+	Sensor string
+	// SQL is the query text.
+	SQL string
+	// SamplingRate in (0,1] evaluates the query on that fraction of
+	// triggers.
+	SamplingRate float64
+
+	stmt *sqlparser.SelectStatement
+	rng  *rand.Rand
+	cb   func(*sqlengine.Relation)
+
+	mu          sync.Mutex
+	evaluations uint64
+	errors      uint64
+	lastLatency time.Duration
+}
+
+// ClientQueryStats reports one registered query's counters.
+type ClientQueryStats struct {
+	ID           int64
+	Sensor       string
+	SQL          string
+	Evaluations  uint64
+	Errors       uint64
+	LastLatency  time.Duration
+	SamplingRate float64
+}
+
+// QueryRepository manages registered client queries — GSN's query
+// repository, which "defines and maintains the set of currently active
+// queries for the query processor".
+type QueryRepository struct {
+	mu       sync.RWMutex
+	nextID   int64
+	queries  map[int64]*ClientQuery
+	bySensor map[string][]*ClientQuery
+}
+
+// NewQueryRepository creates an empty repository.
+func NewQueryRepository() *QueryRepository {
+	return &QueryRepository{
+		queries:  make(map[int64]*ClientQuery),
+		bySensor: make(map[string][]*ClientQuery),
+	}
+}
+
+// Register validates and adds a continuous query bound to a sensor.
+// sampling of 0 means 1 (always). The callback may be nil (evaluate and
+// discard — the Figure 4 load shape).
+func (r *QueryRepository) Register(sensor, sql string, sampling float64, cb func(*sqlengine.Relation)) (int64, error) {
+	if sampling < 0 || sampling > 1 {
+		return 0, fmt.Errorf("core: sampling rate %v outside [0,1]", sampling)
+	}
+	if sampling == 0 {
+		sampling = 1
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, fmt.Errorf("core: client query: %w", err)
+	}
+	canonical := stream.CanonicalName(sensor)
+	if canonical == "" {
+		return 0, fmt.Errorf("core: client query needs a sensor")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	q := &ClientQuery{
+		ID:           r.nextID,
+		Sensor:       canonical,
+		SQL:          sql,
+		SamplingRate: sampling,
+		stmt:         stmt,
+		rng:          rand.New(rand.NewSource(r.nextID * 2654435761)),
+		cb:           cb,
+	}
+	r.queries[q.ID] = q
+	r.bySensor[canonical] = append(r.bySensor[canonical], q)
+	return q.ID, nil
+}
+
+// Unregister removes a query.
+func (r *QueryRepository) Unregister(id int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.queries[id]
+	if !ok {
+		return fmt.Errorf("core: no client query %d", id)
+	}
+	delete(r.queries, id)
+	list := r.bySensor[q.Sensor]
+	for i, candidate := range list {
+		if candidate.ID == id {
+			r.bySensor[q.Sensor] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// UnregisterSensor drops every query watching the sensor (called on
+// undeploy).
+func (r *QueryRepository) UnregisterSensor(sensor string) int {
+	canonical := stream.CanonicalName(sensor)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.bySensor[canonical]
+	for _, q := range list {
+		delete(r.queries, q.ID)
+	}
+	delete(r.bySensor, canonical)
+	return len(list)
+}
+
+// Count reports the number of registered queries.
+func (r *QueryRepository) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.queries)
+}
+
+// EvaluateFor runs every query registered for the sensor (subject to
+// each query's sampling rate) against the catalog and returns the
+// number evaluated. The caller wraps it in a latency histogram — the
+// total wall time of this call is Figure 4's y-axis.
+func (r *QueryRepository) EvaluateFor(sensor string, cat sqlengine.Catalog, opts sqlengine.Options) int {
+	canonical := stream.CanonicalName(sensor)
+	r.mu.RLock()
+	list := make([]*ClientQuery, len(r.bySensor[canonical]))
+	copy(list, r.bySensor[canonical])
+	r.mu.RUnlock()
+
+	evaluated := 0
+	for _, q := range list {
+		q.mu.Lock()
+		skip := q.SamplingRate < 1 && q.rng.Float64() >= q.SamplingRate
+		q.mu.Unlock()
+		if skip {
+			continue
+		}
+		start := time.Now()
+		rel, err := sqlengine.Execute(q.stmt, cat, opts)
+		elapsed := time.Since(start)
+		q.mu.Lock()
+		q.evaluations++
+		q.lastLatency = elapsed
+		if err != nil {
+			q.errors++
+		}
+		q.mu.Unlock()
+		evaluated++
+		if err == nil && q.cb != nil {
+			q.cb(rel)
+		}
+	}
+	return evaluated
+}
+
+// Stats lists per-query counters ordered by id.
+func (r *QueryRepository) Stats() []ClientQueryStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ClientQueryStats, 0, len(r.queries))
+	for _, q := range r.queries {
+		q.mu.Lock()
+		out = append(out, ClientQueryStats{
+			ID:           q.ID,
+			Sensor:       q.Sensor,
+			SQL:          q.SQL,
+			Evaluations:  q.evaluations,
+			Errors:       q.errors,
+			LastLatency:  q.lastLatency,
+			SamplingRate: q.SamplingRate,
+		})
+		q.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsn/internal/quality"
+	"gsn/internal/sqlengine"
+	"gsn/internal/sqlparser"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+	"gsn/internal/vsensor"
+	"gsn/internal/wrappers"
+)
+
+// VirtualSensor is the runtime of one deployed descriptor: its wrappers,
+// quality chains, window tables, worker pool and output table. It is
+// created and owned by the container's virtual sensor manager.
+type VirtualSensor struct {
+	name      string
+	desc      *vsensor.Descriptor
+	container *Container
+	outSchema *stream.Schema
+	outTable  *storage.Table
+	streams   []*inputStream
+
+	triggers chan trigger
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	statTriggers  atomic.Uint64
+	statOutputs   atomic.Uint64
+	statErrors    atomic.Uint64
+	statDropped   atomic.Uint64
+	statLastError atomic.Value // string
+}
+
+// inputStream is one <input-stream> at runtime.
+type inputStream struct {
+	spec    vsensor.InputStream
+	stmt    *sqlparser.SelectStatement
+	rate    *quality.RateLimiter
+	count   *quality.CountLimiter
+	sources []*sourceRuntime
+}
+
+// sourceRuntime is one <stream-source> at runtime.
+type sourceRuntime struct {
+	alias   string
+	spec    vsensor.StreamSource
+	wrapper wrappers.Wrapper
+	stmt    *sqlparser.SelectStatement
+	table   *storage.Table
+
+	sampler *quality.Sampler
+	repair  *quality.Repairer
+	buffer  *quality.DisconnectBuffer
+	gap     *quality.GapDetector
+
+	slide    int           // trigger every slide-th arrival (≥1)
+	arrivals atomic.Uint64 // accepted arrivals, for slide accounting
+	restarts atomic.Uint64
+}
+
+// trigger is one unit of work for the processing pool: an element
+// arrived on a source of a stream (the paper: "production of a new
+// output stream element is always triggered by the arrival of a data
+// stream element from one of its input streams").
+type trigger struct {
+	stream   *inputStream
+	enqueued time.Time
+}
+
+// SensorStats summarises a virtual sensor's activity.
+type SensorStats struct {
+	Name        string
+	Triggers    uint64
+	Outputs     uint64
+	Errors      uint64
+	Dropped     uint64
+	LastError   string
+	OutputLive  int
+	OutputTotal uint64
+	Sources     []SourceStats
+}
+
+// SourceStats summarises one stream source.
+type SourceStats struct {
+	Stream     string
+	Alias      string
+	Wrapper    string
+	WindowLive int
+	Inserted   uint64
+	Sampled    quality.Stats
+	Buffered   int
+	Gaps       uint64
+	Restarts   uint64
+}
+
+// newVirtualSensor wires a validated descriptor into runtime state.
+// Nothing starts until start() is called, so a failed construction
+// leaves no goroutines behind.
+func newVirtualSensor(c *Container, desc *vsensor.Descriptor) (*VirtualSensor, error) {
+	outSchema, err := desc.OutputSchema()
+	if err != nil {
+		return nil, err
+	}
+	window, err := desc.StorageWindow()
+	if err != nil {
+		return nil, err
+	}
+	name := stream.CanonicalName(desc.Name)
+	vs := &VirtualSensor{
+		name:      name,
+		desc:      desc,
+		container: c,
+		outSchema: outSchema,
+		triggers:  make(chan trigger, triggerQueueSize(desc.LifeCycle.PoolSize)),
+	}
+	vs.statLastError.Store("")
+
+	outTable, err := c.store.CreateTable(name, outSchema, storage.TableOptions{
+		Window:    window,
+		Permanent: desc.Storage.Permanent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vs.outTable = outTable
+
+	cleanup := func() {
+		for _, in := range vs.streams {
+			for _, src := range in.sources {
+				c.store.DropTable(src.table.Name())
+			}
+		}
+		c.store.DropTable(name)
+	}
+
+	for i := range desc.Streams {
+		spec := desc.Streams[i]
+		stmt, err := sqlparser.Parse(spec.Query)
+		if err != nil {
+			cleanup()
+			return nil, err // unreachable after Validate, kept for safety
+		}
+		in := &inputStream{spec: spec, stmt: stmt}
+		// Stream-level bounds are shared by all of the stream's sources;
+		// per-source chains consult them via Admit.
+		in.rate = quality.NewRateLimiter(spec.Rate, c.clock, nil)
+		in.count = quality.NewCountLimiter(spec.Count, nil)
+
+		for j := range spec.Sources {
+			srcSpec := spec.Sources[j]
+			src, err := vs.buildSource(in, srcSpec)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			in.sources = append(in.sources, src)
+		}
+		vs.streams = append(vs.streams, in)
+	}
+	return vs, nil
+}
+
+func triggerQueueSize(poolSize int) int {
+	n := poolSize * 8
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// sourceTableName builds the window table name for a source.
+func sourceTableName(vs, streamName, alias string) string {
+	return stream.CanonicalName(vs + "__" + streamName + "__" + alias)
+}
+
+func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource) (*sourceRuntime, error) {
+	c := vs.container
+	stmt, err := sqlparser.Parse(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	params := wrappers.Params{}
+	for _, p := range spec.Address.Predicates {
+		params[p.Key] = p.Value()
+	}
+	seed, err := params.Int("seed", 0)
+	if err != nil {
+		return nil, err
+	}
+	wrapperName := vs.name + "/" + in.spec.Name + "/" + spec.Alias
+	w, err := c.registry.New(spec.Address.Wrapper, wrappers.Config{
+		Name:   wrapperName,
+		Params: params,
+		Seed:   int64(seed),
+		Clock:  c.clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	window, err := stream.ParseWindow(spec.StorageSize)
+	if err != nil {
+		return nil, err
+	}
+	table, err := c.store.CreateTable(sourceTableName(vs.name, in.spec.Name, spec.Alias),
+		w.Schema(), storage.TableOptions{Window: window})
+	if err != nil {
+		return nil, err
+	}
+
+	src := &sourceRuntime{
+		alias:   stream.CanonicalName(spec.Alias),
+		spec:    spec,
+		wrapper: w,
+		stmt:    stmt,
+		table:   table,
+		slide:   spec.Slide,
+	}
+	if src.slide < 1 {
+		src.slide = 1
+	}
+
+	// Quality chain, innermost stage first: the terminal sink inserts
+	// into the window table and enqueues the trigger. With a slide > 1
+	// the window advances on every arrival but processing fires only on
+	// every slide-th element.
+	terminal := func(e stream.Element) {
+		if err := table.Insert(e); err != nil {
+			vs.recordError(err)
+			return
+		}
+		if src.arrivals.Add(1)%uint64(src.slide) == 0 {
+			vs.enqueue(trigger{stream: in})
+		}
+	}
+	src.buffer = quality.NewDisconnectBuffer(spec.DisconnectBuffer, terminal)
+	src.repair = quality.NewRepairer(vs.repairPolicy(params), src.buffer.Offer)
+
+	// The sampler feeds the shared stream-level bounds (rate and
+	// lifetime count apply to the whole input stream), which gate this
+	// source's repair → buffer → table chain.
+	src.sampler = quality.NewSampler(spec.SamplingRate, int64(seed)+1, func(e stream.Element) {
+		if in.rate.Admit(e) && in.count.Admit(e) {
+			src.repair.Offer(e)
+		}
+	})
+
+	gapTimeout, err := params.Duration("gap-timeout", 0)
+	if err != nil {
+		return nil, err
+	}
+	src.gap = quality.NewGapDetector(gapTimeout, c.clock, nil)
+	return src, nil
+}
+
+// repairPolicy reads the optional repair parameter from the address
+// predicates.
+func (vs *VirtualSensor) repairPolicy(params wrappers.Params) quality.RepairPolicy {
+	policy, ok := quality.ParseRepairPolicy(params.Get("repair", ""))
+	if !ok {
+		vs.recordError(fmt.Errorf("core: %s: unknown repair policy %q, using none",
+			vs.name, params.Get("repair", "")))
+		return quality.RepairNone
+	}
+	return policy
+}
+
+// ingress is the wrapper-facing entry point for a source: processing
+// step 1 — stamp the element with the container's local clock when the
+// producer supplied no timestamp, and record the arrival time.
+func (vs *VirtualSensor) ingress(src *sourceRuntime, e stream.Element) {
+	now := vs.container.clock.Now()
+	if !e.HasTimestamp() {
+		e = e.WithTimestamp(now)
+	}
+	e = e.WithArrival(now)
+	src.gap.Offer(e)
+	src.sampler.Offer(e)
+}
+
+// enqueue hands a trigger to the worker pool (or processes inline in
+// synchronous mode). A full queue drops the trigger: under overload the
+// window tables still advance, only recomputation is shed.
+func (vs *VirtualSensor) enqueue(tr trigger) {
+	vs.statTriggers.Add(1)
+	tr.enqueued = time.Now()
+	if vs.container.opts.SyncProcessing {
+		vs.process(tr)
+		return
+	}
+	select {
+	case vs.triggers <- tr:
+	default:
+		vs.statDropped.Add(1)
+	}
+}
+
+// start launches the worker pool and the wrappers.
+func (vs *VirtualSensor) start() error {
+	if !vs.container.opts.SyncProcessing {
+		for i := 0; i < vs.desc.LifeCycle.PoolSize; i++ {
+			vs.wg.Add(1)
+			go vs.worker()
+		}
+	}
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			src := src
+			if err := src.wrapper.Start(func(e stream.Element) { vs.ingress(src, e) }); err != nil {
+				vs.stop()
+				return fmt.Errorf("core: starting wrapper %s for %s: %w",
+					src.spec.Address.Wrapper, vs.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// worker consumes triggers until the channel closes. A panicking query
+// (life-cycle manager duty) is recovered and counted; the worker
+// survives.
+func (vs *VirtualSensor) worker() {
+	defer vs.wg.Done()
+	for tr := range vs.triggers {
+		vs.safeProcess(tr)
+	}
+}
+
+func (vs *VirtualSensor) safeProcess(tr trigger) {
+	defer func() {
+		if r := recover(); r != nil {
+			vs.recordError(fmt.Errorf("core: %s: processing panic: %v", vs.name, r))
+		}
+	}()
+	vs.process(tr)
+}
+
+// process executes steps 2–5 of the paper's processing pipeline for one
+// trigger.
+func (vs *VirtualSensor) process(tr trigger) {
+	c := vs.container
+	start := time.Now()
+
+	// Steps 2+3: select each source's window and evaluate the source
+	// query into a temporary relation named by the alias.
+	temps := make(sqlengine.MapCatalog, len(tr.stream.sources))
+	for _, src := range tr.stream.sources {
+		winRel := sqlengine.RelationOfElements(src.table.Schema(), src.table.Snapshot())
+		cat := sqlengine.MapCatalog{
+			vsensor.WrapperTable(): winRel,
+			src.alias:              winRel,
+		}
+		rel, err := sqlengine.Execute(src.stmt, cat, c.engineOpts())
+		if err != nil {
+			vs.recordError(fmt.Errorf("core: %s/%s source query: %w", vs.name, src.alias, err))
+			return
+		}
+		temps[src.alias] = rel
+	}
+
+	// Step 4: the input stream's output query over the temporaries.
+	outRel, err := sqlengine.Execute(tr.stream.stmt, temps, c.engineOpts())
+	if err != nil {
+		vs.recordError(fmt.Errorf("core: %s/%s output query: %w", vs.name, tr.stream.spec.Name, err))
+		return
+	}
+
+	// Step 5: persist and notify.
+	elems, err := elementsFromRelation(vs.outSchema, outRel, c.clock.Now())
+	if err != nil {
+		vs.recordError(err)
+		return
+	}
+	for _, e := range elems {
+		if err := vs.outTable.Insert(e); err != nil {
+			vs.recordError(err)
+			return
+		}
+		vs.statOutputs.Add(1)
+		c.notifier.Publish(vs.name, e)
+	}
+	if len(elems) > 0 {
+		cat := c.Catalog()
+		clientStart := time.Now()
+		n := c.queries.EvaluateFor(vs.name, cat, c.engineOpts())
+		if n > 0 {
+			c.metrics.Histogram("client_query_time").Observe(time.Since(clientStart))
+		}
+	}
+
+	c.metrics.Histogram("processing_time").Observe(time.Since(start))
+	c.metrics.Histogram("trigger_latency").Observe(time.Since(tr.enqueued))
+	c.metrics.Counter("elements_processed").Inc()
+}
+
+// stop halts wrappers, drains the pool and drops no tables (the
+// container owns table lifecycle).
+func (vs *VirtualSensor) stop() {
+	vs.stopOnce.Do(func() {
+		for _, in := range vs.streams {
+			for _, src := range in.sources {
+				if err := src.wrapper.Stop(); err != nil {
+					vs.recordError(err)
+				}
+			}
+		}
+		close(vs.triggers)
+		vs.wg.Wait()
+	})
+}
+
+func (vs *VirtualSensor) recordError(err error) {
+	vs.statErrors.Add(1)
+	vs.statLastError.Store(err.Error())
+	vs.container.metrics.Counter("processing_errors").Inc()
+	if vs.container.opts.Logger != nil {
+		vs.container.opts.Logger.Printf("gsn: %s: %v", vs.name, err)
+	}
+}
+
+// Name returns the canonical sensor name.
+func (vs *VirtualSensor) Name() string { return vs.name }
+
+// Descriptor returns the deployed descriptor.
+func (vs *VirtualSensor) Descriptor() *vsensor.Descriptor { return vs.desc }
+
+// OutputSchema returns the output structure as a schema.
+func (vs *VirtualSensor) OutputSchema() *stream.Schema { return vs.outSchema }
+
+// Output returns the output window table.
+func (vs *VirtualSensor) Output() *storage.Table { return vs.outTable }
+
+// Stats snapshots the sensor's runtime counters.
+func (vs *VirtualSensor) Stats() SensorStats {
+	st := SensorStats{
+		Name:      vs.name,
+		Triggers:  vs.statTriggers.Load(),
+		Outputs:   vs.statOutputs.Load(),
+		Errors:    vs.statErrors.Load(),
+		Dropped:   vs.statDropped.Load(),
+		LastError: vs.statLastError.Load().(string),
+	}
+	ot := vs.outTable.Stats()
+	st.OutputLive = ot.Live
+	st.OutputTotal = ot.Inserted
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			ts := src.table.Stats()
+			st.Sources = append(st.Sources, SourceStats{
+				Stream:     in.spec.Name,
+				Alias:      src.alias,
+				Wrapper:    src.wrapper.Kind(),
+				WindowLive: ts.Live,
+				Inserted:   ts.Inserted,
+				Sampled:    src.sampler.Stats(),
+				Buffered:   src.buffer.Buffered(),
+				Gaps:       src.gap.Gaps(),
+				Restarts:   src.restarts.Load(),
+			})
+		}
+	}
+	return st
+}
+
+// Pulse drives every pull-capable wrapper of the sensor once: each
+// source whose wrapper implements wrappers.Producer produces one
+// reading, which flows through the full ingress path. Deterministic
+// tests and the benchmark harness use it instead of real-time pacing.
+// It returns the number of elements injected.
+func (vs *VirtualSensor) Pulse() int {
+	injected := 0
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			p, ok := src.wrapper.(wrappers.Producer)
+			if !ok {
+				continue
+			}
+			e, err := p.Produce()
+			if err != nil {
+				if err != wrappers.ErrNoReading {
+					vs.recordError(err)
+				}
+				continue
+			}
+			vs.ingress(src, e)
+			injected++
+		}
+	}
+	return injected
+}

@@ -1,0 +1,175 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+func TestPublishAndQueryByPredicates(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	r := NewRegistry(clock, time.Minute)
+	r.Publish("temp-bc143", "http://node-a", map[string]string{
+		"Type": "temperature", "location": "bc143"}, 0)
+	r.Publish("temp-roof", "http://node-a", map[string]string{
+		"type": "temperature", "location": "roof"}, 0)
+	r.Publish("cam-1", "http://node-b", map[string]string{
+		"type": "camera", "location": "bc143"}, 0)
+
+	// The paper's Figure 1 logical address: type=temperature AND
+	// location=bc143.
+	got := r.Query(map[string]string{"type": "temperature", "location": "bc143"})
+	if len(got) != 1 || got[0].Sensor != "TEMP-BC143" {
+		t.Fatalf("Query = %+v", got)
+	}
+	// Single-predicate queries widen the match.
+	if got := r.Query(map[string]string{"location": "bc143"}); len(got) != 2 {
+		t.Errorf("location query = %+v", got)
+	}
+	// Values match case-insensitively.
+	if got := r.Query(map[string]string{"TYPE": "Temperature"}); len(got) != 2 {
+		t.Errorf("case-insensitive query = %+v", got)
+	}
+	// The sensor name is queryable as name.
+	if got := r.Query(map[string]string{"name": "cam-1"}); len(got) != 1 {
+		t.Errorf("name query = %+v", got)
+	}
+	// Empty query returns everything live.
+	if got := r.Query(nil); len(got) != 3 {
+		t.Errorf("empty query = %d entries", len(got))
+	}
+	// Unmatched predicate key excludes.
+	if got := r.Query(map[string]string{"altitude": "400m"}); len(got) != 0 {
+		t.Errorf("unmatched key query = %+v", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	r := NewRegistry(clock, time.Minute)
+	r.Publish("s", "n", nil, 10*time.Second)
+	if len(r.Query(nil)) != 1 {
+		t.Fatal("entry not visible")
+	}
+	clock.Advance(11 * time.Second)
+	if got := r.Query(nil); len(got) != 0 {
+		t.Fatalf("expired entry still visible: %+v", got)
+	}
+	if dropped := r.GC(); dropped != 1 {
+		t.Errorf("GC dropped %d, want 1", dropped)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after GC = %d", r.Len())
+	}
+}
+
+func TestRepublishRefreshes(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	r := NewRegistry(clock, time.Minute)
+	r.Publish("s", "n", nil, 10*time.Second)
+	clock.Advance(8 * time.Second)
+	r.Publish("s", "n", nil, 10*time.Second) // refresh
+	clock.Advance(8 * time.Second)           // 16s after first publish
+	if len(r.Query(nil)) != 1 {
+		t.Error("refreshed entry expired")
+	}
+	if r.Len() != 1 {
+		t.Errorf("refresh duplicated the entry: %d", r.Len())
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := NewRegistry(stream.NewManualClock(0), time.Minute)
+	r.Publish("s", "n", nil, 0)
+	r.Unpublish("S", "n") // case-insensitive sensor
+	if len(r.Query(nil)) != 0 {
+		t.Error("entry survived Unpublish")
+	}
+}
+
+func TestMergeLatestExpiryWins(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	a := NewRegistry(clock, time.Minute)
+	b := NewRegistry(clock, time.Minute)
+	a.Publish("s", "n", map[string]string{"v": "old"}, 10*time.Second)
+	clock.Advance(time.Second)
+	b.Publish("s", "n", map[string]string{"v": "new"}, 10*time.Second)
+
+	// a adopts b's fresher entry; b ignores a's staler one.
+	if adopted := a.Merge(b.Snapshot()); adopted != 1 {
+		t.Errorf("a adopted %d", adopted)
+	}
+	if adopted := b.Merge(a.Snapshot()); adopted != 0 {
+		t.Errorf("b adopted %d", adopted)
+	}
+	got := a.Query(map[string]string{"v": "new"})
+	if len(got) != 1 {
+		t.Fatalf("a did not adopt the newer predicates: %+v", a.Snapshot())
+	}
+}
+
+func TestMergeSkipsExpired(t *testing.T) {
+	clock := stream.NewManualClock(1_000_000)
+	r := NewRegistry(clock, time.Minute)
+	stale := Entry{Sensor: "S", Node: "n", Expires: clock.Now() - 1}
+	if adopted := r.Merge([]Entry{stale}); adopted != 0 {
+		t.Errorf("adopted expired entry")
+	}
+	if adopted := r.Merge([]Entry{{Sensor: "", Node: "n", Expires: clock.Now() + 1000}}); adopted != 0 {
+		t.Errorf("adopted anonymous entry")
+	}
+}
+
+// Gossip convergence: random pairwise merges over registries must
+// converge to identical snapshots.
+func TestGossipConvergence(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	rng := rand.New(rand.NewSource(42))
+	const nodes = 5
+	regs := make([]*Registry, nodes)
+	for i := range regs {
+		regs[i] = NewRegistry(clock, time.Hour)
+	}
+	// Each node publishes two sensors of its own.
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, r := range regs {
+		r.Publish(names[i]+"-1", names[i], map[string]string{"origin": names[i]}, 0)
+		r.Publish(names[i]+"-2", names[i], map[string]string{"origin": names[i]}, 0)
+	}
+	// Random pairwise gossip rounds (push-pull).
+	for round := 0; round < 40; round++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		regs[a].Merge(regs[b].Snapshot())
+		regs[b].Merge(regs[a].Snapshot())
+	}
+	want := len(regs[0].Snapshot())
+	if want != nodes*2 {
+		t.Fatalf("node 0 has %d entries, want %d", want, nodes*2)
+	}
+	for i, r := range regs {
+		if got := len(r.Snapshot()); got != want {
+			t.Errorf("node %d has %d entries, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMatchesSubsetSemantics(t *testing.T) {
+	e := Entry{Sensor: "S", Predicates: map[string]string{"a": "1", "b": "2"}}
+	if !e.Matches(nil) {
+		t.Error("nil query should match")
+	}
+	if !e.Matches(map[string]string{"a": "1"}) {
+		t.Error("subset should match")
+	}
+	if e.Matches(map[string]string{"a": "1", "c": "3"}) {
+		t.Error("superset should not match")
+	}
+	if e.Matches(map[string]string{"a": "2"}) {
+		t.Error("wrong value matched")
+	}
+}

@@ -1,0 +1,182 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func ring(t *testing.T) *KeyRing {
+	t.Helper()
+	k := NewKeyRing()
+	if err := k.Add("node-a", []byte("shared secret between nodes")); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	k := ring(t)
+	payload := []byte("stream element bytes")
+	sig, err := k.Sign("node-a", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(sig, payload); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	k := ring(t)
+	payload := []byte("data")
+	sig, _ := k.Sign("node-a", payload)
+
+	if err := k.Verify(sig, []byte("datA")); err == nil {
+		t.Error("payload tampering not detected")
+	}
+	bad := sig
+	bad.MAC = "00" + bad.MAC[2:]
+	if err := k.Verify(bad, payload); err == nil {
+		t.Error("MAC tampering not detected")
+	}
+	malformed := sig
+	malformed.MAC = "not-hex"
+	if err := k.Verify(malformed, payload); err == nil {
+		t.Error("malformed MAC accepted")
+	}
+	unknown := sig
+	unknown.KeyID = "nonexistent"
+	if err := k.Verify(unknown, payload); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := ring(t)
+	plaintext := []byte("confidential reading: 21.5C at bc143")
+	env, err := k.Seal("node-a", plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(env.Ciphertext, []byte("21.5C")) {
+		t.Error("ciphertext leaks plaintext")
+	}
+	got, err := k.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Errorf("round-trip = %q", got)
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	k := ring(t)
+	env, _ := k.Seal("node-a", []byte("payload"))
+
+	flipped := env
+	flipped.Ciphertext = append([]byte{}, env.Ciphertext...)
+	flipped.Ciphertext[0] ^= 0xFF
+	if _, err := k.Open(flipped); err == nil {
+		t.Error("ciphertext tampering not detected")
+	}
+
+	badNonce := env
+	badNonce.Nonce = append([]byte{}, env.Nonce...)
+	badNonce.Nonce[0] ^= 0xFF
+	if _, err := k.Open(badNonce); err == nil {
+		t.Error("nonce tampering not detected")
+	}
+
+	shortNonce := env
+	shortNonce.Nonce = env.Nonce[:4]
+	if _, err := k.Open(shortNonce); err == nil {
+		t.Error("short nonce accepted")
+	}
+
+	// The key id is bound as additional data: relabeling fails even with
+	// an identical second key.
+	k.Add("node-b", []byte("shared secret between nodes"))
+	relabel := env
+	relabel.KeyID = "node-b"
+	if _, err := k.Open(relabel); err == nil {
+		t.Error("key relabeling not detected")
+	}
+}
+
+func TestSealUniqueNonces(t *testing.T) {
+	k := ring(t)
+	a, _ := k.Seal("node-a", []byte("same"))
+	b, _ := k.Seal("node-a", []byte("same"))
+	if bytes.Equal(a.Nonce, b.Nonce) {
+		t.Error("nonce reuse")
+	}
+	if bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Error("deterministic ciphertext")
+	}
+}
+
+func TestKeyRingManagement(t *testing.T) {
+	k := NewKeyRing()
+	if err := k.Add("", []byte("x")); err == nil {
+		t.Error("empty key id accepted")
+	}
+	if err := k.Add("a", nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+	k.Add("a", []byte("secret"))
+	if k.Len() != 1 {
+		t.Errorf("Len = %d", k.Len())
+	}
+	if _, err := k.Sign("missing", []byte("x")); err == nil {
+		t.Error("signing with missing key succeeded")
+	}
+	k.Remove("a")
+	if _, err := k.Sign("a", []byte("x")); err == nil {
+		t.Error("signing with removed key succeeded")
+	}
+}
+
+// Property: Seal→Open is identity for arbitrary payloads.
+func TestQuickSealOpenIdentity(t *testing.T) {
+	k := NewKeyRing()
+	k.Add("q", []byte("quick-secret"))
+	f := func(payload []byte) bool {
+		env, err := k.Seal("q", payload)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(env)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sign→Verify accepts, and verification of a different
+// payload rejects.
+func TestQuickSignVerify(t *testing.T) {
+	k := NewKeyRing()
+	k.Add("q", []byte("quick-secret"))
+	f := func(payload, other []byte) bool {
+		sig, err := k.Sign("q", payload)
+		if err != nil {
+			return false
+		}
+		if k.Verify(sig, payload) != nil {
+			return false
+		}
+		if !bytes.Equal(payload, other) && k.Verify(sig, other) == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

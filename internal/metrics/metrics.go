@@ -1,0 +1,209 @@
+// Package metrics provides the lightweight instrumentation used by the
+// container and the evaluation harness: counters, gauges and latency
+// histograms with reservoir-sampled quantiles. The Figure 3 and
+// Figure 4 reproductions read their processing-time series from these
+// histograms.
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// reservoirSize bounds the quantile sample set per histogram.
+const reservoirSize = 4096
+
+// Histogram records durations; quantiles come from uniform reservoir
+// sampling, which is accurate enough for latency reporting and needs no
+// preconfigured bucket bounds.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	samples []time.Duration
+	rng     *rand.Rand
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{rng: rand.New(rand.NewSource(1))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, d)
+	} else {
+		// Vitter's algorithm R.
+		if i := h.rng.Int63n(int64(h.count)); i < int64(reservoirSize) {
+			h.samples[i] = d
+		}
+	}
+}
+
+// Time runs fn and observes its duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// HistogramStats is a point-in-time summary.
+type HistogramStats struct {
+	Count               uint64
+	Sum, Mean, Min, Max time.Duration
+	P50, P90, P95, P99  time.Duration
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		st.Mean = h.sum / time.Duration(h.count)
+	}
+	if len(h.samples) > 0 {
+		sorted := make([]time.Duration, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		q := func(p float64) time.Duration {
+			idx := int(p * float64(len(sorted)-1))
+			return sorted[idx]
+		}
+		st.P50, st.P90, st.P95, st.P99 = q(0.50), q(0.90), q(0.95), q(0.99)
+	}
+	return st
+}
+
+// Reset clears the histogram (between benchmark series points).
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.samples = h.samples[:0]
+}
+
+// Registry names metrics; Get-or-create accessors are safe for
+// concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a JSON-friendly map (durations in
+// microseconds for readability).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		st := h.Snapshot()
+		out[name] = map[string]any{
+			"count":   st.Count,
+			"mean_us": st.Mean.Microseconds(),
+			"min_us":  st.Min.Microseconds(),
+			"max_us":  st.Max.Microseconds(),
+			"p50_us":  st.P50.Microseconds(),
+			"p95_us":  st.P95.Microseconds(),
+			"p99_us":  st.P99.Microseconds(),
+		}
+	}
+	return out
+}

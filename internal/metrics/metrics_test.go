@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := r.Gauge("y")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	st := h.Snapshot()
+	if st.Count != 100 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.Min != time.Millisecond || st.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.Mean < 50*time.Millisecond || st.Mean > 51*time.Millisecond {
+		t.Errorf("mean = %v", st.Mean)
+	}
+	if st.P50 < 45*time.Millisecond || st.P50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", st.P50)
+	}
+	if st.P99 < 95*time.Millisecond {
+		t.Errorf("p99 = %v", st.P99)
+	}
+	if st.P50 > st.P90 || st.P90 > st.P95 || st.P95 > st.P99 {
+		t.Errorf("quantiles not monotone: %+v", st)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 3*reservoirSize; i++ {
+		h.Observe(time.Duration(i))
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n != reservoirSize {
+		t.Errorf("reservoir = %d, want %d", n, reservoirSize)
+	}
+	if st := h.Snapshot(); st.Count != uint64(3*reservoirSize) {
+		t.Errorf("count = %d", st.Count)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	st := h.Snapshot()
+	if st.Count != 0 || st.Max != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram()
+	h.Time(func() { time.Sleep(2 * time.Millisecond) })
+	if st := h.Snapshot(); st.Count != 1 || st.Max < time.Millisecond {
+		t.Errorf("Time recorded %+v", st)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(time.Microsecond)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Errorf("counter = %d", r.Counter("c").Value())
+	}
+	if st := r.Histogram("h").Snapshot(); st.Count != 8000 {
+		t.Errorf("histogram count = %d", st.Count)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap["a"] != uint64(1) || snap["b"] != int64(2) {
+		t.Errorf("snapshot = %v", snap)
+	}
+	hm, ok := snap["c"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Errorf("histogram snapshot = %v", snap["c"])
+	}
+}

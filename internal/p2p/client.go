@@ -1,0 +1,167 @@
+package p2p
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gsn/internal/directory"
+	"gsn/internal/integrity"
+	"gsn/internal/stream"
+)
+
+// Client talks to one peer node's p2p interface.
+type Client struct {
+	// Base is the peer's base URL (e.g. "http://host:22001").
+	Base string
+	// HTTP is the transport; nil uses a client with a 35s timeout
+	// (above the maximum long-poll wait).
+	HTTP *http.Client
+	// Keys verifies signed responses when the peer signs them; nil
+	// skips verification.
+	Keys *integrity.KeyRing
+	// RequireSignature rejects unsigned stream responses.
+	RequireSignature bool
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 35 * time.Second}
+}
+
+// Info fetches the peer's identity and sensor list.
+func (c *Client) Info() (InfoResponse, error) {
+	var info InfoResponse
+	err := c.getJSON("/p2p/info", &info)
+	return info, err
+}
+
+// Sensors lists the peer's virtual sensors.
+func (c *Client) Sensors() ([]SensorInfo, error) {
+	var out []SensorInfo
+	err := c.getJSON("/p2p/sensors", &out)
+	return out, err
+}
+
+// Schema fetches a remote sensor's output schema.
+func (c *Client) Schema(vs string) (*stream.Schema, error) {
+	resp, err := c.http().Get(c.Base + "/p2p/schema?vs=" + url.QueryEscape(vs))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("p2p: schema %s: %s", vs, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	schema, _, err := stream.DecodeSchema(data)
+	return schema, err
+}
+
+// Fetch pulls elements of vs with timestamp > since, long-polling up to
+// wait on the server side. The element schema rides in a header, so the
+// caller needs no prior schema knowledge.
+func (c *Client) Fetch(vs string, since stream.Timestamp, wait time.Duration) ([]stream.Element, *stream.Schema, error) {
+	u := fmt.Sprintf("%s/p2p/stream?vs=%s&since=%d&wait=%d",
+		c.Base, url.QueryEscape(vs), int64(since), wait.Milliseconds())
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("p2p: stream %s: %s", vs, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if mac := resp.Header.Get(signatureHeader); mac != "" {
+		if c.Keys == nil {
+			return nil, nil, fmt.Errorf("p2p: peer signed the response but no keyring is configured")
+		}
+		sig := integrity.Signature{KeyID: resp.Header.Get(keyIDHeader), MAC: mac}
+		if err := c.Keys.Verify(sig, body); err != nil {
+			return nil, nil, err
+		}
+	} else if c.RequireSignature {
+		return nil, nil, fmt.Errorf("p2p: unsigned response from %s", c.Base)
+	}
+
+	schemaB64 := resp.Header.Get(schemaHeader)
+	if schemaB64 == "" {
+		return nil, nil, fmt.Errorf("p2p: response missing schema header")
+	}
+	schemaBytes, err := base64.StdEncoding.DecodeString(schemaB64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("p2p: bad schema header: %w", err)
+	}
+	schema, _, err := stream.DecodeSchema(schemaBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var out []stream.Element
+	r := bytes.NewReader(body)
+	for r.Len() > 0 {
+		e, err := stream.ReadElement(r, schema)
+		if err != nil {
+			return nil, nil, fmt.Errorf("p2p: decoding stream: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, schema, nil
+}
+
+// DirectorySnapshot fetches the peer's directory entries.
+func (c *Client) DirectorySnapshot() ([]directory.Entry, error) {
+	var out []directory.Entry
+	err := c.getJSON("/p2p/directory", &out)
+	return out, err
+}
+
+// Gossip performs one push-pull round: send our snapshot, merge the
+// peer's response into reg. It returns the number of adopted entries.
+func (c *Client) Gossip(reg *directory.Registry) (int, error) {
+	payload, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http().Post(c.Base+"/p2p/directory/merge", "application/json",
+		bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("p2p: gossip: %s", resp.Status)
+	}
+	var theirs []directory.Entry
+	if err := json.NewDecoder(resp.Body).Decode(&theirs); err != nil {
+		return 0, err
+	}
+	return reg.Merge(theirs), nil
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("p2p: GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,212 @@
+package p2p
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gsn/internal/directory"
+	"gsn/internal/integrity"
+	"gsn/internal/stream"
+	"gsn/internal/wrappers"
+)
+
+// RemoteWrapper streams another GSN node's virtual sensor into the
+// local container — the paper's wrapper="remote" (Figure 1), which
+// makes "logical addressing possible": the source is picked either by
+// explicit url/vs parameters or by directory predicates like
+// type=temperature, location=bc143.
+//
+// Parameters:
+//
+//	url         peer base URL (e.g. "http://host:22001"); optional when
+//	            predicates resolve through the directory
+//	vs          remote virtual sensor name (with url)
+//	poll        long-poll wait per fetch (default "1s")
+//	key-id      verify stream signatures with this keyring entry
+//	<any other> directory predicates for logical addressing
+type RemoteWrapper struct {
+	cfg    wrappers.Config
+	client *Client
+	vs     string
+	schema *stream.Schema
+	poll   time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+
+	fetches   uint64
+	failures  uint64
+	connected bool
+}
+
+// reservedParams are consumed by the wrapper itself; everything else is
+// treated as a directory predicate.
+var reservedParams = map[string]bool{
+	"url": true, "vs": true, "poll": true, "key-id": true, "seed": true,
+}
+
+// RegisterRemote registers the "remote" wrapper kind into reg, bound to
+// the given directory (for logical addressing) and keyring (for
+// signature verification). Each container registers its own binding.
+func RegisterRemote(reg *wrappers.Registry, dir *directory.Registry, keys *integrity.KeyRing) error {
+	return reg.Register("remote", func(cfg wrappers.Config) (wrappers.Wrapper, error) {
+		return newRemote(cfg, dir, keys)
+	})
+}
+
+func newRemote(cfg wrappers.Config, dir *directory.Registry, keys *integrity.KeyRing) (wrappers.Wrapper, error) {
+	poll, err := cfg.Params.Duration("poll", time.Second)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.Params.Get("url", "")
+	vs := cfg.Params.Get("vs", "")
+	if base == "" {
+		if dir == nil {
+			return nil, fmt.Errorf("p2p: remote wrapper %s has no url and no directory for logical addressing", cfg.Name)
+		}
+		want := map[string]string{}
+		for k, v := range cfg.Params {
+			if !reservedParams[strings.ToLower(k)] {
+				want[k] = v
+			}
+		}
+		entries := dir.Query(want)
+		var chosen *directory.Entry
+		for i := range entries {
+			if entries[i].Node != "" {
+				chosen = &entries[i]
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("p2p: no directory entry matches predicates %v", want)
+		}
+		base = chosen.Node
+		vs = chosen.Sensor
+	}
+	if vs == "" {
+		return nil, fmt.Errorf("p2p: remote wrapper %s needs a vs parameter with url", cfg.Name)
+	}
+
+	client := &Client{Base: base}
+	if keyID := cfg.Params.Get("key-id", ""); keyID != "" {
+		if keys == nil {
+			return nil, fmt.Errorf("p2p: remote wrapper %s requests key %q but the container has no keyring", cfg.Name, keyID)
+		}
+		client.Keys = keys
+		client.RequireSignature = true
+	}
+	schema, err := client.Schema(vs)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: resolving remote sensor %s at %s: %w", vs, base, err)
+	}
+	return &RemoteWrapper{
+		cfg:    cfg,
+		client: client,
+		vs:     vs,
+		schema: schema,
+		poll:   poll,
+	}, nil
+}
+
+// Kind implements wrappers.Wrapper.
+func (r *RemoteWrapper) Kind() string { return "remote" }
+
+// Schema implements wrappers.Wrapper.
+func (r *RemoteWrapper) Schema() *stream.Schema { return r.schema }
+
+// Peer returns the resolved peer URL and sensor name.
+func (r *RemoteWrapper) Peer() (string, string) { return r.client.Base, r.vs }
+
+// Start launches the long-poll loop.
+func (r *RemoteWrapper) Start(emit wrappers.EmitFunc) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return nil
+	}
+	r.started = true
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(emit, r.stop, r.done)
+	return nil
+}
+
+func (r *RemoteWrapper) loop(emit wrappers.EmitFunc, stop, done chan struct{}) {
+	defer close(done)
+	var since stream.Timestamp
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		elems, _, err := r.client.Fetch(r.vs, since, r.poll)
+		r.mu.Lock()
+		r.fetches++
+		if err != nil {
+			r.failures++
+			r.connected = false
+		} else {
+			r.connected = true
+			backoff = 100 * time.Millisecond
+		}
+		r.mu.Unlock()
+		if err != nil {
+			// Disconnection: back off and retry (the source-side
+			// disconnect buffer covers the consumer side).
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		for _, e := range elems {
+			if e.Timestamp() > since {
+				since = e.Timestamp()
+			}
+			emit(e)
+		}
+	}
+}
+
+// Stop implements wrappers.Wrapper. It must not hold the mutex while
+// waiting for the loop: the loop takes the mutex to update counters
+// after each fetch.
+func (r *RemoteWrapper) Stop() error {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return nil
+	}
+	r.started = false
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	close(stop)
+	<-done
+	return nil
+}
+
+// Connected reports whether the last fetch succeeded.
+func (r *RemoteWrapper) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.connected
+}
+
+// Stats reports fetch counters.
+func (r *RemoteWrapper) Stats() (fetches, failures uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fetches, r.failures
+}

@@ -1,0 +1,208 @@
+// Package p2p implements GSN's inter-container communication (paper §4:
+// "GSN nodes communicate among each other in a peer-to-peer fashion"):
+// an HTTP protocol for pulling remote virtual sensor streams
+// (long-poll), exchanging directory snapshots (push-pull gossip), and
+// the "remote" wrapper that makes another node's virtual sensor appear
+// as a local data source with logical (predicate-based) addressing.
+//
+// Elements travel in the stream package's binary encoding with the
+// schema in a header, so numeric types survive the wire exactly;
+// payloads can be HMAC-signed via the integrity keyring.
+package p2p
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gsn/internal/core"
+	"gsn/internal/directory"
+	"gsn/internal/integrity"
+	"gsn/internal/stream"
+)
+
+// Header names of the GSN p2p protocol.
+const (
+	schemaHeader    = "X-Gsn-Schema"
+	signatureHeader = "X-Gsn-Signature"
+	keyIDHeader     = "X-Gsn-Key-Id"
+)
+
+// Server exposes a container to peer nodes. Mount its Handler under
+// /p2p/ on the node's HTTP server.
+type Server struct {
+	container *core.Container
+	keys      *integrity.KeyRing
+	signKeyID string // sign responses with this key when set
+}
+
+// NewServer creates a p2p server for the container. signKeyID is
+// optional; when set, stream responses carry an HMAC signature from the
+// container's keyring.
+func NewServer(c *core.Container, signKeyID string) *Server {
+	return &Server{container: c, keys: c.Keys(), signKeyID: signKeyID}
+}
+
+// Handler returns the p2p HTTP handler (paths are rooted at /p2p/).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /p2p/info", s.handleInfo)
+	mux.HandleFunc("GET /p2p/sensors", s.handleSensors)
+	mux.HandleFunc("GET /p2p/schema", s.handleSchema)
+	mux.HandleFunc("GET /p2p/stream", s.handleStream)
+	mux.HandleFunc("GET /p2p/directory", s.handleDirectory)
+	mux.HandleFunc("POST /p2p/directory/merge", s.handleDirectoryMerge)
+	return mux
+}
+
+// InfoResponse describes a node.
+type InfoResponse struct {
+	Name    string   `json:"name"`
+	Address string   `json:"address"`
+	Sensors []string `json:"sensors"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := InfoResponse{Name: s.container.Name(), Address: s.container.NodeAddress()}
+	for _, vs := range s.container.Sensors() {
+		info.Sensors = append(info.Sensors, vs.Name())
+	}
+	writeJSON(w, info)
+}
+
+// SensorInfo describes one virtual sensor to peers.
+type SensorInfo struct {
+	Name   string            `json:"name"`
+	Fields map[string]string `json:"fields"`
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
+	var out []SensorInfo
+	for _, vs := range s.container.Sensors() {
+		fields := map[string]string{}
+		for _, f := range vs.OutputSchema().Fields() {
+			fields[f.Name] = f.Type.String()
+		}
+		out = append(out, SensorInfo{Name: vs.Name(), Fields: fields})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	vs, ok := s.container.Sensor(r.URL.Query().Get("vs"))
+	if !ok {
+		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(stream.EncodeSchema(nil, vs.OutputSchema()))
+}
+
+// handleStream serves elements with timestamp > since. When no data is
+// available it long-polls up to the wait parameter (milliseconds,
+// capped at 30s) before returning an empty body.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	vs, ok := s.container.Sensor(q.Get("vs"))
+	if !ok {
+		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
+		return
+	}
+	since := int64(0)
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	waitMS := 0
+	if v := q.Get("wait"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad wait parameter", http.StatusBadRequest)
+			return
+		}
+		waitMS = n
+		if waitMS > 30_000 {
+			waitMS = 30_000
+		}
+	}
+	limit := 500
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit parameter", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+
+	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
+	var elems []stream.Element
+	for {
+		elems = vs.Output().Since(stream.Timestamp(since))
+		if len(elems) > 0 || waitMS == 0 || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if len(elems) > limit {
+		elems = elems[:limit]
+	}
+
+	var body bytes.Buffer
+	for _, e := range elems {
+		if err := stream.WriteElement(&body, e); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(schemaHeader,
+		base64.StdEncoding.EncodeToString(stream.EncodeSchema(nil, vs.OutputSchema())))
+	if s.signKeyID != "" {
+		sig, err := s.keys.Sign(s.signKeyID, body.Bytes())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set(keyIDHeader, sig.KeyID)
+		w.Header().Set(signatureHeader, sig.MAC)
+	}
+	w.Write(body.Bytes())
+}
+
+func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.container.Directory().Snapshot())
+}
+
+// handleDirectoryMerge implements push-pull gossip: the peer posts its
+// snapshot, we merge it and answer with ours.
+func (s *Server) handleDirectoryMerge(w http.ResponseWriter, r *http.Request) {
+	var entries []directory.Entry
+	if err := json.NewDecoder(r.Body).Decode(&entries); err != nil {
+		http.Error(w, fmt.Sprintf("bad snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.container.Directory().Merge(entries)
+	writeJSON(w, s.container.Directory().Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

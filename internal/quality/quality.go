@@ -1,0 +1,277 @@
+// Package quality implements the stream quality services of GSN's input
+// stream manager (paper §4: "manages the input streams and ensures
+// stream quality (disconnections, unexpected delays, missing values)",
+// and §3's temporal controls: rate bounding, sampling, lifetime
+// bounding).
+//
+// Each service is a composable stage wrapping a downstream Sink; the
+// container chains them between a wrapper and the source window table.
+package quality
+
+import (
+	"math/rand"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// Sink consumes stream elements; stages call the next stage's Sink.
+type Sink func(stream.Element)
+
+// Stats are the common per-stage counters.
+type Stats struct {
+	// In counts elements offered to the stage.
+	In uint64
+	// Out counts elements passed downstream.
+	Out uint64
+	// Dropped counts elements discarded by policy.
+	Dropped uint64
+}
+
+// Sampler passes each element with a fixed probability — the
+// descriptor's sampling-rate attribute. A rate of 1 passes everything
+// without consuming randomness, keeping fully-sampled streams
+// deterministic.
+type Sampler struct {
+	rate float64
+	next Sink
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewSampler creates a sampler with the given pass rate in (0,1].
+func NewSampler(rate float64, seed int64, next Sink) *Sampler {
+	return &Sampler{rate: rate, rng: rand.New(rand.NewSource(seed)), next: next}
+}
+
+// Offer implements the stage's Sink.
+func (s *Sampler) Offer(e stream.Element) {
+	s.mu.Lock()
+	s.stats.In++
+	pass := s.rate >= 1 || s.rng.Float64() < s.rate
+	if pass {
+		s.stats.Out++
+	} else {
+		s.stats.Dropped++
+	}
+	s.mu.Unlock()
+	if pass {
+		s.next(e)
+	}
+}
+
+// Stats returns the stage counters.
+func (s *Sampler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// RateLimiter bounds a stream to a maximum element rate "in order to
+// avoid overloads of the system" (paper §3). It is a token bucket with
+// one-second burst capacity; excess elements are dropped, which is the
+// correct overload response for observations (they age, they don't
+// queue).
+type RateLimiter struct {
+	maxPerSec float64
+	clock     stream.Clock
+	next      Sink
+
+	mu     sync.Mutex
+	tokens float64
+	last   stream.Timestamp
+	stats  Stats
+}
+
+// NewRateLimiter creates a limiter; maxPerSec <= 0 disables limiting.
+// The bucket starts with a single token so a freshly deployed stream is
+// rate-bounded from its first second rather than admitting a start-up
+// burst.
+func NewRateLimiter(maxPerSec float64, clock stream.Clock, next Sink) *RateLimiter {
+	if clock == nil {
+		clock = stream.SystemClock()
+	}
+	return &RateLimiter{maxPerSec: maxPerSec, clock: clock, next: next, tokens: 1}
+}
+
+// Admit performs the token-bucket accounting and reports whether the
+// element passes, without forwarding. Shared stream-level limiters in
+// front of several per-source chains use this form.
+func (r *RateLimiter) Admit(e stream.Element) bool {
+	if r.maxPerSec <= 0 {
+		r.mu.Lock()
+		r.stats.In++
+		r.stats.Out++
+		r.mu.Unlock()
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.In++
+	now := r.clock.Now()
+	if r.last != 0 {
+		elapsed := now.Sub(r.last).Seconds()
+		if elapsed > 0 {
+			r.tokens += elapsed * r.maxPerSec
+			if r.tokens > r.maxPerSec {
+				r.tokens = r.maxPerSec // burst capacity: one second's worth
+			}
+		}
+	}
+	r.last = now
+	if r.tokens >= 1 {
+		r.tokens--
+		r.stats.Out++
+		return true
+	}
+	r.stats.Dropped++
+	return false
+}
+
+// Offer implements the stage's Sink.
+func (r *RateLimiter) Offer(e stream.Element) {
+	if r.Admit(e) {
+		r.next(e)
+	}
+}
+
+// Stats returns the stage counters.
+func (r *RateLimiter) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// CountLimiter bounds the lifetime of a stream to a total element count
+// (the input-stream count attribute): GSN reserves resources "only when
+// they are needed". After the limit, elements are dropped and Exhausted
+// reports true so the life-cycle manager can retire the stream.
+type CountLimiter struct {
+	max  int64
+	next Sink
+
+	mu    sync.Mutex
+	seen  int64
+	stats Stats
+}
+
+// NewCountLimiter creates a limiter; max <= 0 disables it.
+func NewCountLimiter(max int64, next Sink) *CountLimiter {
+	return &CountLimiter{max: max, next: next}
+}
+
+// Admit performs the count accounting and reports whether the element
+// passes, without forwarding.
+func (c *CountLimiter) Admit(e stream.Element) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.In++
+	if c.max <= 0 || c.seen < c.max {
+		c.seen++
+		c.stats.Out++
+		return true
+	}
+	c.stats.Dropped++
+	return false
+}
+
+// Offer implements the stage's Sink.
+func (c *CountLimiter) Offer(e stream.Element) {
+	if c.Admit(e) {
+		c.next(e)
+	}
+}
+
+// Exhausted reports whether the lifetime bound has been reached.
+func (c *CountLimiter) Exhausted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max > 0 && c.seen >= c.max
+}
+
+// Stats returns the stage counters.
+func (c *CountLimiter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DisconnectBuffer holds elements while the downstream consumer is
+// disconnected (the descriptor's disconnect-buffer attribute, sized in
+// elements) and replays them in order on reconnect. When the buffer
+// overflows, the oldest elements are dropped — for sensor observations
+// the newest data is the valuable data.
+type DisconnectBuffer struct {
+	capacity int
+	next     Sink
+
+	mu        sync.Mutex
+	connected bool
+	buf       []stream.Element
+	stats     Stats
+}
+
+// NewDisconnectBuffer creates a buffer of the given capacity; zero
+// capacity buffers nothing (disconnected elements drop). The buffer
+// starts connected.
+func NewDisconnectBuffer(capacity int, next Sink) *DisconnectBuffer {
+	return &DisconnectBuffer{capacity: capacity, next: next, connected: true}
+}
+
+// Offer implements the stage's Sink.
+func (d *DisconnectBuffer) Offer(e stream.Element) {
+	d.mu.Lock()
+	d.stats.In++
+	if d.connected {
+		d.stats.Out++
+		d.mu.Unlock()
+		d.next(e)
+		return
+	}
+	if d.capacity > 0 {
+		if len(d.buf) >= d.capacity {
+			// Drop oldest.
+			copy(d.buf, d.buf[1:])
+			d.buf = d.buf[:len(d.buf)-1]
+			d.stats.Dropped++
+		}
+		d.buf = append(d.buf, e)
+	} else {
+		d.stats.Dropped++
+	}
+	d.mu.Unlock()
+}
+
+// SetConnected flips the connection state; reconnecting flushes the
+// buffer in arrival order.
+func (d *DisconnectBuffer) SetConnected(connected bool) {
+	d.mu.Lock()
+	wasConnected := d.connected
+	d.connected = connected
+	var flush []stream.Element
+	if connected && !wasConnected {
+		flush = d.buf
+		d.buf = nil
+		d.stats.Out += uint64(len(flush))
+	}
+	d.mu.Unlock()
+	for _, e := range flush {
+		d.next(e)
+	}
+}
+
+// Buffered reports the number of elements currently held.
+func (d *DisconnectBuffer) Buffered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}
+
+// Stats returns the stage counters.
+func (d *DisconnectBuffer) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -1,0 +1,183 @@
+package quality
+
+import (
+	"sync"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+// RepairPolicy selects how missing (NULL) values are handled — the
+// "missing values" service of the input stream manager.
+type RepairPolicy int
+
+const (
+	// RepairNone passes elements through unchanged.
+	RepairNone RepairPolicy = iota
+	// RepairHoldLast substitutes the last non-NULL value seen for the
+	// field (sample-and-hold, the usual sensor network repair).
+	RepairHoldLast
+	// RepairDrop discards elements containing any NULL.
+	RepairDrop
+)
+
+// ParseRepairPolicy maps descriptor strings to policies.
+func ParseRepairPolicy(s string) (RepairPolicy, bool) {
+	switch s {
+	case "", "none":
+		return RepairNone, true
+	case "hold-last", "hold_last", "last":
+		return RepairHoldLast, true
+	case "drop":
+		return RepairDrop, true
+	default:
+		return RepairNone, false
+	}
+}
+
+// Repairer applies a RepairPolicy to a stream.
+type Repairer struct {
+	policy RepairPolicy
+	next   Sink
+
+	mu       sync.Mutex
+	last     []stream.Value
+	stats    Stats
+	repaired uint64
+}
+
+// NewRepairer creates a repairer for the given policy.
+func NewRepairer(policy RepairPolicy, next Sink) *Repairer {
+	return &Repairer{policy: policy, next: next}
+}
+
+// Offer implements the stage's Sink.
+func (r *Repairer) Offer(e stream.Element) {
+	r.mu.Lock()
+	r.stats.In++
+	switch r.policy {
+	case RepairNone:
+		r.stats.Out++
+		r.mu.Unlock()
+		r.next(e)
+		return
+
+	case RepairDrop:
+		for i := 0; i < e.Len(); i++ {
+			if e.Value(i) == nil {
+				r.stats.Dropped++
+				r.mu.Unlock()
+				return
+			}
+		}
+		r.stats.Out++
+		r.mu.Unlock()
+		r.next(e)
+		return
+
+	case RepairHoldLast:
+		if r.last == nil {
+			r.last = make([]stream.Value, e.Len())
+		}
+		values := e.Values()
+		changed := false
+		for i, v := range values {
+			if v == nil && i < len(r.last) && r.last[i] != nil {
+				values[i] = r.last[i]
+				changed = true
+			} else if v != nil && i < len(r.last) {
+				r.last[i] = v
+			}
+		}
+		out := e
+		if changed {
+			rebuilt, err := stream.NewElement(e.Schema(), e.Timestamp(), values...)
+			if err == nil {
+				out = rebuilt.WithArrival(e.Arrival())
+				r.repaired++
+			}
+		}
+		r.stats.Out++
+		r.mu.Unlock()
+		r.next(out)
+		return
+	}
+	r.mu.Unlock()
+}
+
+// Repaired counts elements that had at least one value substituted.
+func (r *Repairer) Repaired() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.repaired
+}
+
+// Stats returns the stage counters.
+func (r *Repairer) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// GapDetector watches arrival times and reports "unexpected delays":
+// silence longer than the timeout. The container polls Check from its
+// supervision loop (deterministic under a manual clock); each distinct
+// silence period is reported once.
+type GapDetector struct {
+	timeout time.Duration
+	clock   stream.Clock
+	onGap   func(since stream.Timestamp, silence time.Duration)
+
+	mu       sync.Mutex
+	last     stream.Timestamp
+	reported bool
+	gaps     uint64
+}
+
+// NewGapDetector creates a detector; onGap may be nil (counting only).
+func NewGapDetector(timeout time.Duration, clock stream.Clock,
+	onGap func(since stream.Timestamp, silence time.Duration)) *GapDetector {
+	if clock == nil {
+		clock = stream.SystemClock()
+	}
+	return &GapDetector{timeout: timeout, clock: clock, onGap: onGap, last: clock.Now()}
+}
+
+// Offer notes an arrival (pass-through; chain it with other stages).
+func (g *GapDetector) Offer(e stream.Element) {
+	g.mu.Lock()
+	g.last = g.clock.Now()
+	g.reported = false
+	g.mu.Unlock()
+}
+
+// Check inspects the current silence; it fires onGap at most once per
+// silence period and returns whether a gap is currently open.
+func (g *GapDetector) Check() bool {
+	if g.timeout <= 0 {
+		return false
+	}
+	g.mu.Lock()
+	now := g.clock.Now()
+	silence := now.Sub(g.last)
+	open := silence > g.timeout
+	fire := open && !g.reported
+	if fire {
+		g.reported = true
+		g.gaps++
+	}
+	last := g.last
+	cb := g.onGap
+	g.mu.Unlock()
+	if fire && cb != nil {
+		cb(last, silence)
+	}
+	return open
+}
+
+// Gaps counts distinct silence periods detected.
+func (g *GapDetector) Gaps() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gaps
+}

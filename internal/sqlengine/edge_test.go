@@ -1,0 +1,268 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gsn/internal/sqlparser"
+	"gsn/internal/stream"
+)
+
+func TestSubqueryDepthGuard(t *testing.T) {
+	// Build a query nested beyond the depth limit.
+	inner := "SELECT 1"
+	for i := 0; i < 40; i++ {
+		inner = "SELECT (" + inner + ")"
+	}
+	_, err := ExecuteSQL(inner, MapCatalog{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("deep nesting error = %v", err)
+	}
+}
+
+func TestUncorrelatedSubqueryMemoised(t *testing.T) {
+	// The same scalar subquery referenced per row must execute once:
+	// observable through a catalog that counts resolutions.
+	counting := &countingCatalog{inner: testCatalog()}
+	rel, err := ExecuteSQL(
+		"SELECT id FROM readings WHERE id <= (SELECT max(id) FROM sensors)",
+		counting, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if counting.counts["SENSORS"] != 1 {
+		t.Errorf("subquery table resolved %d times, want 1 (memoised)", counting.counts["SENSORS"])
+	}
+}
+
+type countingCatalog struct {
+	inner  Catalog
+	counts map[string]int
+}
+
+func (c *countingCatalog) Relation(name string) (*Relation, error) {
+	if c.counts == nil {
+		c.counts = map[string]int{}
+	}
+	c.counts[stream.CanonicalName(name)]++
+	return c.inner.Relation(name)
+}
+
+func TestCorrelatedSubqueryNotMemoised(t *testing.T) {
+	counting := &countingCatalog{inner: testCatalog()}
+	rel, err := ExecuteSQL(
+		`SELECT s.id FROM sensors AS s WHERE EXISTS (SELECT 1 FROM readings AS r WHERE r.id = s.id)`,
+		counting, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if counting.counts["READINGS"] < 4 {
+		t.Errorf("correlated subquery resolved READINGS %d times, want once per outer row", counting.counts["READINGS"])
+	}
+}
+
+func TestCompoundOrderByMustUseOutputColumns(t *testing.T) {
+	// In a compound result ORDER BY can only reference output columns.
+	_, err := ExecuteSQL(
+		"SELECT id FROM readings UNION SELECT id FROM sensors ORDER BY type",
+		testCatalog(), Options{})
+	if err == nil {
+		t.Error("ORDER BY over non-output column of a compound accepted")
+	}
+	rel, err := ExecuteSQL(
+		"SELECT id FROM readings UNION SELECT id FROM sensors ORDER BY 1 DESC LIMIT 1",
+		testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(9) {
+		t.Errorf("ordinal compound order = %v", rel.Rows)
+	}
+}
+
+func TestLimitFromExpression(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings LIMIT 1 + 2")
+	if len(rel.Rows) != 3 {
+		t.Errorf("expression LIMIT = %d rows", len(rel.Rows))
+	}
+}
+
+func TestIntersectExceptAllMultiset(t *testing.T) {
+	a := NewRelation("v")
+	for _, v := range []int64{1, 1, 1, 2} {
+		a.AddRow(v)
+	}
+	b := NewRelation("v")
+	for _, v := range []int64{1, 1, 3} {
+		b.AddRow(v)
+	}
+	cat := MapCatalog{"A": a, "B": b}
+	inter, err := ExecuteSQL("SELECT v FROM a INTERSECT ALL SELECT v FROM b", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inter.Rows) != 2 { // min(3,2) copies of 1
+		t.Errorf("INTERSECT ALL = %v", inter.Rows)
+	}
+	except, err := ExecuteSQL("SELECT v FROM a EXCEPT ALL SELECT v FROM b", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(except.Rows) != 2 { // 3-2 copies of 1, plus the 2
+		t.Errorf("EXCEPT ALL = %v", except.Rows)
+	}
+}
+
+func TestHavingOverUngroupedAggregate(t *testing.T) {
+	rel := mustQuery(t, "SELECT count(*) FROM readings HAVING count(*) > 3")
+	if len(rel.Rows) != 1 {
+		t.Errorf("having pass = %v", rel.Rows)
+	}
+	rel2 := mustQuery(t, "SELECT count(*) FROM readings HAVING count(*) > 100")
+	if len(rel2.Rows) != 0 {
+		t.Errorf("having filter = %v", rel2.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	rel := mustQuery(t, "SELECT id % 2 AS parity, count(*) FROM readings GROUP BY id % 2 ORDER BY parity")
+	if len(rel.Rows) != 2 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if rel.Rows[0][1] != int64(3) || rel.Rows[1][1] != int64(3) {
+		t.Errorf("parity counts = %v", rel.Rows)
+	}
+}
+
+func TestSelectDistinctStar(t *testing.T) {
+	rel := NewRelation("v")
+	rel.AddRow(int64(1))
+	rel.AddRow(int64(1))
+	rel.AddRow(int64(2))
+	cat := MapCatalog{"T": rel}
+	out, err := ExecuteSQL("SELECT DISTINCT * FROM t", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Errorf("distinct star = %v", out.Rows)
+	}
+}
+
+func TestConcatOperator(t *testing.T) {
+	rel := mustQuery(t, "SELECT type || '-' || id FROM readings WHERE id = 1")
+	if rel.Rows[0][0] != "temperature-1" {
+		t.Errorf("concat = %v", rel.Rows[0][0])
+	}
+	relNull := mustQuery(t, "SELECT 'a' || NULL")
+	if relNull.Rows[0][0] != nil {
+		t.Errorf("concat with NULL = %v", relNull.Rows[0][0])
+	}
+}
+
+func TestIsFuncClassifiers(t *testing.T) {
+	if !IsAggregateFunc("AVG") || IsAggregateFunc("UPPER") {
+		t.Error("aggregate classification broken")
+	}
+	if !IsScalarFunc("UPPER") || IsScalarFunc("AVG") {
+		t.Error("scalar classification broken")
+	}
+}
+
+func TestParenthesisedJoinTree(t *testing.T) {
+	rel := mustQuery(t, `SELECT count(*) FROM (readings AS r JOIN sensors AS s ON r.id = s.id)`)
+	if rel.Rows[0][0] != int64(3) {
+		t.Errorf("paren join = %v", rel.Rows[0][0])
+	}
+}
+
+func TestSimpleCaseWithOperand(t *testing.T) {
+	rel := mustQuery(t, `SELECT CASE type WHEN 'light' THEN 1 WHEN 'humidity' THEN 2 ELSE 0 END AS c
+		FROM readings ORDER BY id`)
+	want := []int64{0, 0, 1, 1, 0, 2}
+	for i, w := range want {
+		if rel.Rows[i][0] != w {
+			t.Errorf("row %d case = %v, want %d", i, rel.Rows[i][0], w)
+		}
+	}
+}
+
+func TestMaxRowsOnProjection(t *testing.T) {
+	rel := NewRelation("v")
+	for i := 0; i < 100; i++ {
+		rel.AddRow(int64(i))
+	}
+	cat := MapCatalog{"T": rel}
+	if _, err := ExecuteSQL("SELECT v FROM t", cat, Options{MaxRows: 50}); err == nil {
+		t.Error("projection above MaxRows accepted")
+	}
+}
+
+func TestParserASTStringCoverage(t *testing.T) {
+	// Exercise every AST String method through canonical rendering.
+	queries := []string{
+		"SELECT a FROM t RIGHT JOIN u ON t.x = u.x",
+		"SELECT CASE x WHEN 1 THEN 'a' END FROM t",
+		"SELECT a FROM (SELECT b FROM u) AS d",
+		"SELECT x NOT BETWEEN 1 AND 2 FROM t",
+		"SELECT NOT EXISTS (SELECT 1 FROM u) FROM t",
+		"SELECT x NOT LIKE 'a%' FROM t",
+		"SELECT x NOT IN (SELECT y FROM u) FROM t",
+		"SELECT CAST(x AS binary) FROM t",
+		"SELECT -x FROM t",
+		"SELECT 1.5e10, TRUE, FALSE, NULL",
+	}
+	for _, q := range queries {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+			continue
+		}
+		printed := stmt.String()
+		if _, err := sqlparser.Parse(printed); err != nil {
+			t.Errorf("rendered %q does not reparse: %v", printed, err)
+		}
+	}
+}
+
+func TestTemporalAndDigestFunctions(t *testing.T) {
+	// 2026-06-11T12:34:56Z in milliseconds.
+	ms := int64(1781181296000)
+	cases := map[string]stream.Value{
+		"hour(" + itoa(ms) + ")":   nil, // filled below from time pkg
+		"minute(" + itoa(ms) + ")": int64(34),
+		"second(" + itoa(ms) + ")": int64(56),
+		"md5('abc')":               "900150983cd24fb0d6963f7d28e17f72",
+		"hex('AB')":                "4142",
+		"md5(NULL)":                nil,
+		"hex(NULL)":                nil,
+		"hour(NULL)":               nil,
+	}
+	// HOUR depends only on UTC here.
+	cases["hour("+itoa(ms)+")"] = int64(12)
+	for expr, want := range cases {
+		got := evalConst(t, expr)
+		if !stream.ValuesEqual(got, want) && !(got == nil && want == nil) {
+			t.Errorf("%s = %v (%T), want %v", expr, got, got, want)
+		}
+	}
+	out := evalConst(t, "from_millis("+itoa(ms)+")")
+	s, ok := out.(string)
+	if !ok || !strings.HasPrefix(s, "2026-06-11T12:34:56") {
+		t.Errorf("from_millis = %v", out)
+	}
+	for _, bad := range []string{"hour('x')", "md5(1)", "from_millis('y')"} {
+		if _, err := ExecuteSQL("SELECT "+bad, MapCatalog{}, Options{}); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
+func itoa(n int64) string { return fmt.Sprintf("%d", n) }

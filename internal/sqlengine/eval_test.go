@@ -1,0 +1,391 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gsn/internal/stream"
+)
+
+func evalConst(t *testing.T, expr string) stream.Value {
+	t.Helper()
+	rel, err := ExecuteSQL("SELECT "+expr, MapCatalog{}, Options{Clock: stream.NewManualClock(42)})
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return rel.Rows[0][0]
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cases := map[string]stream.Value{
+		"NULL AND TRUE":        nil,
+		"NULL AND FALSE":       false,
+		"NULL OR TRUE":         true,
+		"NULL OR FALSE":        nil,
+		"NOT NULL":             nil,
+		"NULL = NULL":          nil,
+		"NULL <> 1":            nil,
+		"NULL + 1":             nil,
+		"NULL IS NULL":         true,
+		"1 IS NULL":            false,
+		"NULL IS NOT NULL":     false,
+		"1 IN (NULL, 2)":       nil, // unknown: NULL might match
+		"1 IN (NULL, 1)":       true,
+		"1 NOT IN (NULL, 2)":   nil,
+		"NULL BETWEEN 1 AND 2": nil,
+		"NULL LIKE 'x'":        nil,
+	}
+	for expr, want := range cases {
+		got := evalConst(t, expr)
+		if !stream.ValuesEqual(got, want) && !(got == nil && want == nil) {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := map[string]stream.Value{
+		"7 / 2":        int64(3), // integer division
+		"7.0 / 2":      3.5,
+		"7 % 3":        int64(1),
+		"7.5 % 2":      1.5,
+		"1 / 0":        nil, // division by zero → NULL
+		"1 % 0":        nil,
+		"1.5 / 0":      nil,
+		"2 + 3 * 4":    int64(14),
+		"-5 - -3":      int64(-2),
+		"2 * 2.5":      5.0,
+		"1 = 1.0":      true,
+		"2 > 1.5":      true,
+		"'a' < 'b'":    true,
+		"TRUE > FALSE": true,
+	}
+	for expr, want := range cases {
+		got := evalConst(t, expr)
+		if !stream.ValuesEqual(got, want) && !(got == nil && want == nil) {
+			t.Errorf("%s = %v (%T), want %v", expr, got, got, want)
+		}
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := map[string]stream.Value{
+		"abs(-4)":                  int64(4),
+		"abs(-4.5)":                4.5,
+		"sign(-9)":                 int64(-1),
+		"sign(0)":                  int64(0),
+		"round(2.567, 2)":          2.57,
+		"round(2.4)":               2.0,
+		"floor(2.9)":               2.0,
+		"ceil(2.1)":                3.0,
+		"sqrt(16)":                 4.0,
+		"power(2, 10)":             1024.0,
+		"mod(10, 3)":               int64(1),
+		"upper('abc')":             "ABC",
+		"lower('ABC')":             "abc",
+		"length('hello')":          int64(5),
+		"trim('  x  ')":            "x",
+		"ltrim('  x')":             "x",
+		"rtrim('x  ')":             "x",
+		"substr('hello', 2)":       "ello",
+		"substr('hello', 2, 3)":    "ell",
+		"substr('hello', 99)":      "",
+		"concat('a', 1, 'b')":      "a1b",
+		"replace('aXbX', 'X', '')": "ab",
+		"coalesce(NULL, NULL, 3)":  int64(3),
+		"coalesce(NULL)":           nil,
+		"ifnull(NULL, 9)":          int64(9),
+		"ifnull(1, 9)":             int64(1),
+		"nullif(5, 5)":             nil,
+		"nullif(5, 6)":             int64(5),
+		"greatest(3, 9, 1)":        int64(9),
+		"least(3, 9, 1)":           int64(1),
+		"greatest(1, NULL)":        nil,
+		"now()":                    int64(42),
+		"abs(NULL)":                nil,
+		"upper(NULL)":              nil,
+		"length(NULL)":             nil,
+	}
+	for expr, want := range cases {
+		got := evalConst(t, expr)
+		if !stream.ValuesEqual(got, want) && !(got == nil && want == nil) {
+			t.Errorf("%s = %v (%T), want %v", expr, got, got, want)
+		}
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	bad := []string{
+		"abs(1, 2)",
+		"abs('x')",
+		"sqrt(-1)",
+		"substr(1, 2)",
+		"round('x')",
+		"length(5)",
+	}
+	for _, expr := range bad {
+		if _, err := ExecuteSQL("SELECT "+expr, MapCatalog{}, Options{}); err == nil {
+			t.Errorf("%s succeeded", expr)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{"aXbXc", "a_b_c", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: ORDER BY yields a non-decreasing key sequence, and LIMIT n
+// returns min(n, total) rows.
+func TestQuickOrderLimitPostconditions(t *testing.T) {
+	f := func(values []int16, limit uint8) bool {
+		rel := NewRelation("v")
+		for _, v := range values {
+			rel.AddRow(int64(v))
+		}
+		cat := MapCatalog{"T": rel}
+		n := int(limit % 50)
+		out, err := ExecuteSQL(fmt.Sprintf("SELECT v FROM t ORDER BY v LIMIT %d", n), cat, Options{})
+		if err != nil {
+			return false
+		}
+		want := len(values)
+		if n < want {
+			want = n
+		}
+		if len(out.Rows) != want {
+			return false
+		}
+		for i := 1; i < len(out.Rows); i++ {
+			if out.Rows[i-1][0].(int64) > out.Rows[i][0].(int64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WHERE v > k returns exactly the rows satisfying the
+// predicate, in input order.
+func TestQuickWhereFilterExact(t *testing.T) {
+	f := func(values []int16, k int16) bool {
+		rel := NewRelation("v")
+		for _, v := range values {
+			rel.AddRow(int64(v))
+		}
+		cat := MapCatalog{"T": rel}
+		out, err := ExecuteSQL(fmt.Sprintf("SELECT v FROM t WHERE v > %d", k), cat, Options{})
+		if err != nil {
+			return false
+		}
+		var want []int64
+		for _, v := range values {
+			if int64(v) > int64(k) {
+				want = append(want, int64(v))
+			}
+		}
+		if len(out.Rows) != len(want) {
+			return false
+		}
+		for i, w := range want {
+			if out.Rows[i][0].(int64) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregates agree with directly computed values.
+func TestQuickAggregatesMatchDirect(t *testing.T) {
+	f := func(values []int16) bool {
+		if len(values) == 0 {
+			return true
+		}
+		rel := NewRelation("v")
+		var sum int64
+		mn, mx := int64(values[0]), int64(values[0])
+		for _, v := range values {
+			rel.AddRow(int64(v))
+			sum += int64(v)
+			if int64(v) < mn {
+				mn = int64(v)
+			}
+			if int64(v) > mx {
+				mx = int64(v)
+			}
+		}
+		cat := MapCatalog{"T": rel}
+		out, err := ExecuteSQL("SELECT count(*), sum(v), avg(v), min(v), max(v) FROM t", cat, Options{})
+		if err != nil {
+			return false
+		}
+		row := out.Rows[0]
+		if row[0].(int64) != int64(len(values)) || row[1].(int64) != sum {
+			return false
+		}
+		wantAvg := float64(sum) / float64(len(values))
+		if av := row[2].(float64); av < wantAvg-1e-9 || av > wantAvg+1e-9 {
+			return false
+		}
+		return row[3].(int64) == mn && row[4].(int64) == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash join and nested-loop join produce identical multisets
+// of rows for random equi-join inputs.
+func TestQuickJoinStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		a := NewRelation("k", "x")
+		b := NewRelation("k", "y")
+		for i := 0; i < rng.Intn(20); i++ {
+			a.AddRow(int64(rng.Intn(6)), int64(i))
+		}
+		for i := 0; i < rng.Intn(20); i++ {
+			b.AddRow(int64(rng.Intn(6)), int64(100+i))
+		}
+		cat := MapCatalog{"A": a, "B": b}
+		for _, sql := range []string{
+			"SELECT * FROM a JOIN b ON a.k = b.k",
+			"SELECT * FROM a LEFT JOIN b ON a.k = b.k",
+		} {
+			hj, err := ExecuteSQL(sql, cat, Options{})
+			if err != nil {
+				t.Fatalf("hash: %v", err)
+			}
+			nl, err := ExecuteSQL(sql, cat, Options{DisableHashJoin: true})
+			if err != nil {
+				t.Fatalf("nested: %v", err)
+			}
+			if !sameRowMultiset(hj, nl) {
+				t.Fatalf("trial %d %q: hash and nested joins differ\nhash:\n%s\nnested:\n%s",
+					trial, sql, hj, nl)
+			}
+		}
+	}
+}
+
+func sameRowMultiset(a, b *Relation) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	ka := make([]string, len(a.Rows))
+	kb := make([]string, len(b.Rows))
+	for i := range a.Rows {
+		ka[i] = encodeRowKey(a.Rows[i])
+		kb[i] = encodeRowKey(b.Rows[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: UNION is commutative as a set; EXCEPT removes exactly the
+// right multiset.
+func TestQuickSetOpInvariants(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := NewRelation("v")
+		for _, x := range xs {
+			a.AddRow(int64(x % 8))
+		}
+		b := NewRelation("v")
+		for _, y := range ys {
+			b.AddRow(int64(y % 8))
+		}
+		cat := MapCatalog{"A": a, "B": b}
+		ab, err1 := ExecuteSQL("SELECT v FROM a UNION SELECT v FROM b", cat, Options{})
+		ba, err2 := ExecuteSQL("SELECT v FROM b UNION SELECT v FROM a", cat, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !sameRowMultiset(ab, ba) {
+			return false
+		}
+		// UNION result is duplicate-free.
+		seen := map[string]bool{}
+		for _, r := range ab.Rows {
+			k := encodeRowKey(r)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	rel := NewRelation("a", "b")
+	if err := rel.AddRow(int64(1)); err == nil {
+		t.Error("AddRow accepted wrong arity")
+	}
+	rel.AddRow(int64(1), "x")
+	if got := rel.Names(); got[0] != "A" || got[1] != "B" {
+		t.Errorf("Names = %v", got)
+	}
+	if _, err := rel.ColumnIndex("", "missing"); err == nil {
+		t.Error("ColumnIndex found missing column")
+	}
+	s := rel.String()
+	if s == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestGroupKeyIntFloatUnify(t *testing.T) {
+	rel := NewRelation("v")
+	rel.AddRow(int64(1))
+	rel.AddRow(1.0)
+	rel.AddRow(2.5)
+	cat := MapCatalog{"T": rel}
+	out, err := ExecuteSQL("SELECT v, count(*) FROM t GROUP BY v", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Errorf("1 and 1.0 should group together: %v", out.Rows)
+	}
+}

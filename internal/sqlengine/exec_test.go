@@ -1,0 +1,523 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+
+	"gsn/internal/stream"
+)
+
+// testCatalog builds the fixture catalog used across executor tests:
+//
+//	READINGS(ID, TYPE, VALUE, TIMED)  — sensor readings
+//	SENSORS(ID, LOCATION)             — sensor metadata
+//	EMPTYT(X)                         — empty table
+func testCatalog() MapCatalog {
+	readings := NewRelation("id", "type", "value", "timed")
+	rows := []struct {
+		id    int64
+		typ   string
+		value stream.Value
+		timed int64
+	}{
+		{1, "temperature", 21.5, 1000},
+		{2, "temperature", 23.0, 2000},
+		{3, "light", int64(480), 2500},
+		{4, "light", int64(520), 3000},
+		{5, "temperature", nil, 3500},
+		{6, "humidity", 0.55, 4000},
+	}
+	for _, r := range rows {
+		readings.AddRow(r.id, r.typ, r.value, r.timed)
+	}
+	sensors := NewRelation("id", "location")
+	sensors.AddRow(int64(1), "bc143")
+	sensors.AddRow(int64(2), "bc143")
+	sensors.AddRow(int64(3), "lab2")
+	sensors.AddRow(int64(9), "roof")
+
+	return MapCatalog{
+		"READINGS": readings,
+		"SENSORS":  sensors,
+		"EMPTYT":   NewRelation("x"),
+	}
+}
+
+func mustQuery(t *testing.T, sql string) *Relation {
+	t.Helper()
+	rel, err := ExecuteSQL(sql, testCatalog(), Options{Clock: stream.NewManualClock(5000)})
+	if err != nil {
+		t.Fatalf("ExecuteSQL(%q): %v", sql, err)
+	}
+	return rel
+}
+
+func TestSelectStar(t *testing.T) {
+	rel := mustQuery(t, "SELECT * FROM readings")
+	if len(rel.Cols) != 4 || len(rel.Rows) != 6 {
+		t.Fatalf("got %d cols, %d rows", len(rel.Cols), len(rel.Rows))
+	}
+	if rel.Cols[0].Name != "ID" || rel.Cols[0].Table != "READINGS" {
+		t.Errorf("col0 = %v", rel.Cols[0])
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings WHERE type = 'light'")
+	if len(rel.Rows) != 2 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if rel.Rows[0][0] != int64(3) || rel.Rows[1][0] != int64(4) {
+		t.Errorf("ids = %v", rel.Rows)
+	}
+}
+
+func TestWhereNullIsNotTrue(t *testing.T) {
+	// value > 20 is unknown for the NULL row; it must be filtered out.
+	rel := mustQuery(t, "SELECT id FROM readings WHERE value > 20")
+	if len(rel.Rows) != 4 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+}
+
+func TestProjectionExpressions(t *testing.T) {
+	rel := mustQuery(t, "SELECT id * 10 AS tens, upper(type) FROM readings WHERE id = 1")
+	if rel.Rows[0][0] != int64(10) {
+		t.Errorf("tens = %v", rel.Rows[0][0])
+	}
+	if rel.Rows[0][1] != "TEMPERATURE" {
+		t.Errorf("upper = %v", rel.Rows[0][1])
+	}
+	if rel.Cols[0].Name != "TENS" {
+		t.Errorf("alias col = %v", rel.Cols[0])
+	}
+}
+
+func TestAggregatesWholeTable(t *testing.T) {
+	rel := mustQuery(t, "SELECT count(*), count(value), min(timed), max(timed) FROM readings")
+	row := rel.Rows[0]
+	if row[0] != int64(6) {
+		t.Errorf("count(*) = %v", row[0])
+	}
+	if row[1] != int64(5) { // NULL value ignored
+		t.Errorf("count(value) = %v", row[1])
+	}
+	if row[2] != int64(1000) || row[3] != int64(4000) {
+		t.Errorf("min/max = %v/%v", row[2], row[3])
+	}
+}
+
+func TestAvgPaperQueryShape(t *testing.T) {
+	// The paper's Figure 1 source query (against a catalog alias).
+	cat := testCatalog()
+	cat["WRAPPER"] = cat["READINGS"]
+	rel, err := ExecuteSQL("select avg(value) from WRAPPER where type = 'light'", cat, Options{})
+	if err != nil {
+		t.Fatalf("ExecuteSQL: %v", err)
+	}
+	if got := rel.Rows[0][0]; got != 500.0 {
+		t.Errorf("avg = %v, want 500", got)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	rel := mustQuery(t, `SELECT type, count(*) AS n FROM readings GROUP BY type HAVING count(*) >= 2 ORDER BY n DESC, type`)
+	if len(rel.Rows) != 2 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if rel.Rows[0][0] != "temperature" || rel.Rows[0][1] != int64(3) {
+		t.Errorf("row0 = %v", rel.Rows[0])
+	}
+	if rel.Rows[1][0] != "light" || rel.Rows[1][1] != int64(2) {
+		t.Errorf("row1 = %v", rel.Rows[1])
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	rel := mustQuery(t, "SELECT count(*) FROM emptyt")
+	if len(rel.Rows) != 1 || rel.Rows[0][0] != int64(0) {
+		t.Fatalf("count over empty = %v", rel.Rows)
+	}
+	rel2 := mustQuery(t, "SELECT sum(x), avg(x) FROM emptyt")
+	if rel2.Rows[0][0] != nil || rel2.Rows[0][1] != nil {
+		t.Errorf("sum/avg over empty = %v", rel2.Rows[0])
+	}
+	// With GROUP BY, empty input produces no groups.
+	rel3 := mustQuery(t, "SELECT x, count(*) FROM emptyt GROUP BY x")
+	if len(rel3.Rows) != 0 {
+		t.Errorf("grouped empty = %v", rel3.Rows)
+	}
+}
+
+func TestDistinctAggregates(t *testing.T) {
+	rel := mustQuery(t, "SELECT count(DISTINCT type) FROM readings")
+	if rel.Rows[0][0] != int64(3) {
+		t.Errorf("count distinct = %v", rel.Rows[0][0])
+	}
+}
+
+func TestStddevFirstLast(t *testing.T) {
+	rel := mustQuery(t, "SELECT stddev(value), first(id), last(id) FROM readings WHERE type = 'light'")
+	sd, ok := rel.Rows[0][0].(float64)
+	if !ok || sd != 20.0 { // values 480, 520 → stddev = 20 (population)
+		t.Errorf("stddev = %v", rel.Rows[0][0])
+	}
+	if rel.Rows[0][1] != int64(3) || rel.Rows[0][2] != int64(4) {
+		t.Errorf("first/last = %v", rel.Rows[0])
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	rel := mustQuery(t, `SELECT r.id, s.location FROM readings AS r JOIN sensors AS s ON r.id = s.id ORDER BY r.id`)
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if rel.Rows[0][1] != "bc143" || rel.Rows[2][1] != "lab2" {
+		t.Errorf("locations = %v", rel.Rows)
+	}
+}
+
+func TestHashAndNestedJoinAgree(t *testing.T) {
+	sql := `SELECT r.id, s.location FROM readings AS r JOIN sensors AS s ON r.id = s.id ORDER BY r.id`
+	hash, err := ExecuteSQL(sql, testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := ExecuteSQL(sql, testCatalog(), Options{DisableHashJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.String() != nested.String() {
+		t.Errorf("hash join:\n%s\nnested loop:\n%s", hash, nested)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	rel := mustQuery(t, `SELECT r.id, s.location FROM readings AS r LEFT JOIN sensors AS s ON r.id = s.id ORDER BY r.id`)
+	if len(rel.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rel.Rows))
+	}
+	// Reading 4 has no sensor → NULL location.
+	if rel.Rows[3][1] != nil {
+		t.Errorf("unmatched left row = %v", rel.Rows[3])
+	}
+}
+
+func TestRightJoin(t *testing.T) {
+	rel := mustQuery(t, `SELECT r.id, s.id FROM readings AS r RIGHT JOIN sensors AS s ON r.id = s.id`)
+	if len(rel.Rows) != 4 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	var sawUnmatched bool
+	for _, row := range rel.Rows {
+		if row[0] == nil && row[1] == int64(9) {
+			sawUnmatched = true
+		}
+	}
+	if !sawUnmatched {
+		t.Errorf("sensor 9 not preserved: %v", rel.Rows)
+	}
+}
+
+func TestCrossJoinAndMaxRows(t *testing.T) {
+	rel := mustQuery(t, "SELECT * FROM readings, sensors")
+	if len(rel.Rows) != 24 {
+		t.Fatalf("cross join rows = %d", len(rel.Rows))
+	}
+	_, err := ExecuteSQL("SELECT * FROM readings, sensors", testCatalog(), Options{MaxRows: 10})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("MaxRows guard: %v", err)
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	cat := MapCatalog{}
+	a := NewRelation("k")
+	a.AddRow(nil)
+	a.AddRow(int64(1))
+	b := NewRelation("k")
+	b.AddRow(nil)
+	b.AddRow(int64(1))
+	cat["A"] = a
+	cat["B"] = b
+	rel, err := ExecuteSQL("SELECT * FROM a JOIN b ON a.k = b.k", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 {
+		t.Errorf("NULL join keys matched: %v", rel.Rows)
+	}
+	// Same under nested loop.
+	rel2, err := ExecuteSQL("SELECT * FROM a JOIN b ON a.k = b.k", cat, Options{DisableHashJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel2.Rows) != 1 {
+		t.Errorf("NULL join keys matched (nested): %v", rel2.Rows)
+	}
+}
+
+func TestOrderByVariants(t *testing.T) {
+	// By ordinal.
+	rel := mustQuery(t, "SELECT id, value FROM readings WHERE value IS NOT NULL ORDER BY 2 DESC LIMIT 1")
+	if rel.Rows[0][0] != int64(4) {
+		t.Errorf("ordinal order: %v", rel.Rows)
+	}
+	// By alias.
+	rel2 := mustQuery(t, "SELECT id AS k FROM readings ORDER BY k DESC LIMIT 2")
+	if rel2.Rows[0][0] != int64(6) || rel2.Rows[1][0] != int64(5) {
+		t.Errorf("alias order: %v", rel2.Rows)
+	}
+	// By expression not in output.
+	rel3 := mustQuery(t, "SELECT id FROM readings ORDER BY timed DESC LIMIT 1")
+	if rel3.Rows[0][0] != int64(6) {
+		t.Errorf("expr order: %v", rel3.Rows)
+	}
+}
+
+func TestOrderByNullsFirstAsc(t *testing.T) {
+	rel := mustQuery(t, "SELECT id, value FROM readings ORDER BY value, id")
+	if rel.Rows[0][1] != nil {
+		t.Errorf("NULL should sort first ascending: %v", rel.Rows)
+	}
+	relD := mustQuery(t, "SELECT id, value FROM readings ORDER BY value DESC")
+	if relD.Rows[len(relD.Rows)-1][1] != nil {
+		t.Errorf("NULL should sort last descending: %v", relD.Rows)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings ORDER BY id LIMIT 2 OFFSET 3")
+	if len(rel.Rows) != 2 || rel.Rows[0][0] != int64(4) {
+		t.Errorf("limit/offset = %v", rel.Rows)
+	}
+	rel2 := mustQuery(t, "SELECT id FROM readings LIMIT 0")
+	if len(rel2.Rows) != 0 {
+		t.Errorf("LIMIT 0 = %v", rel2.Rows)
+	}
+	rel3 := mustQuery(t, "SELECT id FROM readings OFFSET 100")
+	if len(rel3.Rows) != 0 {
+		t.Errorf("big OFFSET = %v", rel3.Rows)
+	}
+	if _, err := ExecuteSQL("SELECT id FROM readings LIMIT -1", testCatalog(), Options{}); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	rel := mustQuery(t, "SELECT DISTINCT type FROM readings ORDER BY type")
+	if len(rel.Rows) != 3 {
+		t.Fatalf("distinct = %v", rel.Rows)
+	}
+}
+
+func TestSubqueryScalar(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings WHERE timed = (SELECT max(timed) FROM readings)")
+	if len(rel.Rows) != 1 || rel.Rows[0][0] != int64(6) {
+		t.Fatalf("scalar subquery = %v", rel.Rows)
+	}
+}
+
+func TestSubqueryIn(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings WHERE id IN (SELECT id FROM sensors) ORDER BY id")
+	if len(rel.Rows) != 3 {
+		t.Fatalf("IN subquery = %v", rel.Rows)
+	}
+}
+
+func TestSubqueryCorrelatedExists(t *testing.T) {
+	rel := mustQuery(t, `SELECT s.id FROM sensors AS s
+		WHERE EXISTS (SELECT 1 FROM readings AS r WHERE r.id = s.id AND r.type = 'light') ORDER BY s.id`)
+	if len(rel.Rows) != 1 || rel.Rows[0][0] != int64(3) {
+		t.Fatalf("correlated EXISTS = %v", rel.Rows)
+	}
+}
+
+func TestSubqueryCorrelatedScalar(t *testing.T) {
+	rel := mustQuery(t, `SELECT s.id, (SELECT count(*) FROM readings AS r WHERE r.id = s.id) AS n
+		FROM sensors AS s ORDER BY s.id`)
+	if len(rel.Rows) != 4 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+	if rel.Rows[0][1] != int64(1) || rel.Rows[3][1] != int64(0) {
+		t.Errorf("correlated counts = %v", rel.Rows)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	rel := mustQuery(t, `SELECT d.type, d.n FROM (SELECT type, count(*) AS n FROM readings GROUP BY type) AS d
+		WHERE d.n > 1 ORDER BY d.n DESC`)
+	if len(rel.Rows) != 2 || rel.Rows[0][0] != "temperature" {
+		t.Fatalf("derived = %v", rel.Rows)
+	}
+}
+
+func TestUnionIntersectExcept(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings UNION SELECT id FROM sensors ORDER BY id")
+	if len(rel.Rows) != 7 { // 1..6 ∪ {1,2,3,9}
+		t.Fatalf("union = %v", rel.Rows)
+	}
+	rel2 := mustQuery(t, "SELECT id FROM readings INTERSECT SELECT id FROM sensors ORDER BY id")
+	if len(rel2.Rows) != 3 {
+		t.Fatalf("intersect = %v", rel2.Rows)
+	}
+	rel3 := mustQuery(t, "SELECT id FROM readings EXCEPT SELECT id FROM sensors ORDER BY id")
+	if len(rel3.Rows) != 3 || rel3.Rows[0][0] != int64(4) {
+		t.Fatalf("except = %v", rel3.Rows)
+	}
+	rel4 := mustQuery(t, "SELECT id FROM sensors UNION ALL SELECT id FROM sensors")
+	if len(rel4.Rows) != 8 {
+		t.Fatalf("union all = %d rows", len(rel4.Rows))
+	}
+}
+
+func TestSetOpArityMismatch(t *testing.T) {
+	if _, err := ExecuteSQL("SELECT id, type FROM readings UNION SELECT id FROM sensors", testCatalog(), Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	rel := mustQuery(t, `SELECT id, CASE WHEN value IS NULL THEN 'missing'
+		WHEN value > 100 THEN 'big' ELSE 'small' END AS label FROM readings ORDER BY id`)
+	want := []string{"small", "small", "big", "big", "missing", "small"}
+	for i, w := range want {
+		if rel.Rows[i][1] != w {
+			t.Errorf("row %d label = %v, want %s", i, rel.Rows[i][1], w)
+		}
+	}
+}
+
+func TestBetweenLikeIn(t *testing.T) {
+	rel := mustQuery(t, "SELECT id FROM readings WHERE timed BETWEEN 2000 AND 3000 ORDER BY id")
+	if len(rel.Rows) != 3 {
+		t.Fatalf("between = %v", rel.Rows)
+	}
+	rel2 := mustQuery(t, "SELECT DISTINCT type FROM readings WHERE type LIKE 'te%'")
+	if len(rel2.Rows) != 1 || rel2.Rows[0][0] != "temperature" {
+		t.Fatalf("like = %v", rel2.Rows)
+	}
+	rel3 := mustQuery(t, "SELECT id FROM readings WHERE type IN ('light', 'humidity') ORDER BY id")
+	if len(rel3.Rows) != 3 {
+		t.Fatalf("in-list = %v", rel3.Rows)
+	}
+	rel4 := mustQuery(t, "SELECT id FROM readings WHERE id NOT IN (1, 2, 3, 4, 5)")
+	if len(rel4.Rows) != 1 || rel4.Rows[0][0] != int64(6) {
+		t.Fatalf("not in = %v", rel4.Rows)
+	}
+}
+
+func TestNoFromSelect(t *testing.T) {
+	rel := mustQuery(t, "SELECT 1 + 1, 'x' || 'y', abs(-3)")
+	row := rel.Rows[0]
+	if row[0] != int64(2) || row[1] != "xy" || row[2] != int64(3) {
+		t.Fatalf("dual select = %v", row)
+	}
+}
+
+func TestNowFunction(t *testing.T) {
+	rel, err := ExecuteSQL("SELECT now()", testCatalog(), Options{Clock: stream.NewManualClock(777)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(777) {
+		t.Errorf("now() = %v", rel.Rows[0][0])
+	}
+}
+
+func TestCastInQuery(t *testing.T) {
+	rel := mustQuery(t, "SELECT CAST(value AS integer) FROM readings WHERE id = 1")
+	if rel.Rows[0][0] != int64(21) { // CAST truncates toward zero
+		t.Errorf("cast to integer = %v", rel.Rows[0][0])
+	}
+	rel2 := mustQuery(t, "SELECT CAST(timed AS varchar) FROM readings WHERE id = 1")
+	if rel2.Rows[0][0] != "1000" {
+		t.Errorf("cast to varchar = %v", rel2.Rows[0][0])
+	}
+	rel3 := mustQuery(t, "SELECT CAST(NULL AS integer)")
+	if rel3.Rows[0][0] != nil {
+		t.Errorf("cast NULL = %v", rel3.Rows[0][0])
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	bad := []string{
+		"SELECT nosuch FROM readings",
+		"SELECT * FROM missing_table",
+		"SELECT id FROM readings WHERE count(*) > 1",
+		"SELECT id FROM readings HAVING 1 = 1",
+		"SELECT (SELECT id FROM readings) FROM sensors",                                // >1 row scalar
+		"SELECT (SELECT id, type FROM readings LIMIT 1)",                               // >1 col scalar — LIMIT in sub is illegal anyway
+		"SELECT sum(type) FROM readings",                                               // non-numeric sum
+		"SELECT id FROM readings ORDER BY 99",                                          // ordinal out of range
+		"SELECT nosuchfunc(1)",                                                         // unknown function
+		"SELECT r.id FROM readings AS r JOIN sensors AS s ON r.id = s.id WHERE id = 1", // ambiguous id
+	}
+	for _, q := range bad {
+		if rel, err := ExecuteSQL(q, testCatalog(), Options{}); err == nil {
+			t.Errorf("query %q succeeded: %v", q, rel.Rows)
+		}
+	}
+}
+
+func TestAmbiguousColumnDetected(t *testing.T) {
+	_, err := ExecuteSQL("SELECT id FROM readings AS a JOIN sensors AS b ON a.id = b.id", testCatalog(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguous error, got %v", err)
+	}
+}
+
+func TestStatementCache(t *testing.T) {
+	c := NewStatementCache(2)
+	s1, err := c.Get("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Get("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("cache miss on identical SQL")
+	}
+	if _, err := c.Get("SELECT broken FROM"); err == nil {
+		t.Error("cache accepted bad SQL")
+	}
+	c.Get("SELECT 2")
+	c.Get("SELECT 3") // exceeds cap → reset
+	if c.Len() > 2 {
+		t.Errorf("cache grew past cap: %d", c.Len())
+	}
+}
+
+func TestTimedColumnFromElements(t *testing.T) {
+	schema := stream.MustSchema(stream.Field{Name: "v", Type: stream.TypeInt})
+	elems := []stream.Element{
+		stream.MustElement(schema, 100, int64(1)),
+		stream.MustElement(schema, 200, int64(2)),
+	}
+	rel := RelationOfElements(schema, elems)
+	cat := MapCatalog{"W": rel}
+	out, err := ExecuteSQL("SELECT v FROM w WHERE timed > 150", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != int64(2) {
+		t.Errorf("timed filter = %v", out.Rows)
+	}
+}
+
+func TestChainCatalog(t *testing.T) {
+	base := testCatalog()
+	overlay := MapCatalog{"TEMP1": NewRelation("a")}
+	chain := ChainCatalog{overlay, base}
+	if _, err := chain.Relation("temp1"); err != nil {
+		t.Errorf("overlay lookup: %v", err)
+	}
+	if _, err := chain.Relation("readings"); err != nil {
+		t.Errorf("base lookup: %v", err)
+	}
+	if _, err := chain.Relation("nope"); err == nil {
+		t.Error("missing table resolved")
+	}
+}

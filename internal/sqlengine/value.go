@@ -1,0 +1,249 @@
+package sqlengine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"gsn/internal/sqlparser"
+	"gsn/internal/stream"
+)
+
+// Three-valued logic: boolean expressions evaluate to true, false or
+// unknown (represented as nil). WHERE and HAVING treat unknown as false.
+
+// truth converts a value to SQL truth: bool → itself, nil → unknown,
+// numbers → v != 0 (MySQL-compatible, which is what GSN ran on).
+func truth(v stream.Value) (bool, bool) {
+	switch x := v.(type) {
+	case nil:
+		return false, false
+	case bool:
+		return x, true
+	case int64:
+		return x != 0, true
+	case float64:
+		return x != 0, true
+	default:
+		return false, false
+	}
+}
+
+// compare returns -1/0/+1 for a<b, a==b, a>b. NULL compares as unknown
+// (ok=false). Numeric values compare across int64/float64; strings,
+// bools and byte slices compare within their type.
+func compare(a, b stream.Value) (int, bool, error) {
+	if a == nil || b == nil {
+		return 0, false, nil
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return cmpInt(x, y), true, nil
+		case float64:
+			return cmpFloat(float64(x), y), true, nil
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmpFloat(x, float64(y)), true, nil
+		case float64:
+			return cmpFloat(x, y), true, nil
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y), true, nil
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			switch {
+			case x == y:
+				return 0, true, nil
+			case !x:
+				return -1, true, nil
+			default:
+				return 1, true, nil
+			}
+		}
+	case []byte:
+		if y, ok := b.([]byte); ok {
+			return bytes.Compare(x, y), true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("sqlengine: cannot compare %T with %T", a, b)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// arith applies +,-,*,/,% with SQL NULL propagation and int/float
+// promotion. Integer division truncates (MySQL DIV-like when both
+// operands are ints); division by zero yields NULL, matching the
+// forgiving behaviour stream queries need under noisy data.
+func arith(op sqlparser.BinaryOp, a, b stream.Value) (stream.Value, error) {
+	if a == nil || b == nil {
+		return nil, nil
+	}
+	ai, aIsInt := a.(int64)
+	bi, bIsInt := b.(int64)
+	if aIsInt && bIsInt {
+		switch op {
+		case sqlparser.OpAdd:
+			return ai + bi, nil
+		case sqlparser.OpSub:
+			return ai - bi, nil
+		case sqlparser.OpMul:
+			return ai * bi, nil
+		case sqlparser.OpDiv:
+			if bi == 0 {
+				return nil, nil
+			}
+			return ai / bi, nil
+		case sqlparser.OpMod:
+			if bi == 0 {
+				return nil, nil
+			}
+			return ai % bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("sqlengine: arithmetic on non-numeric values %T and %T", a, b)
+	}
+	switch op {
+	case sqlparser.OpAdd:
+		return af + bf, nil
+	case sqlparser.OpSub:
+		return af - bf, nil
+	case sqlparser.OpMul:
+		return af * bf, nil
+	case sqlparser.OpDiv:
+		if bf == 0 {
+			return nil, nil
+		}
+		return af / bf, nil
+	case sqlparser.OpMod:
+		if bf == 0 {
+			return nil, nil
+		}
+		return math.Mod(af, bf), nil
+	}
+	return nil, fmt.Errorf("sqlengine: unsupported arithmetic operator %v", op)
+}
+
+func toFloat(v stream.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// byte). Matching is case-sensitive, like MySQL with a binary collation.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// encodeKey appends a type-tagged, unambiguous encoding of v to buf; it
+// is used for group keys, DISTINCT and set-operation row identity.
+// Integral floats encode like ints so 1 and 1.0 land in the same group
+// (SQL equality semantics).
+func encodeKey(buf []byte, v stream.Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 0)
+	case int64:
+		buf = append(buf, 1)
+		return binary.BigEndian.AppendUint64(buf, uint64(x))
+	case float64:
+		if math.Trunc(x) == x && !math.IsInf(x, 0) && math.Abs(x) < 1e15 {
+			buf = append(buf, 1)
+			return binary.BigEndian.AppendUint64(buf, uint64(int64(x)))
+		}
+		buf = append(buf, 2)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	case string:
+		buf = append(buf, 3)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...)
+	case []byte:
+		buf = append(buf, 4)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...)
+	case bool:
+		if x {
+			return append(buf, 5, 1)
+		}
+		return append(buf, 5, 0)
+	default:
+		return append(buf, 6)
+	}
+}
+
+// encodeRowKey encodes a whole row.
+func encodeRowKey(row []stream.Value) string {
+	var buf []byte
+	for _, v := range row {
+		buf = encodeKey(buf, v)
+	}
+	return string(buf)
+}

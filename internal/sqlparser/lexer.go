@@ -1,0 +1,222 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer tokenises a SQL string. It is internal to the parser; errors are
+// reported with byte offsets into the original input.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+// Error implements the error interface, quoting the offending context.
+func (e *Error) Error() string {
+	ctx := e.Src
+	if e.Pos >= 0 && e.Pos <= len(ctx) {
+		start := e.Pos - 12
+		if start < 0 {
+			start = 0
+		}
+		end := e.Pos + 12
+		if end > len(ctx) {
+			end = len(ctx)
+		}
+		ctx = ctx[start:end]
+	}
+	return fmt.Sprintf("sql: %s at offset %d near %q", e.Msg, e.Pos, ctx)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: l.src}
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokenEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if IsKeyword(up) {
+			return Token{Kind: TokenKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokenIdent, Text: word, Pos: start}, nil
+
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+
+	case c == '\'':
+		return l.lexString()
+
+	case c == '"':
+		return l.lexQuotedIdent()
+
+	default:
+		return l.lexSymbol()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			// Block comment (unterminated comments end the input).
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot := false
+	seenExp := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			// Exponent must be followed by digits or a sign.
+			if l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				seenExp = true
+				l.pos += 2
+			} else {
+				return Token{Kind: TokenNumber, Text: l.src[start:l.pos], Pos: start}, nil
+			}
+		default:
+			return Token{Kind: TokenNumber, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokenNumber, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *lexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokenString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexQuotedIdent() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				b.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			if b.Len() == 0 {
+				return Token{}, l.errf(start, "empty quoted identifier")
+			}
+			return Token{Kind: TokenIdent, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errf(start, "unterminated quoted identifier")
+}
+
+var twoCharSymbols = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+func (l *lexer) lexSymbol() (Token, error) {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.pos += 2
+			return Token{Kind: TokenSymbol, Text: two, Pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';':
+		l.pos++
+		return Token{Kind: TokenSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '$'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Tokenize scans the whole input, mainly for tests and diagnostics.
+func Tokenize(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokenEOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

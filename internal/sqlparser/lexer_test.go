@@ -1,0 +1,109 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT avg(temperature) FROM wrapper WHERE x >= 10.5")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokenKeyword, "SELECT"},
+		{TokenIdent, "avg"},
+		{TokenSymbol, "("},
+		{TokenIdent, "temperature"},
+		{TokenSymbol, ")"},
+		{TokenKeyword, "FROM"},
+		{TokenIdent, "wrapper"},
+		{TokenKeyword, "WHERE"},
+		{TokenIdent, "x"},
+		{TokenSymbol, ">="},
+		{TokenNumber, "10.5"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks, err := Tokenize("'it''s fine'")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 1 || toks[0].Kind != TokenString || toks[0].Text != "it's fine" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestTokenizeQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`"select" "we""ird"`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 2 || toks[0].Kind != TokenIdent || toks[0].Text != "select" ||
+		toks[1].Text != `we"ird` {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block \n comment */ + 2")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens %v", len(toks), toks)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []string{"1", "3.25", ".5", "1e6", "2.5E-3", "100"}
+	for _, c := range cases {
+		toks, err := Tokenize(c)
+		if err != nil || len(toks) != 1 || toks[0].Kind != TokenNumber {
+			t.Errorf("Tokenize(%q) = %v, %v", c, toks, err)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, c := range []string{"'unterminated", `"unterminated`, "#", `""`} {
+		if toks, err := Tokenize(c); err == nil {
+			t.Errorf("Tokenize(%q) = %v, want error", c, toks)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("<= >= <> != || < > = + - * / %")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	wantTexts := []string{"<=", ">=", "<>", "!=", "||", "<", ">", "=", "+", "-", "*", "/", "%"}
+	if len(toks) != len(wantTexts) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, w := range wantTexts {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}

@@ -1,0 +1,984 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement (optionally terminated with a
+// semicolon) and returns its AST.
+func Parse(src string) (*SelectStatement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect(true)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.Kind == TokenSymbol && p.cur.Text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur.Kind != TokenEOF {
+		return nil, p.errf("unexpected %s after end of statement", p.cur)
+	}
+	return stmt, nil
+}
+
+// MustParse is like Parse but panics on error. For tests.
+func MustParse(src string) *SelectStatement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	lex  *lexer
+	cur  Token
+	peek Token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: &lexer{src: src}}
+	var err error
+	if p.cur, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	if p.peek, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	p.cur = p.peek
+	var err error
+	p.peek, err = p.lex.next()
+	return err
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur.Pos, Msg: fmt.Sprintf(format, args...), Src: p.lex.src}
+}
+
+func (p *parser) isKeyword(word string) bool {
+	return p.cur.Kind == TokenKeyword && p.cur.Text == word
+}
+
+func (p *parser) isSymbol(sym string) bool {
+	return p.cur.Kind == TokenSymbol && p.cur.Text == sym
+}
+
+// accept consumes the current token if it is the given keyword.
+func (p *parser) accept(word string) (bool, error) {
+	if p.isKeyword(word) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(word string) error {
+	if !p.isKeyword(word) {
+		return p.errf("expected %s, found %s", word, p.cur)
+	}
+	return p.advance()
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	if !p.isSymbol(sym) {
+		return p.errf("expected %q, found %s", sym, p.cur)
+	}
+	return p.advance()
+}
+
+// parseSelect parses a SELECT and, when top is true, its trailing
+// compound/ORDER BY/LIMIT clauses.
+func (p *parser) parseSelect(top bool) (*SelectStatement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStatement{}
+	if ok, err := p.accept("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		stmt.Distinct = true
+	} else if ok, err := p.accept("ALL"); err != nil {
+		return nil, err
+	} else if ok {
+		// SELECT ALL is the default; nothing to record.
+		_ = ok
+	}
+
+	// Projection list.
+	for {
+		col, err := p.parseSelectColumn()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if p.isSymbol(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+
+	// FROM.
+	if ok, err := p.accept("FROM"); err != nil {
+		return nil, err
+	} else if ok {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			if p.isSymbol(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	// WHERE.
+	if ok, err := p.accept("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	// GROUP BY.
+	if ok, err := p.accept("GROUP"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.isSymbol(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	// HAVING.
+	if ok, err := p.accept("HAVING"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+
+	// Compound set operations (left-associative chain).
+	for p.isKeyword("UNION") || p.isKeyword("INTERSECT") || p.isKeyword("EXCEPT") {
+		var op SetOp
+		switch p.cur.Text {
+		case "UNION":
+			op = Union
+		case "INTERSECT":
+			op = Intersect
+		case "EXCEPT":
+			op = Except
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		all := false
+		if ok, err := p.accept("ALL"); err != nil {
+			return nil, err
+		} else if ok {
+			all = true
+		}
+		right, err := p.parseSelect(false)
+		if err != nil {
+			return nil, err
+		}
+		// Chain onto the deepest right arm so A UNION B UNION C groups
+		// as (A UNION B) UNION C when evaluated left-to-right.
+		leaf := stmt
+		for leaf.Compound != nil {
+			leaf = leaf.Compound.Right
+		}
+		leaf.Compound = &Compound{Op: op, All: all, Right: right}
+	}
+
+	if !top {
+		return stmt, nil
+	}
+
+	// ORDER BY / LIMIT / OFFSET apply to the whole (possibly compound)
+	// statement.
+	if ok, err := p.accept("ORDER"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if ok, err := p.accept("DESC"); err != nil {
+				return nil, err
+			} else if ok {
+				item.Desc = true
+			} else if _, err := p.accept("ASC"); err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.isSymbol(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if ok, err := p.accept("LIMIT"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = e
+	}
+	if ok, err := p.accept("OFFSET"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectColumn() (SelectColumn, error) {
+	// "*" or "t.*"
+	if p.isSymbol("*") {
+		if err := p.advance(); err != nil {
+			return SelectColumn{}, err
+		}
+		return SelectColumn{Star: true}, nil
+	}
+	if p.cur.Kind == TokenIdent && p.peek.Kind == TokenSymbol && p.peek.Text == "." {
+		// Look ahead for t.* — need a third token; parse manually.
+		table := p.cur.Text
+		save := *p.lex
+		saveCur, savePeek := p.cur, p.peek
+		if err := p.advance(); err != nil { // consume ident
+			return SelectColumn{}, err
+		}
+		if err := p.advance(); err != nil { // consume '.'
+			return SelectColumn{}, err
+		}
+		if p.isSymbol("*") {
+			if err := p.advance(); err != nil {
+				return SelectColumn{}, err
+			}
+			return SelectColumn{Star: true, StarTable: table}, nil
+		}
+		// Not a star: rewind and fall through to expression parsing.
+		*p.lex = save
+		p.cur, p.peek = saveCur, savePeek
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectColumn{}, err
+	}
+	col := SelectColumn{Expr: e}
+	if ok, err := p.accept("AS"); err != nil {
+		return SelectColumn{}, err
+	} else if ok {
+		if p.cur.Kind != TokenIdent {
+			return SelectColumn{}, p.errf("expected alias after AS, found %s", p.cur)
+		}
+		col.Alias = p.cur.Text
+		if err := p.advance(); err != nil {
+			return SelectColumn{}, err
+		}
+	} else if p.cur.Kind == TokenIdent {
+		// Bare alias: SELECT a b FROM ...
+		col.Alias = p.cur.Text
+		if err := p.advance(); err != nil {
+			return SelectColumn{}, err
+		}
+	}
+	return col, nil
+}
+
+// parseTableRef parses a FROM item including any chained joins.
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.isKeyword("JOIN"):
+			kind = InnerJoin
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("INNER"):
+			kind = InnerJoin
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("LEFT"):
+			kind = LeftJoin
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.accept("OUTER"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("RIGHT"):
+			kind = RightJoin
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.accept("OUTER"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("CROSS"):
+			kind = CrossJoin
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinRef{Kind: kind, Left: left, Right: right}
+		if kind != CrossJoin {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		left = join
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.isSymbol("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SELECT") {
+			sel, err := p.parseSelect(false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			alias, err := p.parseOptionalAlias()
+			if err != nil {
+				return nil, err
+			}
+			if alias == "" {
+				return nil, p.errf("derived table requires an alias")
+			}
+			return &SubqueryRef{Select: sel, Alias: alias}, nil
+		}
+		// Parenthesised join tree.
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return ref, nil
+	}
+	if p.cur.Kind != TokenIdent {
+		return nil, p.errf("expected table name, found %s", p.cur)
+	}
+	name := p.cur.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return nil, err
+	}
+	return &TableName{Name: name, Alias: alias}, nil
+}
+
+func (p *parser) parseOptionalAlias() (string, error) {
+	if ok, err := p.accept("AS"); err != nil {
+		return "", err
+	} else if ok {
+		if p.cur.Kind != TokenIdent {
+			return "", p.errf("expected alias after AS, found %s", p.cur)
+		}
+		a := p.cur.Text
+		return a, p.advance()
+	}
+	if p.cur.Kind == TokenIdent {
+		a := p.cur.Text
+		return a, p.advance()
+	}
+	return "", nil
+}
+
+// Expression grammar, in increasing precedence:
+//
+//	expr     := and (OR and)*
+//	and      := not (AND not)*
+//	not      := NOT not | predicate
+//	predicate:= additive [compare | IS | IN | BETWEEN | LIKE]
+//	additive := mult ((+|-|'||') mult)*
+//	mult     := unary ((*|/|%) unary)*
+//	unary    := (-|+) unary | primary
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var compareOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operator?
+	if p.cur.Kind == TokenSymbol {
+		if op, ok := compareOps[p.cur.Text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	// IS [NOT] NULL
+	if p.isKeyword("IS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		not := false
+		if ok, err := p.accept("NOT"); err != nil {
+			return nil, err
+		} else if ok {
+			not = true
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: not}, nil
+	}
+	// [NOT] IN / BETWEEN / LIKE
+	not := false
+	if p.isKeyword("NOT") && (p.peek.Kind == TokenKeyword &&
+		(p.peek.Text == "IN" || p.peek.Text == "BETWEEN" || p.peek.Text == "LIKE")) {
+		not = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.isKeyword("IN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: left, Not: not}
+		if p.isKeyword("SELECT") {
+			sel, err := p.parseSelect(false)
+			if err != nil {
+				return nil, err
+			}
+			in.Select = sel
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if p.isSymbol(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case p.isKeyword("BETWEEN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Not: not, Lo: lo, Hi: hi}, nil
+
+	case p.isKeyword("LIKE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{X: left, Not: not, Pattern: pat}, nil
+	}
+	if not {
+		return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.Kind == TokenSymbol && (p.cur.Text == "+" || p.cur.Text == "-" || p.cur.Text == "||") {
+		var op BinaryOp
+		switch p.cur.Text {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		case "||":
+			op = OpConcat
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.Kind == TokenSymbol && (p.cur.Text == "*" || p.cur.Text == "/" || p.cur.Text == "%") {
+		var op BinaryOp
+		switch p.cur.Text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpMod
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur.Kind == TokenSymbol && (p.cur.Text == "-" || p.cur.Text == "+") {
+		op := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into numeric literals for cleaner ASTs.
+		if op == "-" {
+			if lit, ok := x.(*Literal); ok {
+				switch v := lit.Value.(type) {
+				case int64:
+					return &Literal{Value: -v}, nil
+				case float64:
+					return &Literal{Value: -v}, nil
+				}
+			}
+		}
+		if op == "+" {
+			return x, nil
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.cur.Kind == TokenNumber:
+		text := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if strings.ContainsAny(text, ".eE") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", text)
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			// Overflowing integers fall back to float.
+			f, ferr := strconv.ParseFloat(text, 64)
+			if ferr != nil {
+				return nil, p.errf("invalid number %q", text)
+			}
+			return &Literal{Value: f}, nil
+		}
+		return &Literal{Value: n}, nil
+
+	case p.cur.Kind == TokenString:
+		v := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: v}, nil
+
+	case p.isKeyword("NULL"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: nil}, nil
+
+	case p.isKeyword("TRUE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: true}, nil
+
+	case p.isKeyword("FALSE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: false}, nil
+
+	case p.isKeyword("CASE"):
+		return p.parseCase()
+
+	case p.isKeyword("CAST"):
+		return p.parseCast()
+
+	case p.isKeyword("EXISTS"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect(false)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Select: sel}, nil
+
+	case p.isSymbol("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SELECT") {
+			sel, err := p.parseSelect(false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &Subquery{Select: sel}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.cur.Kind == TokenIdent:
+		name := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Function call?
+		if p.isSymbol("(") {
+			return p.parseFuncCall(name)
+		}
+		// Qualified column?
+		if p.isSymbol(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.Kind != TokenIdent {
+				return nil, p.errf("expected column name after %q.", name)
+			}
+			col := p.cur.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected %s in expression", p.cur)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	// COUNT(*)
+	if p.isSymbol("*") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		fc.CountStar = true
+		return fc, nil
+	}
+	if p.isSymbol(")") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if ok, err := p.accept("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if p.isSymbol(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !p.isKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.isKeyword("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if ok, err := p.accept("ELSE"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if p.cur.Kind != TokenIdent && p.cur.Kind != TokenKeyword {
+		return nil, p.errf("expected type name in CAST, found %s", p.cur)
+	}
+	typ := strings.ToUpper(p.cur.Text)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, Type: typ}, nil
+}

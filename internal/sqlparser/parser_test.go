@@ -1,0 +1,308 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// The two queries from the paper's Figure 1 descriptor.
+	for _, q := range []string{
+		"select avg(temperature) from WRAPPER",
+		"select * from src1",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := MustParse("SELECT a, b AS bee FROM t WHERE a > 5")
+	if len(s.Columns) != 2 {
+		t.Fatalf("columns = %d", len(s.Columns))
+	}
+	if s.Columns[1].Alias != "bee" {
+		t.Errorf("alias = %q", s.Columns[1].Alias)
+	}
+	tn, ok := s.From[0].(*TableName)
+	if !ok || tn.Name != "t" {
+		t.Fatalf("from = %#v", s.From[0])
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != OpGt {
+		t.Fatalf("where = %#v", s.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := MustParse("SELECT *, t.* FROM t")
+	if !s.Columns[0].Star || s.Columns[0].StarTable != "" {
+		t.Errorf("col0 = %+v", s.Columns[0])
+	}
+	if !s.Columns[1].Star || s.Columns[1].StarTable != "t" {
+		t.Errorf("col1 = %+v", s.Columns[1])
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := MustParse(`SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id`)
+	j, ok := s.From[0].(*JoinRef)
+	if !ok || j.Kind != LeftJoin {
+		t.Fatalf("outer join = %#v", s.From[0])
+	}
+	inner, ok := j.Left.(*JoinRef)
+	if !ok || inner.Kind != InnerJoin {
+		t.Fatalf("inner join = %#v", j.Left)
+	}
+	if _, ok := s.From[0].(*JoinRef); !ok {
+		t.Fatal("join did not nest")
+	}
+}
+
+func TestParseCrossJoinNoOn(t *testing.T) {
+	s := MustParse("SELECT * FROM a CROSS JOIN b")
+	j := s.From[0].(*JoinRef)
+	if j.Kind != CrossJoin || j.On != nil {
+		t.Fatalf("join = %#v", j)
+	}
+	if _, err := Parse("SELECT * FROM a JOIN b"); err == nil {
+		t.Error("inner join without ON parsed")
+	}
+}
+
+func TestParseGroupHaving(t *testing.T) {
+	s := MustParse("SELECT type, count(*) FROM readings GROUP BY type HAVING count(*) > 3")
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatalf("group=%v having=%v", s.GroupBy, s.Having)
+	}
+	fc := s.Columns[1].Expr.(*FuncCall)
+	if !fc.CountStar || fc.Name != "COUNT" {
+		t.Errorf("count(*) parsed as %#v", fc)
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	s := MustParse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", s.OrderBy)
+	}
+	if s.Limit.(*Literal).Value != int64(10) || s.Offset.(*Literal).Value != int64(5) {
+		t.Fatalf("limit=%v offset=%v", s.Limit, s.Offset)
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	s := MustParse("SELECT a FROM t UNION ALL SELECT a FROM u INTERSECT SELECT a FROM v")
+	if s.Compound == nil || s.Compound.Op != Union || !s.Compound.All {
+		t.Fatalf("compound = %+v", s.Compound)
+	}
+	second := s.Compound.Right
+	if second.Compound == nil || second.Compound.Op != Intersect {
+		t.Fatalf("second compound = %+v", second.Compound)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := MustParse(`SELECT a, (SELECT max(b) FROM u) FROM (SELECT * FROM t) AS d
+		WHERE a IN (SELECT a FROM v) AND EXISTS (SELECT 1 FROM w)`)
+	if _, ok := s.Columns[1].Expr.(*Subquery); !ok {
+		t.Errorf("scalar subquery = %#v", s.Columns[1].Expr)
+	}
+	if _, ok := s.From[0].(*SubqueryRef); !ok {
+		t.Errorf("derived table = %#v", s.From[0])
+	}
+}
+
+func TestParseDerivedTableRequiresAlias(t *testing.T) {
+	if _, err := Parse("SELECT * FROM (SELECT 1)"); err == nil {
+		t.Error("derived table without alias parsed")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := MustParse(`SELECT * FROM t WHERE a BETWEEN 1 AND 10
+		AND b NOT IN (1, 2, 3) AND c LIKE 'x%' AND d IS NOT NULL AND NOT e = 1`)
+	str := s.String()
+	for _, want := range []string{"BETWEEN", "NOT IN", "LIKE", "IS NOT NULL", "NOT"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("rendered %q misses %q", str, want)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	s := MustParse(`SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END FROM t`)
+	c := s.Columns[0].Expr.(*CaseExpr)
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case = %+v", c)
+	}
+	s2 := MustParse(`SELECT CASE a WHEN 1 THEN 'one' END FROM t`)
+	c2 := s2.Columns[0].Expr.(*CaseExpr)
+	if c2.Operand == nil || len(c2.Whens) != 1 || c2.Else != nil {
+		t.Fatalf("simple case = %+v", c2)
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	s := MustParse("SELECT CAST(a AS integer) FROM t")
+	c := s.Columns[0].Expr.(*CastExpr)
+	if c.Type != "INTEGER" {
+		t.Fatalf("cast = %+v", c)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := MustParse("SELECT 1 + 2 * 3")
+	// Should render as (1 + (2 * 3)).
+	if got := s.Columns[0].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence: %s", got)
+	}
+	s2 := MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if got := s2.Where.String(); got != "((a = 1) OR ((b = 2) AND (c = 3)))" {
+		t.Errorf("bool precedence: %s", got)
+	}
+}
+
+func TestParseUnaryMinusFolding(t *testing.T) {
+	s := MustParse("SELECT -5, -2.5, -(a)")
+	if v := s.Columns[0].Expr.(*Literal).Value; v != int64(-5) {
+		t.Errorf("folded int: %v", v)
+	}
+	if v := s.Columns[1].Expr.(*Literal).Value; v != -2.5 {
+		t.Errorf("folded float: %v", v)
+	}
+	if _, ok := s.Columns[2].Expr.(*UnaryExpr); !ok {
+		t.Errorf("-(a) = %#v", s.Columns[2].Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER a",
+		"SELECT a FROM t LIMIT",
+		"INSERT INTO t VALUES (1)",
+		"SELECT a FROM t extra garbage ,",
+		"SELECT (a FROM t",
+		"SELECT a FROM t WHERE a NOT 5",
+		"SELECT CASE END FROM t",
+	}
+	for _, q := range bad {
+		if s, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", q, s)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE ???")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *Error
+	if !errorAs(err, &pe) {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos <= 0 {
+		t.Errorf("position = %d", pe.Pos)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("message %q lacks offset", err.Error())
+	}
+}
+
+// errorAs is a minimal errors.As for *Error to avoid importing errors
+// just for one assertion.
+func errorAs(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestTablesCollectsAllReferences(t *testing.T) {
+	s := MustParse(`SELECT a, (SELECT max(x) FROM sub1) FROM main1 JOIN main2 ON main1.id = main2.id
+		WHERE a IN (SELECT y FROM sub2) UNION SELECT b FROM main3`)
+	got := s.Tables()
+	want := map[string]bool{"SUB1": true, "MAIN1": true, "MAIN2": true, "SUB2": true, "MAIN3": true}
+	if len(got) != len(want) {
+		t.Fatalf("Tables() = %v", got)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected table %q", name)
+		}
+	}
+}
+
+// Round-trip property: parse → String → parse yields an identical
+// rendering. This exercises every String method against the parser.
+func TestRoundTripProperty(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM t",
+		"select avg(temperature) from WRAPPER",
+		"SELECT DISTINCT a, b AS c FROM t WHERE x <> 3.5 ORDER BY a DESC LIMIT 3",
+		"SELECT t.*, u.a FROM t JOIN u ON t.id = u.id",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b NOT LIKE 'z%'",
+		"SELECT count(*), sum(x), avg(DISTINCT y) FROM t GROUP BY z HAVING count(*) >= 2",
+		"SELECT CASE WHEN a THEN 1 ELSE 0 END FROM t",
+		"SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v",
+		"SELECT (SELECT max(b) FROM u) AS m FROM t",
+		"SELECT * FROM (SELECT a FROM t) AS d WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT -x, +y, NOT z FROM t",
+		"SELECT a || 'suffix' FROM t",
+		"SELECT CAST(a AS double) FROM t WHERE b IS NULL",
+		"SELECT \"select\" FROM \"from\"",
+		"SELECT x % 2 FROM t WHERE x / 2 > 1",
+	}
+	for _, q := range queries {
+		first, err := Parse(q)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+			continue
+		}
+		printed := first.String()
+		second, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", printed, q, err)
+			continue
+		}
+		if second.String() != printed {
+			t.Errorf("round-trip diverged:\n  in:  %s\n  out: %s", printed, second.String())
+		}
+	}
+}
+
+// TestQuickLiteralRoundTrip fuzzes literal round-trips through the
+// parser with random ints, floats and strings.
+func TestQuickLiteralRoundTrip(t *testing.T) {
+	f := func(n int64, fl float64, s string) bool {
+		lit := &Literal{Value: n}
+		got, err := Parse("SELECT " + lit.String())
+		if err != nil {
+			return false
+		}
+		if got.Columns[0].Expr.(*Literal).Value != n {
+			return false
+		}
+		// Strings: strip NUL which the lexer treats as bytes anyway.
+		clean := strings.ReplaceAll(s, "\x00", "")
+		slit := &Literal{Value: clean}
+		got2, err := Parse("SELECT " + slit.String())
+		if err != nil {
+			return false
+		}
+		return got2.Columns[0].Expr.(*Literal).Value == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package sqlparser implements the SQL dialect GSN uses to specify
+// stream processing in virtual sensor descriptors (paper §3): SELECT
+// statements with joins, subqueries, grouping, ordering, unions and
+// intersections. The parser is a hand-written recursive-descent /
+// precedence-climbing parser producing an AST consumed by the
+// sqlengine package.
+package sqlparser
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+const (
+	// TokenEOF marks the end of input.
+	TokenEOF TokenKind = iota
+	// TokenIdent is an identifier (possibly double-quoted).
+	TokenIdent
+	// TokenKeyword is a reserved word (stored upper-case in Text).
+	TokenKeyword
+	// TokenNumber is an integer or decimal literal.
+	TokenNumber
+	// TokenString is a single-quoted string literal (Text holds the
+	// unescaped value).
+	TokenString
+	// TokenSymbol is an operator or punctuation (Text holds the symbol).
+	TokenSymbol
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenIdent:
+		return "identifier"
+	case TokenKeyword:
+		return "keyword"
+	case TokenNumber:
+		return "number"
+	case TokenString:
+		return "string"
+	case TokenSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokenEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the reserved-word set. Identifiers matching these
+// (case-insensitively) lex as TokenKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "USING": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "ALL": true,
+	"DISTINCT": true, "ASC": true, "DESC": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"TRUE": true, "FALSE": true, "CAST": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[word] }

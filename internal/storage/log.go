@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"gsn/internal/stream"
+)
+
+// logMagic identifies a GSN persistence log file (version 1).
+var logMagic = []byte("GSNLOG1\n")
+
+// Log is an append-only element log backing "permanent-storage" tables.
+// The file starts with a magic header and the binary-encoded schema,
+// followed by length-prefixed element records.
+type Log struct {
+	f      *os.File
+	w      *bufio.Writer
+	schema *stream.Schema
+}
+
+// OpenLog opens (or creates) the log at path for appending. If the file
+// already exists its header must match the given schema.
+func OpenLog(path string, schema *stream.Schema) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		// Fresh log: write header.
+		hdr := append([]byte{}, logMagic...)
+		hdr = stream.EncodeSchema(hdr, schema)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		existing, _, err := readLogHeader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if !existing.Equal(schema) {
+			f.Close()
+			return nil, fmt.Errorf("storage: log %s has schema %s, table wants %s", path, existing, schema)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), schema: schema}, nil
+}
+
+// Append writes one element record and flushes it.
+func (l *Log) Append(e stream.Element) error {
+	if err := stream.WriteElement(l.w, e); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// readLogHeader validates the magic and decodes the schema, leaving the
+// read position at the first record.
+func readLogHeader(f *os.File) (*stream.Schema, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, 0, fmt.Errorf("storage: reading log header: %w", err)
+	}
+	if string(magic) != string(logMagic) {
+		return nil, 0, fmt.Errorf("storage: not a GSN log file")
+	}
+	// The schema is small; read a bounded prefix to decode it.
+	buf := make([]byte, 64*1024)
+	n, err := f.Read(buf)
+	if err != nil && err != io.EOF {
+		return nil, 0, err
+	}
+	schema, consumed, err := stream.DecodeSchema(buf[:n])
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: decoding log schema: %w", err)
+	}
+	off := int64(len(logMagic) + consumed)
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	return schema, off, nil
+}
+
+// ReplayLog reads every element from the log at path. Corrupt trailing
+// records (e.g. after a crash mid-append) terminate the replay without
+// error, returning the prefix that decoded cleanly.
+func ReplayLog(path string) (*stream.Schema, []stream.Element, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	schema, _, err := readLogHeader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := bufio.NewReader(f)
+	var out []stream.Element
+	for {
+		e, err := stream.ReadElement(r, schema)
+		if err == io.EOF {
+			return schema, out, nil
+		}
+		if err != nil {
+			// Torn tail: keep the clean prefix.
+			return schema, out, nil
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// Store is the per-container table catalog. Table names are
+// case-insensitive (SQL identifiers).
+type Store struct {
+	clock   stream.Clock
+	dataDir string // persistence directory; empty disables persistence
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates a store. clock may be nil for the system clock;
+// dataDir, when non-empty, is created and used for permanent-storage
+// table logs.
+func NewStore(clock stream.Clock, dataDir string) (*Store, error) {
+	if clock == nil {
+		clock = stream.SystemClock()
+	}
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: creating data dir: %w", err)
+		}
+	}
+	return &Store{clock: clock, dataDir: dataDir, tables: make(map[string]*Table)}, nil
+}
+
+// TableOptions configures table creation.
+type TableOptions struct {
+	// Window is the retention window (required; use stream.ParseWindow).
+	Window stream.Window
+	// Permanent enables the append-only persistence log (descriptor
+	// attribute permanent-storage="true"). Requires the store to have a
+	// data directory.
+	Permanent bool
+}
+
+// CreateTable registers a new table. It fails if the name is taken.
+// When Permanent is set and a previous log exists, its contents are
+// replayed into the window before new inserts are accepted.
+func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOptions) (*Table, error) {
+	canonical := stream.CanonicalName(name)
+	if canonical == "" {
+		return nil, fmt.Errorf("storage: empty table name")
+	}
+	t, err := NewTable(canonical, schema, opts.Window, s.clock)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[canonical]; exists {
+		return nil, fmt.Errorf("storage: table %s already exists", canonical)
+	}
+
+	if opts.Permanent {
+		if s.dataDir == "" {
+			return nil, fmt.Errorf("storage: table %s wants permanent storage but the store has no data directory", canonical)
+		}
+		path := filepath.Join(s.dataDir, canonical+".gsnlog")
+		if _, err := os.Stat(path); err == nil {
+			logSchema, elems, err := ReplayLog(path)
+			if err != nil {
+				return nil, fmt.Errorf("storage: replaying %s: %w", path, err)
+			}
+			if !logSchema.Equal(schema) {
+				return nil, fmt.Errorf("storage: log %s schema %s does not match %s", path, logSchema, schema)
+			}
+			for _, e := range elems {
+				t.mu.Lock()
+				t.elems = append(t.elems, e)
+				t.inserted++
+				t.bytes += e.Size()
+				t.evictLocked()
+				t.mu.Unlock()
+			}
+		}
+		log, err := OpenLog(path, schema)
+		if err != nil {
+			return nil, err
+		}
+		t.log = log
+	}
+
+	s.tables[canonical] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[stream.CanonicalName(name)]
+	return t, ok
+}
+
+// DropTable removes and closes a table. Dropping a missing table is an
+// error so descriptor bugs surface early.
+func (s *Store) DropTable(name string) error {
+	canonical := stream.CanonicalName(name)
+	s.mu.Lock()
+	t, ok := s.tables[canonical]
+	delete(s.tables, canonical)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: table %s does not exist", canonical)
+	}
+	return t.Close()
+}
+
+// List returns the table names in sorted order.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes every table.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, t := range s.tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.tables, name)
+	}
+	return first
+}
+
+// Clock returns the store's clock (shared with its container).
+func (s *Store) Clock() stream.Clock { return s.clock }

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsn/internal/stream"
+)
+
+func TestStoreCreateGetDrop(t *testing.T) {
+	s, err := NewStore(stream.NewManualClock(0), "")
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	_, err = s.CreateTable("Readings", tempSchema, TableOptions{Window: stream.MustWindow("10")})
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := s.CreateTable("readings", tempSchema, TableOptions{Window: stream.MustWindow("10")}); err == nil {
+		t.Error("CreateTable accepted case-insensitive duplicate")
+	}
+	tab, ok := s.Table("READINGS")
+	if !ok || tab.Name() != "READINGS" {
+		t.Fatalf("Table lookup failed: %v %v", tab, ok)
+	}
+	if got := s.List(); len(got) != 1 || got[0] != "READINGS" {
+		t.Errorf("List = %v", got)
+	}
+	if err := s.DropTable("readings"); err != nil {
+		t.Fatalf("DropTable: %v", err)
+	}
+	if err := s.DropTable("readings"); err == nil {
+		t.Error("DropTable of missing table succeeded")
+	}
+	if _, ok := s.Table("readings"); ok {
+		t.Error("table still visible after drop")
+	}
+}
+
+func TestStoreEmptyName(t *testing.T) {
+	s, _ := NewStore(nil, "")
+	if _, err := s.CreateTable("  ", tempSchema, TableOptions{Window: stream.MustWindow("1")}); err == nil {
+		t.Error("CreateTable accepted blank name")
+	}
+}
+
+func TestStorePermanentRequiresDataDir(t *testing.T) {
+	s, _ := NewStore(nil, "")
+	_, err := s.CreateTable("t", tempSchema, TableOptions{Window: stream.MustWindow("10"), Permanent: true})
+	if err == nil {
+		t.Fatal("permanent table without data dir succeeded")
+	}
+}
+
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clock := stream.NewManualClock(0)
+
+	s1, err := NewStore(clock, dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	tab, err := s1.CreateTable("perm", tempSchema, TableOptions{Window: stream.MustWindow("100"), Permanent: true})
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i*11)
+		if err := tab.Insert(e); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the log must replay into the new table.
+	s2, err := NewStore(clock, dir)
+	if err != nil {
+		t.Fatalf("NewStore(2): %v", err)
+	}
+	defer s2.Close()
+	tab2, err := s2.CreateTable("perm", tempSchema, TableOptions{Window: stream.MustWindow("100"), Permanent: true})
+	if err != nil {
+		t.Fatalf("CreateTable(2): %v", err)
+	}
+	snap := tab2.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("replayed %d elements, want 5", len(snap))
+	}
+	if snap[4].Value(0) != int64(55) {
+		t.Errorf("last element = %v", snap[4])
+	}
+
+	// Appending after replay must extend, not clobber, the log.
+	e, _ := stream.NewElement(tempSchema, 6, int64(66))
+	if err := tab2.Insert(e); err != nil {
+		t.Fatalf("Insert after replay: %v", err)
+	}
+	s2.Close()
+
+	_, elems, err := ReplayLog(filepath.Join(dir, "PERM.gsnlog"))
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	if len(elems) != 6 {
+		t.Errorf("log has %d records, want 6", len(elems))
+	}
+}
+
+func TestStorePersistenceSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := NewStore(nil, dir)
+	if _, err := s1.CreateTable("p", tempSchema, TableOptions{Window: stream.MustWindow("10"), Permanent: true}); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	s1.Close()
+
+	other := stream.MustSchema(stream.Field{Name: "different", Type: stream.TypeFloat})
+	s2, _ := NewStore(nil, dir)
+	defer s2.Close()
+	if _, err := s2.CreateTable("p", other, TableOptions{Window: stream.MustWindow("10"), Permanent: true}); err == nil {
+		t.Fatal("CreateTable accepted schema mismatch with existing log")
+	}
+}
+
+func TestReplayLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.gsnlog")
+	log, err := OpenLog(path, tempSchema)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		if err := log.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	log.Close()
+
+	// Simulate a crash mid-append by truncating the last few bytes.
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatalf("ReplayLog on torn file: %v", err)
+	}
+	if len(elems) != 2 {
+		t.Errorf("replayed %d records from torn log, want 2", len(elems))
+	}
+}
+
+func TestReplayLogRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.bin")
+	if err := os.WriteFile(path, []byte("not a gsn log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayLog(path); err == nil {
+		t.Fatal("ReplayLog accepted garbage file")
+	}
+}
+
+func TestOpenLogSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "l.gsnlog")
+	log, err := OpenLog(path, tempSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	other := stream.MustSchema(stream.Field{Name: "x", Type: stream.TypeBytes})
+	if _, err := OpenLog(path, other); err == nil {
+		t.Fatal("OpenLog accepted mismatched schema")
+	}
+}

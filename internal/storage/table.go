@@ -1,0 +1,253 @@
+// Package storage implements the GSN container's storage layer (paper
+// §4): one windowed, time-ordered relation per stream source and per
+// virtual sensor output. Tables evict by the descriptor's window
+// (time-based or count-based) and can optionally persist to an
+// append-only log ("permanent-storage" in the descriptor).
+//
+// The original GSN delegated this to MySQL; an embedded store keeps the
+// identical access pattern (insert-on-arrival, window-scan-on-trigger)
+// without an external dependency, which is what the latency experiments
+// measure.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// TableStats reports table activity counters.
+type TableStats struct {
+	// Inserted is the total number of elements ever inserted.
+	Inserted uint64
+	// Evicted is the number of elements dropped by window retention.
+	Evicted uint64
+	// Live is the number of elements currently retained.
+	Live int
+	// Bytes is the approximate payload size of live elements.
+	Bytes int
+}
+
+// Table is a windowed stream relation. All methods are safe for
+// concurrent use.
+type Table struct {
+	name   string
+	schema *stream.Schema
+	window stream.Window
+	clock  stream.Clock
+
+	mu       sync.RWMutex
+	elems    []stream.Element // live elements in arrival order; elems[head:] are valid
+	head     int
+	inserted uint64
+	evicted  uint64
+	bytes    int
+	log      *Log
+}
+
+// NewTable creates a standalone table (the Store is the usual entry
+// point). The window governs retention; clock may be nil for
+// stream.SystemClock.
+func NewTable(name string, schema *stream.Schema, window stream.Window, clock stream.Clock) (*Table, error) {
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("storage: table %q needs a non-empty schema", name)
+	}
+	if window.Kind == stream.CountWindow && window.Count <= 0 {
+		return nil, fmt.Errorf("storage: table %q has non-positive count window", name)
+	}
+	if window.Kind == stream.TimeWindow && window.Size <= 0 {
+		return nil, fmt.Errorf("storage: table %q has non-positive time window", name)
+	}
+	if clock == nil {
+		clock = stream.SystemClock()
+	}
+	return &Table{
+		name:   stream.CanonicalName(name),
+		schema: schema,
+		window: window,
+		clock:  clock,
+	}, nil
+}
+
+// Name returns the canonical table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *stream.Schema { return t.schema }
+
+// Window returns the retention window.
+func (t *Table) Window() stream.Window { return t.window }
+
+// Insert appends an element. The element schema must equal the table
+// schema. Eviction by the retention window happens inline so the table
+// never holds more than one extra element beyond its bound.
+func (t *Table) Insert(e stream.Element) error {
+	if e.Schema() == nil || !e.Schema().Equal(t.schema) {
+		return fmt.Errorf("storage: element schema %s does not match table %s schema %s",
+			e.Schema(), t.name, t.schema)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.elems = append(t.elems, e)
+	t.inserted++
+	t.bytes += e.Size()
+	t.evictLocked()
+	if t.log != nil {
+		if err := t.log.Append(e); err != nil {
+			return fmt.Errorf("storage: persist %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// evictLocked drops elements outside the retention window and compacts
+// the backing slice when more than half is dead space.
+func (t *Table) evictLocked() {
+	switch t.window.Kind {
+	case stream.CountWindow:
+		for t.liveLenLocked() > t.window.Count {
+			t.dropHeadLocked()
+		}
+	case stream.TimeWindow:
+		now := t.clock.Now()
+		for t.liveLenLocked() > 0 && !t.window.Covers(t.elems[t.head].Timestamp(), now) {
+			t.dropHeadLocked()
+		}
+	}
+	if t.head > len(t.elems)/2 && t.head > 32 {
+		live := copy(t.elems, t.elems[t.head:])
+		// Release references so evicted payloads can be collected.
+		for i := live; i < len(t.elems); i++ {
+			t.elems[i] = stream.Element{}
+		}
+		t.elems = t.elems[:live]
+		t.head = 0
+	}
+}
+
+func (t *Table) liveLenLocked() int { return len(t.elems) - t.head }
+
+func (t *Table) dropHeadLocked() {
+	t.bytes -= t.elems[t.head].Size()
+	t.elems[t.head] = stream.Element{}
+	t.head++
+	t.evicted++
+}
+
+// Len returns the number of live elements, applying time-window expiry
+// as of the current clock.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	return t.liveLenLocked()
+}
+
+// Snapshot returns a copy of the live window contents in arrival order.
+func (t *Table) Snapshot() []stream.Element {
+	t.mu.Lock()
+	t.evictLocked()
+	out := make([]stream.Element, t.liveLenLocked())
+	copy(out, t.elems[t.head:])
+	t.mu.Unlock()
+	return out
+}
+
+// ForEach calls fn for every live element in arrival order while holding
+// a read lock; fn must not call back into the table. Returning false
+// stops iteration early. This is the zero-copy path the query engine
+// uses to materialise window relations.
+func (t *Table) ForEach(fn func(stream.Element) bool) {
+	t.mu.Lock()
+	t.evictLocked()
+	t.mu.Unlock()
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := t.head; i < len(t.elems); i++ {
+		if !fn(t.elems[i]) {
+			return
+		}
+	}
+}
+
+// Last returns up to n most recent elements in arrival order.
+func (t *Table) Last(n int) []stream.Element {
+	if n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	live := t.liveLenLocked()
+	if n > live {
+		n = live
+	}
+	out := make([]stream.Element, n)
+	copy(out, t.elems[len(t.elems)-n:])
+	return out
+}
+
+// Since returns the elements with logical timestamp strictly greater
+// than ts, in arrival order. It is the long-poll primitive used by the
+// p2p layer.
+func (t *Table) Since(ts stream.Timestamp) []stream.Element {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	var out []stream.Element
+	for i := t.head; i < len(t.elems); i++ {
+		if t.elems[i].Timestamp() > ts {
+			out = append(out, t.elems[i])
+		}
+	}
+	return out
+}
+
+// Latest returns the most recent element and false if the table is
+// empty.
+func (t *Table) Latest() (stream.Element, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	if t.liveLenLocked() == 0 {
+		return stream.Element{}, false
+	}
+	return t.elems[len(t.elems)-1], true
+}
+
+// Truncate discards all live elements (used on redeploy).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evicted += uint64(t.liveLenLocked())
+	t.elems = nil
+	t.head = 0
+	t.bytes = 0
+}
+
+// Stats returns activity counters.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	return TableStats{
+		Inserted: t.inserted,
+		Evicted:  t.evicted,
+		Live:     t.liveLenLocked(),
+		Bytes:    t.bytes,
+	}
+}
+
+// Close releases the persistence log, if any.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log != nil {
+		err := t.log.Close()
+		t.log = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the container's local clock (paper §3, item 1). Abstracting it
+// lets tests and benchmarks drive the middleware deterministically with a
+// manual clock while production uses the system clock.
+type Clock interface {
+	// Now returns the current time as a stream Timestamp.
+	Now() Timestamp
+}
+
+// systemClock reads the wall clock.
+type systemClock struct{}
+
+func (systemClock) Now() Timestamp { return TimestampOf(time.Now()) }
+
+// SystemClock returns a Clock backed by the operating system wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+// ManualClock is a deterministic clock for tests and simulations. The
+// zero value starts at timestamp 0; use NewManualClock to start at a
+// realistic epoch.
+type ManualClock struct {
+	mu  sync.Mutex
+	now Timestamp
+}
+
+// NewManualClock returns a manual clock initialised to start.
+func NewManualClock(start Timestamp) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *ManualClock) Advance(d time.Duration) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to ts. Moving backwards is allowed; GSN treats
+// timestamps as observations, not as a total order guarantee.
+func (c *ManualClock) Set(ts Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = ts
+}

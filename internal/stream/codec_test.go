@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeElementRoundTrip(t *testing.T) {
+	e := MustElement(testSchema, 12345, 42, 3.25, "hello", []byte{0xde, 0xad}, true)
+	e = e.WithArrival(12400)
+	buf := EncodeElement(nil, e)
+	got, n, err := DecodeElement(testSchema, buf)
+	if err != nil {
+		t.Fatalf("DecodeElement: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	assertElementsEqual(t, e, got)
+}
+
+func TestEncodeDecodeNulls(t *testing.T) {
+	e := MustElement(testSchema, 1, nil, nil, nil, nil, nil)
+	got, _, err := DecodeElement(testSchema, EncodeElement(nil, e))
+	if err != nil {
+		t.Fatalf("DecodeElement: %v", err)
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Value(i) != nil {
+			t.Errorf("Value(%d) = %v, want nil", i, got.Value(i))
+		}
+	}
+}
+
+func TestDecodeElementArityCheck(t *testing.T) {
+	small := MustSchema(Field{Name: "a", Type: TypeInt})
+	e := MustElement(testSchema, 1, 1, 1.0, "x", nil, true)
+	if _, _, err := DecodeElement(small, EncodeElement(nil, e)); err == nil {
+		t.Fatal("DecodeElement accepted value count mismatching schema")
+	}
+}
+
+func TestDecodeElementTruncated(t *testing.T) {
+	e := MustElement(testSchema, 1, 1, 1.0, "xyz", []byte{9}, true)
+	buf := EncodeElement(nil, e)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeElement(testSchema, buf[:cut]); err == nil {
+			t.Fatalf("DecodeElement accepted truncation at %d/%d bytes", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeElementGarbage(t *testing.T) {
+	// Random garbage must error or decode without panicking.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		DecodeElement(nil, buf) // must not panic
+	}
+}
+
+func TestWriteReadElementStream(t *testing.T) {
+	var buf bytes.Buffer
+	elems := []Element{
+		MustElement(testSchema, 1, 1, 1.5, "a", []byte{1}, true),
+		MustElement(testSchema, 2, 2, 2.5, "b", nil, false),
+		MustElement(testSchema, 3, nil, nil, "c", []byte{}, nil),
+	}
+	for _, e := range elems {
+		if err := WriteElement(&buf, e); err != nil {
+			t.Fatalf("WriteElement: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range elems {
+		got, err := ReadElement(r, testSchema)
+		if err != nil {
+			t.Fatalf("ReadElement[%d]: %v", i, err)
+		}
+		assertElementsEqual(t, want, got)
+	}
+	if _, err := ReadElement(r, testSchema); err == nil {
+		t.Fatal("ReadElement past end succeeded")
+	}
+}
+
+func TestEncodeDecodeSchemaRoundTrip(t *testing.T) {
+	buf := EncodeSchema(nil, testSchema)
+	got, n, err := DecodeSchema(buf)
+	if err != nil {
+		t.Fatalf("DecodeSchema: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !got.Equal(testSchema) {
+		t.Errorf("schema round-trip: %s != %s", got, testSchema)
+	}
+}
+
+// quickValues generates a random value tuple for testSchema.
+func quickValues(rng *rand.Rand) []Value {
+	vs := make([]Value, 5)
+	if rng.Intn(4) > 0 {
+		vs[0] = rng.Int63()
+	}
+	if rng.Intn(4) > 0 {
+		vs[1] = rng.NormFloat64()
+	}
+	if rng.Intn(4) > 0 {
+		b := make([]byte, rng.Intn(20))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		vs[2] = string(b)
+	}
+	if rng.Intn(4) > 0 {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		vs[3] = b
+	}
+	if rng.Intn(4) > 0 {
+		vs[4] = rng.Intn(2) == 0
+	}
+	return vs
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(ts int64, arrival int64) bool {
+		rng := rand.New(rand.NewSource(ts ^ arrival))
+		e, err := NewElement(testSchema, Timestamp(ts), quickValues(rng)...)
+		if err != nil {
+			return false
+		}
+		e = e.WithArrival(Timestamp(arrival))
+		got, n, err := DecodeElement(testSchema, EncodeElement(nil, e))
+		if err != nil || n == 0 {
+			return false
+		}
+		return elementsEqual(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func elementsEqual(a, b Element) bool {
+	if a.Timestamp() != b.Timestamp() || a.Arrival() != b.Arrival() || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		av, bv := a.Value(i), b.Value(i)
+		if av == nil || bv == nil {
+			if av != nil || bv != nil {
+				return false
+			}
+			continue
+		}
+		if fa, ok := av.(float64); ok {
+			fb, ok2 := bv.(float64)
+			if !ok2 {
+				return false
+			}
+			if math.IsNaN(fa) && math.IsNaN(fb) {
+				continue
+			}
+			if fa != fb {
+				return false
+			}
+			continue
+		}
+		if !reflect.DeepEqual(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertElementsEqual(t *testing.T, want, got Element) {
+	t.Helper()
+	if !elementsEqual(want, got) {
+		t.Errorf("elements differ:\n want %v\n got  %v", want, got)
+	}
+}

@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+var testSchema = MustSchema(
+	Field{Name: "temperature", Type: TypeInt},
+	Field{Name: "humidity", Type: TypeFloat},
+	Field{Name: "label", Type: TypeString},
+	Field{Name: "raw", Type: TypeBytes},
+	Field{Name: "ok", Type: TypeBool},
+)
+
+func TestNewElementCoercesValues(t *testing.T) {
+	e, err := NewElement(testSchema, 1000, 21, 0.5, "a", []byte{1, 2}, true)
+	if err != nil {
+		t.Fatalf("NewElement: %v", err)
+	}
+	if v := e.Value(0); v != int64(21) {
+		t.Errorf("int coercion: got %T %v", v, v)
+	}
+	if v, ok := e.ValueByName("humidity"); !ok || v != 0.5 {
+		t.Errorf("ValueByName(humidity) = %v, %v", v, ok)
+	}
+}
+
+func TestNewElementArityMismatch(t *testing.T) {
+	if _, err := NewElement(testSchema, 0, 1, 2); err == nil {
+		t.Fatal("NewElement accepted wrong arity")
+	}
+}
+
+func TestNewElementTypeMismatch(t *testing.T) {
+	if _, err := NewElement(testSchema, 0, "not-a-number", 0.5, "a", nil, true); err == nil {
+		t.Fatal("NewElement accepted non-numeric string for integer field")
+	}
+}
+
+func TestNewElementNilSchema(t *testing.T) {
+	if _, err := NewElement(nil, 0); err == nil {
+		t.Fatal("NewElement accepted nil schema")
+	}
+}
+
+func TestElementNullsAllowedEverywhere(t *testing.T) {
+	e, err := NewElement(testSchema, 7, nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("NewElement with NULLs: %v", err)
+	}
+	for i := 0; i < e.Len(); i++ {
+		if e.Value(i) != nil {
+			t.Errorf("Value(%d) = %v, want nil", i, e.Value(i))
+		}
+	}
+}
+
+func TestElementTimestamps(t *testing.T) {
+	e := MustElement(testSchema, 0, 1, 1.0, "x", nil, false)
+	if e.HasTimestamp() {
+		t.Error("zero timestamp should report HasTimestamp=false")
+	}
+	e2 := e.WithTimestamp(500).WithArrival(600)
+	if e2.Timestamp() != 500 || e2.Arrival() != 600 {
+		t.Errorf("timestamps = %d/%d, want 500/600", e2.Timestamp(), e2.Arrival())
+	}
+	// Original untouched (immutability).
+	if e.Timestamp() != 0 || e.Arrival() != 0 {
+		t.Error("WithTimestamp mutated the original element")
+	}
+}
+
+func TestElementValuesReturnsCopy(t *testing.T) {
+	e := MustElement(testSchema, 1, 1, 1.0, "x", nil, false)
+	vs := e.Values()
+	vs[0] = int64(999)
+	if e.Value(0) != int64(1) {
+		t.Error("Values() exposed internal storage")
+	}
+}
+
+func TestElementSize(t *testing.T) {
+	e := MustElement(testSchema, 1, 1, 1.0, "abcd", []byte{1, 2, 3}, true)
+	// 16 header + 8 int + 8 float + 4 string + 3 bytes + 1 bool
+	if got := e.Size(); got != 16+8+8+4+3+1 {
+		t.Errorf("Size() = %d", got)
+	}
+}
+
+func TestTimestampConversions(t *testing.T) {
+	now := time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+	ts := TimestampOf(now)
+	if !ts.Time().Equal(now) {
+		t.Errorf("round-trip: %v != %v", ts.Time(), now)
+	}
+	if ts.Add(time.Second)-ts != 1000 {
+		t.Errorf("Add(1s) moved %d ms", ts.Add(time.Second)-ts)
+	}
+	if d := ts.Add(time.Minute).Sub(ts); d != time.Minute {
+		t.Errorf("Sub = %v, want 1m", d)
+	}
+}
+
+func TestCoerceTable(t *testing.T) {
+	cases := []struct {
+		in      Value
+		to      FieldType
+		want    Value
+		wantErr bool
+	}{
+		{int64(5), TypeFloat, 5.0, false},
+		{5.0, TypeInt, int64(5), false},
+		{5.5, TypeInt, nil, true},
+		{"42", TypeInt, int64(42), false},
+		{"4.25", TypeFloat, 4.25, false},
+		{"x", TypeFloat, nil, true},
+		{int64(1), TypeBool, true, false},
+		{"true", TypeBool, true, false},
+		{int64(7), TypeString, "7", false},
+		{"bytes", TypeBytes, []byte("bytes"), false},
+		{true, TypeInt, int64(1), false},
+		{[]byte("x"), TypeInt, nil, true},
+		{nil, TypeInt, nil, false},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.in, c.to)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Coerce(%v, %v) succeeded, want error", c.in, c.to)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Coerce(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if !ValuesEqual(got, c.want) {
+			t.Errorf("Coerce(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestValuesEqualNumericCrossType(t *testing.T) {
+	if !ValuesEqual(int64(3), 3.0) {
+		t.Error("int64(3) should equal float64(3)")
+	}
+	if ValuesEqual(int64(3), 3.5) {
+		t.Error("int64(3) should not equal 3.5")
+	}
+	if !ValuesEqual(nil, nil) {
+		t.Error("nil should equal nil here")
+	}
+	if ValuesEqual(nil, int64(0)) {
+		t.Error("nil should not equal 0")
+	}
+	if !ValuesEqual([]byte{1, 2}, []byte{1, 2}) {
+		t.Error("equal byte slices should be equal")
+	}
+	if ValuesEqual([]byte{1}, []byte{1, 2}) {
+		t.Error("different byte slices compared equal")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":      nil,
+		"42":        int64(42),
+		"3.5":       3.5,
+		"hi":        "hi",
+		"true":      true,
+		"<3 bytes>": []byte{1, 2, 3},
+	}
+	for want, in := range cases {
+		if got := FormatValue(in); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package stream defines the GSN data model: typed schemas, timestamped
+// stream elements, window specifications, and the clock abstraction used
+// throughout the middleware.
+//
+// In GSN a data stream is a sequence of timestamped tuples (the paper,
+// §3). Every tuple carries two timestamps: the logical timestamp assigned
+// by the producer (or by the container's local clock upon arrival if the
+// element had none) and the arrival time at the container, so the
+// temporal history of an element can always be traced through the
+// processing chain.
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldType enumerates the data types a stream field can carry. The set
+// mirrors the types accepted by GSN deployment descriptors
+// (integer/double/varchar/binary/boolean/timestamp).
+type FieldType int
+
+const (
+	// TypeInvalid is the zero FieldType; it never validates.
+	TypeInvalid FieldType = iota
+	// TypeInt is a 64-bit signed integer ("integer", "bigint").
+	TypeInt
+	// TypeFloat is a 64-bit IEEE float ("double", "numeric").
+	TypeFloat
+	// TypeString is a UTF-8 string ("varchar").
+	TypeString
+	// TypeBytes is an opaque byte payload ("binary"), e.g. camera frames.
+	TypeBytes
+	// TypeBool is a boolean ("boolean").
+	TypeBool
+	// TypeTime is a timestamp in milliseconds since the Unix epoch
+	// ("timestamp"). Stored as int64.
+	TypeTime
+)
+
+var fieldTypeNames = map[FieldType]string{
+	TypeInvalid: "invalid",
+	TypeInt:     "integer",
+	TypeFloat:   "double",
+	TypeString:  "varchar",
+	TypeBytes:   "binary",
+	TypeBool:    "boolean",
+	TypeTime:    "timestamp",
+}
+
+// String returns the descriptor-level name of the type.
+func (t FieldType) String() string {
+	if s, ok := fieldTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("FieldType(%d)", int(t))
+}
+
+// ParseFieldType maps a descriptor type name to a FieldType. It accepts
+// the aliases used by GSN XML descriptors (case-insensitive).
+func ParseFieldType(s string) (FieldType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer", "bigint", "smallint", "tinyint":
+		return TypeInt, nil
+	case "double", "float", "real", "numeric", "decimal":
+		return TypeFloat, nil
+	case "string", "varchar", "char", "text":
+		return TypeString, nil
+	case "binary", "blob", "bytes", "image":
+		return TypeBytes, nil
+	case "bool", "boolean":
+		return TypeBool, nil
+	case "time", "timestamp", "datetime":
+		return TypeTime, nil
+	default:
+		return TypeInvalid, fmt.Errorf("stream: unknown field type %q", s)
+	}
+}
+
+// Field describes one attribute of a stream schema.
+type Field struct {
+	// Name is the attribute name. Names are case-insensitive in queries;
+	// they are stored in canonical upper-case form by NewSchema.
+	Name string
+	// Type is the attribute type.
+	Type FieldType
+	// Description is optional human-readable documentation carried from
+	// the deployment descriptor.
+	Description string
+}
+
+// Schema is an ordered, immutable set of fields describing the tuples of
+// a data stream. The zero value is an empty schema.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from the given fields. Field names are
+// canonicalised to upper case (SQL identifiers in GSN are
+// case-insensitive) and must be unique and non-empty.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: make([]Field, 0, len(fields)),
+		index:  make(map[string]int, len(fields)),
+	}
+	for _, f := range fields {
+		name := CanonicalName(f.Name)
+		if name == "" {
+			return nil, fmt.Errorf("stream: empty field name in schema")
+		}
+		if f.Type == TypeInvalid || fieldTypeNames[f.Type] == "" {
+			return nil, fmt.Errorf("stream: field %s has invalid type", name)
+		}
+		if _, dup := s.index[name]; dup {
+			return nil, fmt.Errorf("stream: duplicate field %s in schema", name)
+		}
+		s.index[name] = len(s.fields)
+		s.fields = append(s.fields, Field{Name: name, Type: f.Type, Description: f.Description})
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. For tests and
+// compile-time-constant schemas.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CanonicalName returns the canonical (upper-case, trimmed) form of a
+// field or table identifier.
+func CanonicalName(name string) string {
+	return strings.ToUpper(strings.TrimSpace(name))
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.fields)
+}
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Field returns the i-th field. It panics if i is out of range, matching
+// slice semantics.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// IndexOf returns the position of the named field (case-insensitive) or
+// -1 if the schema has no such field.
+func (s *Schema) IndexOf(name string) int {
+	if s == nil {
+		return -1
+	}
+	if i, ok := s.index[CanonicalName(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named field.
+func (s *Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Equal reports whether two schemas have identical field names and types
+// in the same order. Descriptions are ignored.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i].Name != o.fields[i].Name || s.fields[i].Type != o.fields[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(NAME type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Extend returns a new schema with the given fields appended. It fails on
+// duplicates, like NewSchema.
+func (s *Schema) Extend(fields ...Field) (*Schema, error) {
+	all := append(s.Fields(), fields...)
+	return NewSchema(all...)
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaCanonicalisesNames(t *testing.T) {
+	s, err := NewSchema(
+		Field{Name: "temperature", Type: TypeInt},
+		Field{Name: " Light ", Type: TypeFloat},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if got := s.Field(0).Name; got != "TEMPERATURE" {
+		t.Errorf("Field(0).Name = %q, want TEMPERATURE", got)
+	}
+	if got := s.Field(1).Name; got != "LIGHT" {
+		t.Errorf("Field(1).Name = %q, want LIGHT", got)
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema(
+		Field{Name: "a", Type: TypeInt},
+		Field{Name: "A", Type: TypeFloat},
+	)
+	if err == nil {
+		t.Fatal("NewSchema accepted case-insensitive duplicate field names")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema(Field{Name: "  ", Type: TypeInt}); err == nil {
+		t.Fatal("NewSchema accepted blank field name")
+	}
+}
+
+func TestNewSchemaRejectsInvalidType(t *testing.T) {
+	if _, err := NewSchema(Field{Name: "x", Type: TypeInvalid}); err == nil {
+		t.Fatal("NewSchema accepted TypeInvalid")
+	}
+	if _, err := NewSchema(Field{Name: "x", Type: FieldType(99)}); err == nil {
+		t.Fatal("NewSchema accepted out-of-range type")
+	}
+}
+
+func TestSchemaIndexOfIsCaseInsensitive(t *testing.T) {
+	s := MustSchema(Field{Name: "Temperature", Type: TypeInt})
+	for _, name := range []string{"temperature", "TEMPERATURE", "Temperature", " temperature "} {
+		if s.IndexOf(name) != 0 {
+			t.Errorf("IndexOf(%q) = %d, want 0", name, s.IndexOf(name))
+		}
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", s.IndexOf("missing"))
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Field{Name: "a", Type: TypeInt}, Field{Name: "b", Type: TypeFloat})
+	b := MustSchema(Field{Name: "A", Type: TypeInt}, Field{Name: "B", Type: TypeFloat})
+	c := MustSchema(Field{Name: "a", Type: TypeFloat}, Field{Name: "b", Type: TypeFloat})
+	d := MustSchema(Field{Name: "a", Type: TypeInt})
+	if !a.Equal(b) {
+		t.Error("schemas differing only in case should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("schemas with different types should not be equal")
+	}
+	if a.Equal(d) {
+		t.Error("schemas with different arity should not be equal")
+	}
+}
+
+func TestSchemaExtend(t *testing.T) {
+	a := MustSchema(Field{Name: "a", Type: TypeInt})
+	b, err := a.Extend(Field{Name: "b", Type: TypeString})
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if b.Len() != 2 || b.IndexOf("b") != 1 {
+		t.Errorf("Extend produced %s", b)
+	}
+	if a.Len() != 1 {
+		t.Error("Extend mutated the receiver")
+	}
+	if _, err := a.Extend(Field{Name: "A", Type: TypeInt}); err == nil {
+		t.Error("Extend accepted a duplicate field")
+	}
+}
+
+func TestParseFieldTypeAliases(t *testing.T) {
+	cases := map[string]FieldType{
+		"integer": TypeInt, "INT": TypeInt, "bigint": TypeInt,
+		"double": TypeFloat, "Float": TypeFloat, "numeric": TypeFloat,
+		"varchar": TypeString, "string": TypeString,
+		"binary": TypeBytes, "blob": TypeBytes, "image": TypeBytes,
+		"boolean":   TypeBool,
+		"timestamp": TypeTime, "time": TypeTime,
+	}
+	for in, want := range cases {
+		got, err := ParseFieldType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFieldType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFieldType("quaternion"); err == nil {
+		t.Error("ParseFieldType accepted unknown type")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Field{Name: "temp", Type: TypeInt}, Field{Name: "img", Type: TypeBytes})
+	got := s.String()
+	if !strings.Contains(got, "TEMP integer") || !strings.Contains(got, "IMG binary") {
+		t.Errorf("String() = %q", got)
+	}
+}

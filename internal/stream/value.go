@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is a single field value inside a stream element. The dynamic type
+// is one of:
+//
+//	nil      — SQL NULL
+//	int64    — TypeInt and TypeTime (milliseconds since the Unix epoch)
+//	float64  — TypeFloat
+//	string   — TypeString
+//	[]byte   — TypeBytes
+//	bool     — TypeBool
+//
+// Using a small closed set of dynamic types keeps the SQL engine's value
+// handling simple and allocation-light.
+type Value = any
+
+// TypeOf returns the FieldType matching the dynamic type of v, or
+// TypeInvalid for nil and unsupported types. nil is valid in any column,
+// so callers must treat TypeInvalid from a nil value as "unknown", not as
+// an error.
+func TypeOf(v Value) FieldType {
+	switch v.(type) {
+	case int64:
+		return TypeInt
+	case float64:
+		return TypeFloat
+	case string:
+		return TypeString
+	case []byte:
+		return TypeBytes
+	case bool:
+		return TypeBool
+	default:
+		return TypeInvalid
+	}
+}
+
+// Coerce converts v to a value acceptable for a column of type t. It
+// performs the lossless conversions GSN wrappers rely on (ints into float
+// columns, numeric strings into numeric columns, int seconds into
+// timestamps) and returns an error otherwise. nil coerces to nil for any
+// type.
+func Coerce(v Value, t FieldType) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case TypeInt, TypeTime:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case float64:
+			if math.Trunc(x) == x && !math.IsInf(x, 0) {
+				return int64(x), nil
+			}
+			return nil, fmt.Errorf("stream: cannot coerce non-integral float %v to %s", x, t)
+		case string:
+			n, err := strconv.ParseInt(x, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: cannot coerce %q to %s", x, t)
+			}
+			return n, nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		}
+	case TypeFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		case string:
+			f, err := strconv.ParseFloat(x, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: cannot coerce %q to double", x)
+			}
+			return f, nil
+		}
+	case TypeString:
+		switch x := v.(type) {
+		case string:
+			return x, nil
+		case int64:
+			return strconv.FormatInt(x, 10), nil
+		case float64:
+			return strconv.FormatFloat(x, 'g', -1, 64), nil
+		case bool:
+			return strconv.FormatBool(x), nil
+		case []byte:
+			return string(x), nil
+		}
+	case TypeBytes:
+		switch x := v.(type) {
+		case []byte:
+			return x, nil
+		case string:
+			return []byte(x), nil
+		}
+	case TypeBool:
+		switch x := v.(type) {
+		case bool:
+			return x, nil
+		case int64:
+			return x != 0, nil
+		case string:
+			b, err := strconv.ParseBool(x)
+			if err != nil {
+				return nil, fmt.Errorf("stream: cannot coerce %q to boolean", x)
+			}
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("stream: cannot coerce %T to %s", v, t)
+}
+
+// FormatValue renders a value for logs, CSV output and the web UI. Bytes
+// render as a length tag rather than raw data.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case []byte:
+		return fmt.Sprintf("<%d bytes>", len(x))
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// ValuesEqual reports deep equality of two values, treating int64 and
+// float64 with the same numeric value as equal (SQL semantics). NULLs are
+// equal to each other here; three-valued logic is applied by the SQL
+// engine before calling this.
+func ValuesEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y
+		case float64:
+			return float64(x) == y
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return x == float64(y)
+		case float64:
+			return x == y
+		}
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WindowKind distinguishes the two window flavours GSN supports on data
+// streams (paper §3, item 4): time-based and count-based.
+type WindowKind int
+
+const (
+	// TimeWindow keeps the elements whose timestamps fall within the last
+	// Size duration relative to the current clock.
+	TimeWindow WindowKind = iota
+	// CountWindow keeps the most recent Count elements.
+	CountWindow
+)
+
+// String implements fmt.Stringer.
+func (k WindowKind) String() string {
+	switch k {
+	case TimeWindow:
+		return "time"
+	case CountWindow:
+		return "count"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// Window is a window specification from a deployment descriptor: the
+// storage-size of a stream source, or the history size of a virtual
+// sensor's own storage element.
+type Window struct {
+	Kind WindowKind
+	// Size is the temporal extent for TimeWindow.
+	Size time.Duration
+	// Count is the tuple count for CountWindow.
+	Count int
+}
+
+// ParseWindow parses GSN's window-size grammar:
+//
+//	"10"   → count window of 10 tuples
+//	"10s"  → time window of 10 seconds
+//	"2m"   → 2 minutes, "1h" → 1 hour, "500ms" → 500 milliseconds,
+//	"1d"   → 1 day
+//
+// An empty string yields the default count window of 1 tuple (GSN's
+// default when no storage-size is given: only the newest element is
+// visible to the query).
+func ParseWindow(s string) (Window, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return Window{Kind: CountWindow, Count: 1}, nil
+	}
+	// Pure integer → count window.
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return Window{}, fmt.Errorf("stream: window count must be positive, got %d", n)
+		}
+		return Window{Kind: CountWindow, Count: n}, nil
+	}
+	// Split numeric prefix from unit suffix.
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	if i == 0 {
+		return Window{}, fmt.Errorf("stream: invalid window size %q", s)
+	}
+	num, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("stream: invalid window size %q", s)
+	}
+	var unit time.Duration
+	switch s[i:] {
+	case "ms":
+		unit = time.Millisecond
+	case "s", "sec":
+		unit = time.Second
+	case "m", "min":
+		unit = time.Minute
+	case "h":
+		unit = time.Hour
+	case "d":
+		unit = 24 * time.Hour
+	default:
+		return Window{}, fmt.Errorf("stream: unknown window unit %q in %q", s[i:], s)
+	}
+	d := time.Duration(num * float64(unit))
+	if d <= 0 {
+		return Window{}, fmt.Errorf("stream: window duration must be positive, got %q", s)
+	}
+	return Window{Kind: TimeWindow, Size: d}, nil
+}
+
+// MustWindow is like ParseWindow but panics on error. For tests.
+func MustWindow(s string) Window {
+	w, err := ParseWindow(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// String renders the window back in descriptor syntax.
+func (w Window) String() string {
+	if w.Kind == CountWindow {
+		return strconv.Itoa(w.Count)
+	}
+	switch {
+	case w.Size%time.Hour == 0:
+		return fmt.Sprintf("%dh", w.Size/time.Hour)
+	case w.Size%time.Minute == 0:
+		return fmt.Sprintf("%dm", w.Size/time.Minute)
+	case w.Size%time.Second == 0:
+		return fmt.Sprintf("%ds", w.Size/time.Second)
+	default:
+		return fmt.Sprintf("%dms", w.Size/time.Millisecond)
+	}
+}
+
+// Covers reports whether an element with timestamp ts is inside the
+// window relative to the current time now. For count windows it always
+// returns true (count eviction is positional, not temporal).
+func (w Window) Covers(ts, now Timestamp) bool {
+	if w.Kind == CountWindow {
+		return true
+	}
+	return ts > now.Add(-w.Size)
+}

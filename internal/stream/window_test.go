@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseWindow(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Window
+	}{
+		{"10", Window{Kind: CountWindow, Count: 10}},
+		{"1", Window{Kind: CountWindow, Count: 1}},
+		{"", Window{Kind: CountWindow, Count: 1}},
+		{"10s", Window{Kind: TimeWindow, Size: 10 * time.Second}},
+		{"1h", Window{Kind: TimeWindow, Size: time.Hour}},
+		{"2m", Window{Kind: TimeWindow, Size: 2 * time.Minute}},
+		{"500ms", Window{Kind: TimeWindow, Size: 500 * time.Millisecond}},
+		{"1d", Window{Kind: TimeWindow, Size: 24 * time.Hour}},
+		{"1.5s", Window{Kind: TimeWindow, Size: 1500 * time.Millisecond}},
+		{" 30MIN ", Window{Kind: TimeWindow, Size: 30 * time.Minute}},
+	}
+	for _, c := range cases {
+		got, err := ParseWindow(c.in)
+		if err != nil {
+			t.Errorf("ParseWindow(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseWindow(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	for _, in := range []string{"0", "-5", "10x", "s", "..s", "0s"} {
+		if w, err := ParseWindow(in); err == nil {
+			t.Errorf("ParseWindow(%q) = %+v, want error", in, w)
+		}
+	}
+}
+
+func TestWindowStringRoundTrip(t *testing.T) {
+	for _, in := range []string{"10", "10s", "2m", "1h", "500ms"} {
+		w := MustWindow(in)
+		back, err := ParseWindow(w.String())
+		if err != nil || back != w {
+			t.Errorf("round-trip %q → %q → %+v (err %v)", in, w.String(), back, err)
+		}
+	}
+}
+
+func TestWindowCovers(t *testing.T) {
+	w := MustWindow("10s")
+	now := Timestamp(100_000)
+	if !w.Covers(95_000, now) {
+		t.Error("element 5s old should be inside a 10s window")
+	}
+	if w.Covers(89_000, now) {
+		t.Error("element 11s old should be outside a 10s window")
+	}
+	if w.Covers(90_000, now) {
+		t.Error("boundary element exactly size old should be excluded (half-open window)")
+	}
+	cw := MustWindow("5")
+	if !cw.Covers(0, now) {
+		t.Error("count windows never exclude by time")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(1000)
+	if c.Now() != 1000 {
+		t.Fatalf("Now() = %d", c.Now())
+	}
+	c.Advance(2 * time.Second)
+	if c.Now() != 3000 {
+		t.Fatalf("after Advance: %d", c.Now())
+	}
+	c.Set(500)
+	if c.Now() != 500 {
+		t.Fatalf("after Set: %d", c.Now())
+	}
+}
+
+func TestSystemClockMonotonicEnough(t *testing.T) {
+	c := SystemClock()
+	a := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := c.Now()
+	if b < a {
+		t.Errorf("system clock went backwards: %d then %d", a, b)
+	}
+}

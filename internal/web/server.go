@@ -1,0 +1,342 @@
+// Package web implements GSN's interface layer (paper §4: "access
+// functions for other GSN containers and via the Web (through a browser
+// or via web services)"): a REST API for querying, deploying and
+// monitoring virtual sensors, a browser dashboard with SVG plots (the
+// paper's §5 visualisation), and the mounted p2p protocol for peer
+// containers. The access control layer guards every route.
+package web
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsn/internal/access"
+	"gsn/internal/core"
+	"gsn/internal/notify"
+	"gsn/internal/p2p"
+	"gsn/internal/sqlengine"
+	"gsn/internal/stream"
+)
+
+// keyHeader carries the API key.
+const keyHeader = "X-Gsn-Key"
+
+// Server is the HTTP interface of one container.
+type Server struct {
+	container *core.Container
+	p2p       *p2p.Server
+	mux       *http.ServeMux
+}
+
+// NewServer builds the interface layer for a container. signKeyID
+// optionally signs p2p stream responses.
+func NewServer(c *core.Container, signKeyID string) *Server {
+	s := &Server{
+		container: c,
+		p2p:       p2p.NewServer(c, signKeyID),
+		mux:       http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	// Peer protocol (peers are authenticated by integrity signatures,
+	// not API keys).
+	s.mux.Handle("/p2p/", s.p2p.Handler())
+
+	// Web services.
+	s.mux.HandleFunc("GET /api/sensors", s.guard(access.RoleRead, s.handleSensors))
+	s.mux.HandleFunc("GET /api/sensors/{name}", s.guard(access.RoleRead, s.handleSensor))
+	s.mux.HandleFunc("GET /api/sensors/{name}/data", s.guard(access.RoleRead, s.handleSensorData))
+	s.mux.HandleFunc("GET /api/sensors/{name}/data.csv", s.guard(access.RoleRead, s.handleSensorCSV))
+	s.mux.HandleFunc("GET /api/sensors/{name}/descriptor", s.guard(access.RoleRead, s.handleDescriptor))
+	s.mux.HandleFunc("POST /api/query", s.guard(access.RoleRead, s.handleQuery))
+	s.mux.HandleFunc("POST /api/deploy", s.guard(access.RoleDeploy, s.handleDeploy))
+	s.mux.HandleFunc("DELETE /api/sensors/{name}", s.guard(access.RoleDeploy, s.handleUndeploy))
+	s.mux.HandleFunc("GET /api/metrics", s.guard(access.RoleRead, s.handleMetrics))
+	s.mux.HandleFunc("GET /api/directory", s.guard(access.RoleRead, s.handleDirectory))
+	s.mux.HandleFunc("GET /api/events", s.guard(access.RoleRead, s.handleEvents))
+
+	// Browser UI.
+	s.mux.HandleFunc("GET /{$}", s.guard(access.RoleRead, s.handleDashboard))
+	s.mux.HandleFunc("GET /plot/{file}", s.guard(access.RoleRead, s.handlePlot))
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// guard enforces the access control layer on a route.
+func (s *Server) guard(need access.Role, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(keyHeader)
+		if key == "" {
+			key = r.URL.Query().Get("key")
+		}
+		if err := s.container.ACL().Require(key, need); err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// SensorSummary is the JSON shape of a deployed sensor.
+type SensorSummary struct {
+	Name     string            `json:"name"`
+	Fields   map[string]string `json:"fields"`
+	Stats    core.SensorStats  `json:"stats"`
+	Metadata map[string]string `json:"metadata"`
+}
+
+func (s *Server) summarise(vs *core.VirtualSensor) SensorSummary {
+	fields := map[string]string{}
+	for _, f := range vs.OutputSchema().Fields() {
+		fields[f.Name] = f.Type.String()
+	}
+	return SensorSummary{
+		Name:     vs.Name(),
+		Fields:   fields,
+		Stats:    vs.Stats(),
+		Metadata: vs.Descriptor().MetadataMap(),
+	}
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
+	out := []SensorSummary{}
+	for _, vs := range s.container.Sensors() {
+		out = append(out, s.summarise(vs))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) sensorOr404(w http.ResponseWriter, r *http.Request) (*core.VirtualSensor, bool) {
+	vs, ok := s.container.Sensor(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
+		return nil, false
+	}
+	return vs, true
+}
+
+func (s *Server) handleSensor(w http.ResponseWriter, r *http.Request) {
+	vs, ok := s.sensorOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, s.summarise(vs))
+}
+
+func (s *Server) handleDescriptor(w http.ResponseWriter, r *http.Request) {
+	vs, ok := s.sensorOr404(w, r)
+	if !ok {
+		return
+	}
+	data, err := vs.Descriptor().XML()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data)
+}
+
+// rowsJSON converts a relation for JSON output, summarising byte
+// payloads.
+func rowsJSON(rel *sqlengine.Relation) map[string]any {
+	cols := make([]string, len(rel.Cols))
+	for i, c := range rel.Cols {
+		cols[i] = c.Name
+	}
+	rows := make([][]any, len(rel.Rows))
+	for i, row := range rel.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			if b, ok := v.([]byte); ok {
+				out[j] = fmt.Sprintf("<%d bytes>", len(b))
+			} else {
+				out[j] = v
+			}
+		}
+		rows[i] = out
+	}
+	return map[string]any{"columns": cols, "rows": rows}
+}
+
+func (s *Server) handleSensorData(w http.ResponseWriter, r *http.Request) {
+	vs, ok := s.sensorOr404(w, r)
+	if !ok {
+		return
+	}
+	limit := 20
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > 10_000 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	elems := vs.Output().Last(limit)
+	rel := sqlengine.RelationOfElements(vs.OutputSchema(), elems)
+	writeJSON(w, rowsJSON(rel))
+}
+
+// handleSensorCSV exports a sensor's window as CSV for external
+// plotting tools (the paper's visualization story); byte payloads
+// export as their length.
+func (s *Server) handleSensorCSV(w http.ResponseWriter, r *http.Request) {
+	vs, ok := s.container.Sensor(strings.TrimSuffix(r.PathValue("name"), ".csv"))
+	if !ok {
+		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
+		return
+	}
+	elems := vs.Output().Snapshot()
+	schema := vs.OutputSchema()
+	w.Header().Set("Content-Type", "text/csv")
+	cw := csv.NewWriter(w)
+	header := append([]string{"timed"}, schemaNames(schema)...)
+	cw.Write(header)
+	for _, e := range elems {
+		row := make([]string, 0, schema.Len()+1)
+		row = append(row, strconv.FormatInt(int64(e.Timestamp()), 10))
+		for i := 0; i < e.Len(); i++ {
+			row = append(row, stream.FormatValue(e.Value(i)))
+		}
+		cw.Write(row)
+	}
+	cw.Flush()
+}
+
+func schemaNames(schema *stream.Schema) []string {
+	out := make([]string, 0, schema.Len())
+	for _, f := range schema.Fields() {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// QueryRequest is the body of POST /api/query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		http.Error(w, "empty sql", http.StatusBadRequest)
+		return
+	}
+	rel, err := s.container.Query(req.SQL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, rowsJSON(rel))
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.container.DeployXML(data); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintln(w, "deployed")
+}
+
+func (s *Server) handleUndeploy(w http.ResponseWriter, r *http.Request) {
+	if err := s.container.Undeploy(r.PathValue("name")); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintln(w, "undeployed")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.container.Metrics().Snapshot())
+}
+
+func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.container.Directory().Snapshot())
+}
+
+// handleEvents streams notifications for a sensor as server-sent
+// events until the client disconnects or the timeout elapses.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sensor := r.URL.Query().Get("vs")
+	if sensor == "" {
+		http.Error(w, "missing vs parameter", http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := notify.NewChanChannel(64)
+	id, err := s.container.Subscribe(sensor, ch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer s.container.Unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": connected\n\n")
+	flusher.Flush()
+	timeout := time.After(5 * time.Minute)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-timeout:
+			return
+		case ev, open := <-ch.C:
+			if !open {
+				return
+			}
+			data, err := notify.MarshalEvent(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ListenAndServe runs the interface layer on addr until the server
+// fails. Production deployments wrap this with their own lifecycle; the
+// gsnd daemon uses it directly.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,373 @@
+package web
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gsn/internal/access"
+	"gsn/internal/core"
+	"gsn/internal/stream"
+)
+
+const tickDescriptor = `
+<virtual-sensor name="ticks">
+  <output-structure><field name="tick" type="integer"/></output-structure>
+  <storage size="100"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="10">
+      <address wrapper="timer"/>
+      <query>select tick from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`
+
+func webFixture(t *testing.T) (*core.Container, *httptest.Server) {
+	t.Helper()
+	c, err := core.New(core.Options{
+		Name:           "webnode",
+		Clock:          stream.NewManualClock(1_000_000),
+		SyncProcessing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.DeployXML([]byte(tickDescriptor)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c, "").Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.String()
+}
+
+func TestSensorsEndpoint(t *testing.T) {
+	c, srv := webFixture(t)
+	c.Pulse()
+	resp, body := get(t, srv.URL+"/api/sensors")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sensors []SensorSummary
+	if err := json.Unmarshal([]byte(body), &sensors); err != nil {
+		t.Fatal(err)
+	}
+	if len(sensors) != 1 || sensors[0].Name != "TICKS" {
+		t.Fatalf("sensors = %+v", sensors)
+	}
+	if sensors[0].Fields["TICK"] != "integer" {
+		t.Errorf("fields = %v", sensors[0].Fields)
+	}
+	if sensors[0].Stats.Outputs != 1 {
+		t.Errorf("stats = %+v", sensors[0].Stats)
+	}
+}
+
+func TestSensorDetailAndData(t *testing.T) {
+	c, srv := webFixture(t)
+	for i := 0; i < 5; i++ {
+		c.Pulse()
+	}
+	resp, _ := get(t, srv.URL+"/api/sensors/ticks")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status %d", resp.StatusCode)
+	}
+	resp2, body := get(t, srv.URL+"/api/sensors/ticks/data?limit=3")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("data status %d", resp2.StatusCode)
+	}
+	var data struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &data); err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 3 || data.Columns[0] != "TICK" {
+		t.Errorf("data = %+v", data)
+	}
+	// Last 3 of 5 ticks: 3, 4, 5.
+	if data.Rows[0][0].(float64) != 3 {
+		t.Errorf("rows = %v", data.Rows)
+	}
+	resp3, _ := get(t, srv.URL+"/api/sensors/ghost")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("missing sensor status = %d", resp3.StatusCode)
+	}
+	resp4, _ := get(t, srv.URL+"/api/sensors/ticks/data?limit=-1")
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d", resp4.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	c, srv := webFixture(t)
+	for i := 0; i < 4; i++ {
+		c.Pulse()
+	}
+	body := strings.NewReader(`{"sql": "select max(tick) as m from ticks"}`)
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Columns[0] != "M" || out.Rows[0][0].(float64) != 4 {
+		t.Errorf("query result = %+v", out)
+	}
+	// Bad SQL → 400.
+	resp2, err := http.Post(srv.URL+"/api/query", "application/json",
+		strings.NewReader(`{"sql": "selec broken"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad sql status = %d", resp2.StatusCode)
+	}
+	// Empty body → 400.
+	resp3, _ := http.Post(srv.URL+"/api/query", "application/json", strings.NewReader(`{}`))
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sql status = %d", resp3.StatusCode)
+	}
+}
+
+func TestDeployAndUndeployOverHTTP(t *testing.T) {
+	_, srv := webFixture(t)
+	second := strings.Replace(tickDescriptor, `name="ticks"`, `name="ticks2"`, 1)
+	resp, err := http.Post(srv.URL+"/api/deploy", "application/xml", strings.NewReader(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	resp2, _ := get(t, srv.URL+"/api/sensors/ticks2")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("deployed sensor not visible: %d", resp2.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/sensors/ticks2", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("undeploy status = %d", resp3.StatusCode)
+	}
+	resp4, _ := get(t, srv.URL+"/api/sensors/ticks2")
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Errorf("undeployed sensor still visible: %d", resp4.StatusCode)
+	}
+	// Malformed descriptor → 400.
+	resp5, _ := http.Post(srv.URL+"/api/deploy", "application/xml", strings.NewReader("<broken"))
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad descriptor status = %d", resp5.StatusCode)
+	}
+}
+
+func TestAccessControlOnRoutes(t *testing.T) {
+	c, srv := webFixture(t)
+	c.ACL().SetKey("reader-key", access.RoleRead)
+	c.ACL().SetKey("deploy-key", access.RoleDeploy)
+
+	// Anonymous requests are now denied.
+	resp, _ := get(t, srv.URL+"/api/sensors")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("anonymous status = %d", resp.StatusCode)
+	}
+	// Reader key reads…
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/sensors", nil)
+	req.Header.Set("X-Gsn-Key", "reader-key")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("reader status = %d", resp2.StatusCode)
+	}
+	// …but cannot deploy.
+	second := strings.Replace(tickDescriptor, `name="ticks"`, `name="x"`, 1)
+	req3, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/deploy", strings.NewReader(second))
+	req3.Header.Set("X-Gsn-Key", "reader-key")
+	resp3, _ := http.DefaultClient.Do(req3)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusForbidden {
+		t.Errorf("reader deploy status = %d", resp3.StatusCode)
+	}
+	// The key can also ride a query parameter.
+	resp4, _ := get(t, srv.URL+"/api/sensors?key=deploy-key")
+	if resp4.StatusCode != http.StatusOK {
+		t.Errorf("query-param key status = %d", resp4.StatusCode)
+	}
+}
+
+func TestMetricsAndDirectoryEndpoints(t *testing.T) {
+	c, srv := webFixture(t)
+	c.Pulse()
+	resp, body := get(t, srv.URL+"/api/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "processing_time") {
+		t.Errorf("metrics: %d %s", resp.StatusCode, body)
+	}
+	resp2, body2 := get(t, srv.URL+"/api/directory")
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(body2, "TICKS") {
+		t.Errorf("directory: %d %s", resp2.StatusCode, body2)
+	}
+}
+
+func TestDashboardAndPlot(t *testing.T) {
+	c, srv := webFixture(t)
+	for i := 0; i < 10; i++ {
+		c.Pulse()
+	}
+	resp, body := get(t, srv.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "TICKS") || !strings.Contains(body, "webnode") {
+		t.Errorf("dashboard body misses content")
+	}
+	resp2, svg := get(t, srv.URL+"/plot/ticks.svg?field=tick")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plot status = %d", resp2.StatusCode)
+	}
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "TICKS.TICK") {
+		t.Errorf("svg = %.120s", svg)
+	}
+	resp3, _ := get(t, srv.URL+"/plot/ticks.svg?field=nope")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown field plot status = %d", resp3.StatusCode)
+	}
+	resp4, _ := get(t, srv.URL+"/plot/ticks.svg")
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing field plot status = %d", resp4.StatusCode)
+	}
+}
+
+func TestPlotSVGEmptyData(t *testing.T) {
+	svg := string(renderLineSVG("T", nil))
+	if !strings.Contains(svg, "no data") {
+		t.Errorf("empty plot = %s", svg)
+	}
+	one := string(renderLineSVG("T", []float64{5}))
+	if !strings.Contains(one, "polyline") {
+		t.Errorf("single-point plot = %s", one)
+	}
+}
+
+func TestDescriptorExport(t *testing.T) {
+	_, srv := webFixture(t)
+	resp, body := get(t, srv.URL+"/api/sensors/ticks/descriptor")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("descriptor status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "<virtual-sensor") || !strings.Contains(body, "WRAPPER") {
+		t.Errorf("descriptor export = %.200s", body)
+	}
+}
+
+func TestEventsSSE(t *testing.T) {
+	c, srv := webFixture(t)
+	// Open the SSE stream, then pulse to produce events.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/events?vs=ticks", nil)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	done := make(chan string, 1)
+	go func() {
+		r := bufio.NewReader(resp.Body)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				done <- fmt.Sprintf("read error: %v", err)
+				return
+			}
+			// Skip the initial comment and keep-alive blank lines.
+			if strings.HasPrefix(line, "data: ") {
+				done <- line
+				return
+			}
+		}
+	}()
+	// Produce an event after the subscription is live.
+	time.Sleep(50 * time.Millisecond)
+	c.Pulse()
+	c.Notifier().Flush(time.Second)
+	select {
+	case line := <-done:
+		if !strings.HasPrefix(line, "data: ") || !strings.Contains(line, "TICK") {
+			t.Errorf("SSE line = %q", line)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no SSE event received")
+	}
+	resp2, _ := get(t, srv.URL+"/api/events")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing vs status = %d", resp2.StatusCode)
+	}
+}
+
+func TestSensorCSVExport(t *testing.T) {
+	c, srv := webFixture(t)
+	for i := 0; i < 3; i++ {
+		c.Pulse()
+	}
+	resp, body := get(t, srv.URL+"/api/sensors/ticks/data.csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("content-type = %q", ct)
+	}
+	// The fixture re-emits its whole window per trigger (1 + 2 + 3 rows)
+	// plus the header line.
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("csv lines = %d: %q", len(lines), body)
+	}
+	if lines[0] != "timed,TICK" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[6], ",3") {
+		t.Errorf("last row = %q", lines[6])
+	}
+	resp2, _ := get(t, srv.URL+"/api/sensors/ghost/data.csv")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing sensor csv = %d", resp2.StatusCode)
+	}
+}

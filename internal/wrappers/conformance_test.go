@@ -1,0 +1,132 @@
+package wrappers
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+// TestWrapperConformance exercises every built-in wrapper kind against
+// the Wrapper contract: construction from defaults, a stable Kind and
+// non-empty Schema, paced Start/Stop with production, idempotent Stop,
+// and — for Producers — elements that validate against the schema.
+func TestWrapperConformance(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "c.csv")
+	if err := os.WriteFile(csvPath, []byte("v\n1\n2\n3\n4\n5\n6\n7\n8\n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Per-kind parameters that make the wrapper production-ready with a
+	// fast pace; presence=1 keeps the RFID reader always reading.
+	params := map[string]Params{
+		"mote":        {"interval": "2"},
+		"camera":      {"interval": "2", "payload": "256B"},
+		"rfid":        {"interval": "2", "presence": "1"},
+		"timer":       {"interval": "2"},
+		"random-walk": {"interval": "2"},
+		"system":      {"interval": "2"},
+		"csv":         {"interval": "2", "file": csvPath, "types": "integer", "loop": "true"},
+		"push":        {"fields": "v:integer"},
+	}
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			p, ok := params[kind]
+			if !ok {
+				t.Skipf("no conformance parameters for externally registered kind %q", kind)
+			}
+			w, err := New(kind, Config{Name: "conf-" + kind, Seed: 42,
+				Clock: stream.SystemClock(), Params: p})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if w.Kind() != kind {
+				t.Errorf("Kind() = %q, want %q", w.Kind(), kind)
+			}
+			schema := w.Schema()
+			if schema.Len() == 0 {
+				t.Fatal("empty schema")
+			}
+
+			var mu sync.Mutex
+			var got []stream.Element
+			if err := w.Start(func(e stream.Element) {
+				mu.Lock()
+				got = append(got, e)
+				mu.Unlock()
+			}); err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			// Push wrappers produce only when pushed.
+			if pw, ok := w.(*PushWrapper); ok {
+				if err := pw.Push(int64(7)); err != nil {
+					t.Fatalf("Push: %v", err)
+				}
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				mu.Lock()
+				n := len(got)
+				mu.Unlock()
+				if n >= 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("paced wrapper produced nothing")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if err := w.Stop(); err != nil {
+				t.Fatalf("Stop: %v", err)
+			}
+			if err := w.Stop(); err != nil {
+				t.Fatalf("second Stop: %v", err)
+			}
+
+			mu.Lock()
+			defer mu.Unlock()
+			for _, e := range got {
+				if !e.Schema().Equal(schema) {
+					t.Fatalf("element schema %s != wrapper schema %s", e.Schema(), schema)
+				}
+				if e.Len() != schema.Len() {
+					t.Fatalf("element arity %d != schema %d", e.Len(), schema.Len())
+				}
+			}
+
+			// Pull-capable wrappers must also produce on demand.
+			if prod, ok := w.(Producer); ok {
+				e, err := prod.Produce()
+				if err != nil && err != ErrNoReading {
+					t.Fatalf("Produce after Stop: %v", err)
+				}
+				if err == nil && !e.Schema().Equal(schema) {
+					t.Errorf("Produce schema mismatch")
+				}
+			}
+		})
+	}
+}
+
+func TestCameraPayloadAccessor(t *testing.T) {
+	w, err := New("camera", Config{Name: "c", Params: Params{"payload": "1KB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.(*CameraWrapper).PayloadSize(); got != 1024 {
+		t.Errorf("PayloadSize = %d", got)
+	}
+}
+
+func TestMotePlatformTag(t *testing.T) {
+	w, err := New("mote", Config{Name: "m", Params: Params{"platform": "tinynode"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.(*MoteWrapper).Platform(); got != "tinynode" {
+		t.Errorf("Platform = %q", got)
+	}
+}

@@ -1,0 +1,147 @@
+package wrappers
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// CSVWrapper replays readings from a CSV file — GSN's standard way to
+// re-run recorded deployments. The first row must be a header naming the
+// fields; the types parameter gives the column types.
+//
+// Parameters:
+//
+//	file      path to the CSV file (required)
+//	types     comma list of column types aligned with the header
+//	          (default: every column "double")
+//	interval  replay period (default 0 = pull-only)
+//	loop      restart at EOF (default false; when false, Produce
+//	          returns ErrNoReading after the last row)
+type CSVWrapper struct {
+	pacer
+	cfg    Config
+	schema *stream.Schema
+	rows   [][]string
+	loop   bool
+
+	mu  sync.Mutex
+	pos int
+}
+
+// NewCSV builds a CSVWrapper, reading and validating the whole file
+// eagerly so descriptor errors surface at deploy time.
+func NewCSV(cfg Config) (Wrapper, error) {
+	path := cfg.Params.Get("file", "")
+	if path == "" {
+		return nil, fmt.Errorf("wrappers: csv wrapper requires a file parameter")
+	}
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := cfg.Params.Bool("loop", false)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wrappers: csv: %w", err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("wrappers: csv %s: %w", path, err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("wrappers: csv %s has no header row", path)
+	}
+	header := records[0]
+
+	typeNames := strings.Split(cfg.Params.Get("types", ""), ",")
+	fields := make([]stream.Field, len(header))
+	for i, name := range header {
+		ft := stream.TypeFloat
+		if i < len(typeNames) && strings.TrimSpace(typeNames[i]) != "" {
+			ft, err = stream.ParseFieldType(typeNames[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		fields[i] = stream.Field{Name: name, Type: ft}
+	}
+	schema, err := stream.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	w := &CSVWrapper{cfg: cfg, schema: schema, rows: records[1:], loop: loop}
+	w.pacer.interval = interval
+	return w, nil
+}
+
+// Kind implements Wrapper.
+func (w *CSVWrapper) Kind() string { return "csv" }
+
+// Schema implements Wrapper.
+func (w *CSVWrapper) Schema() *stream.Schema { return w.schema }
+
+// Remaining reports how many rows are left in the current pass.
+func (w *CSVWrapper) Remaining() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.rows) - w.pos
+}
+
+// Start implements Wrapper.
+func (w *CSVWrapper) Start(emit EmitFunc) error {
+	return w.pacer.start(func() error {
+		e, err := w.Produce()
+		if err != nil {
+			return err
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (w *CSVWrapper) Stop() error { return w.pacer.halt() }
+
+// Produce implements Producer, replaying the next row. Empty cells
+// become NULL.
+func (w *CSVWrapper) Produce() (stream.Element, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pos >= len(w.rows) {
+		if !w.loop || len(w.rows) == 0 {
+			return stream.Element{}, ErrNoReading
+		}
+		w.pos = 0
+	}
+	row := w.rows[w.pos]
+	w.pos++
+	values := make([]stream.Value, w.schema.Len())
+	for i := 0; i < w.schema.Len() && i < len(row); i++ {
+		cell := strings.TrimSpace(row[i])
+		if cell == "" {
+			continue // NULL
+		}
+		v, err := stream.Coerce(cell, w.schema.Field(i).Type)
+		if err != nil {
+			return stream.Element{}, fmt.Errorf("wrappers: csv row %d field %s: %w",
+				w.pos, w.schema.Field(i).Name, err)
+		}
+		values[i] = v
+	}
+	return stream.NewElement(w.schema, w.cfg.Clock.Now(), values...)
+}
+
+func init() {
+	if err := Register("csv", NewCSV); err != nil {
+		panic(err)
+	}
+}

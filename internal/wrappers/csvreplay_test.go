@@ -1,0 +1,82 @@
+package wrappers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsn/internal/stream"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCSVReplay(t *testing.T) {
+	path := writeCSV(t, "temperature,label\n21,a\n22,b\n,c\n")
+	w, err := New("csv", Config{Name: "c", Clock: stream.NewManualClock(0),
+		Params: Params{"file": path, "types": "integer,varchar"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := w.(Producer)
+	e1, err := p.Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e1.ValueByName("temperature"); v != int64(21) {
+		t.Errorf("row1 temperature = %v", v)
+	}
+	p.Produce() // row 2
+	e3, err := p.Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e3.ValueByName("temperature"); v != nil {
+		t.Errorf("empty cell should be NULL, got %v", v)
+	}
+	if _, err := p.Produce(); err != ErrNoReading {
+		t.Errorf("exhausted replay should return ErrNoReading, got %v", err)
+	}
+}
+
+func TestCSVLoop(t *testing.T) {
+	path := writeCSV(t, "v\n1\n2\n")
+	w, _ := New("csv", Config{Name: "c",
+		Params: Params{"file": path, "types": "integer", "loop": "true"}})
+	p := w.(Producer)
+	for i := 0; i < 7; i++ {
+		if _, err := p.Produce(); err != nil {
+			t.Fatalf("loop iteration %d: %v", i, err)
+		}
+	}
+	if w.(*CSVWrapper).Remaining() < 0 {
+		t.Error("Remaining went negative")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := New("csv", Config{}); err == nil {
+		t.Error("csv without file accepted")
+	}
+	if _, err := New("csv", Config{Params: Params{"file": "/nonexistent/x.csv"}}); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := writeCSV(t, "")
+	if _, err := New("csv", Config{Params: Params{"file": empty}}); err == nil {
+		t.Error("empty csv accepted")
+	}
+	badType := writeCSV(t, "v\nx\n")
+	w, err := New("csv", Config{Params: Params{"file": badType, "types": "integer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.(Producer).Produce(); err == nil {
+		t.Error("non-integer cell coerced silently")
+	}
+}

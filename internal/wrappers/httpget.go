@@ -1,0 +1,133 @@
+package wrappers
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+// HTTPGetWrapper polls an HTTP endpoint and streams the responses —
+// this is how GSN integrated its wireless cameras in the paper's
+// deployment (the AXIS 206W serves frames over HTTP GET). Each poll
+// yields the status code, the body and the request latency, so the
+// same wrapper covers cameras, REST sensors and health probes.
+//
+// Parameters:
+//
+//	url       endpoint to poll (required)
+//	interval  poll period (default 0 = pull-only)
+//	timeout   per-request timeout (default "5s")
+//	max-body  response size cap in bytes (default 1 MiB)
+type HTTPGetWrapper struct {
+	pacer
+	cfg     Config
+	url     string
+	client  *http.Client
+	maxBody int64
+
+	mu    sync.Mutex
+	polls uint64
+	fails uint64
+}
+
+var httpGetSchema = stream.MustSchema(
+	stream.Field{Name: "status", Type: stream.TypeInt, Description: "HTTP status code"},
+	stream.Field{Name: "body", Type: stream.TypeBytes, Description: "response payload"},
+	stream.Field{Name: "latency_ms", Type: stream.TypeInt, Description: "request round-trip"},
+)
+
+// NewHTTPGet builds an HTTPGetWrapper from config.
+func NewHTTPGet(cfg Config) (Wrapper, error) {
+	url := cfg.Params.Get("url", "")
+	if url == "" {
+		return nil, fmt.Errorf("wrappers: http-get requires a url parameter")
+	}
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	timeout, err := cfg.Params.Duration("timeout", 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	maxBody, err := cfg.Params.Int("max-body", 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	if maxBody <= 0 {
+		return nil, fmt.Errorf("wrappers: http-get max-body must be positive")
+	}
+	w := &HTTPGetWrapper{
+		cfg:     cfg,
+		url:     url,
+		client:  &http.Client{Timeout: timeout},
+		maxBody: int64(maxBody),
+	}
+	w.pacer.interval = interval
+	return w, nil
+}
+
+// Kind implements Wrapper.
+func (w *HTTPGetWrapper) Kind() string { return "http-get" }
+
+// Schema implements Wrapper.
+func (w *HTTPGetWrapper) Schema() *stream.Schema { return httpGetSchema }
+
+// Start implements Wrapper.
+func (w *HTTPGetWrapper) Start(emit EmitFunc) error {
+	return w.pacer.start(func() error {
+		e, err := w.Produce()
+		if err != nil {
+			return err // ErrNoReading (unreachable endpoint) skips the tick
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (w *HTTPGetWrapper) Stop() error { return w.pacer.halt() }
+
+// Produce implements Producer: one GET. An unreachable endpoint counts
+// as a failed poll and reports ErrNoReading so the stream quality layer
+// sees a silence, not a bogus element.
+func (w *HTTPGetWrapper) Produce() (stream.Element, error) {
+	start := time.Now()
+	resp, err := w.client.Get(w.url)
+	w.mu.Lock()
+	w.polls++
+	if err != nil {
+		w.fails++
+		w.mu.Unlock()
+		return stream.Element{}, ErrNoReading
+	}
+	w.mu.Unlock()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, w.maxBody))
+	resp.Body.Close()
+	if err != nil {
+		w.mu.Lock()
+		w.fails++
+		w.mu.Unlock()
+		return stream.Element{}, ErrNoReading
+	}
+	latency := time.Since(start).Milliseconds()
+	return stream.NewElement(httpGetSchema, w.cfg.Clock.Now(),
+		int64(resp.StatusCode), body, latency)
+}
+
+// Stats reports poll counters.
+func (w *HTTPGetWrapper) Stats() (polls, fails uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.polls, w.fails
+}
+
+func init() {
+	if err := Register("http-get", NewHTTPGet); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,106 @@
+package wrappers
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"gsn/internal/stream"
+)
+
+func TestHTTPGetPollsEndpoint(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("frame-data"))
+	}))
+	defer srv.Close()
+
+	w, err := New("http-get", Config{Name: "h", Clock: stream.NewManualClock(0),
+		Params: Params{"url": srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.(Producer).Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := e.ValueByName("status")
+	if status != int64(200) {
+		t.Errorf("status = %v", status)
+	}
+	body, _ := e.ValueByName("body")
+	if string(body.([]byte)) != "frame-data" {
+		t.Errorf("body = %v", body)
+	}
+	latency, _ := e.ValueByName("latency_ms")
+	if latency.(int64) < 0 {
+		t.Errorf("latency = %v", latency)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("hits = %d", hits.Load())
+	}
+}
+
+func TestHTTPGetBodyCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 10_000))
+	}))
+	defer srv.Close()
+	w, err := New("http-get", Config{Name: "h",
+		Params: Params{"url": srv.URL, "max-body": "100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.(Producer).Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := e.ValueByName("body")
+	if len(body.([]byte)) != 100 {
+		t.Errorf("capped body = %d bytes", len(body.([]byte)))
+	}
+}
+
+func TestHTTPGetUnreachableIsNoReading(t *testing.T) {
+	w, err := New("http-get", Config{Name: "h",
+		Params: Params{"url": "http://127.0.0.1:1/nope", "timeout": "200ms"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.(Producer).Produce(); err != ErrNoReading {
+		t.Errorf("unreachable endpoint: %v, want ErrNoReading", err)
+	}
+	hw := w.(*HTTPGetWrapper)
+	polls, fails := hw.Stats()
+	if polls != 1 || fails != 1 {
+		t.Errorf("stats = %d/%d", polls, fails)
+	}
+}
+
+func TestHTTPGetValidation(t *testing.T) {
+	if _, err := New("http-get", Config{}); err == nil {
+		t.Error("missing url accepted")
+	}
+	if _, err := New("http-get", Config{Params: Params{"url": "x", "max-body": "0"}}); err == nil {
+		t.Error("zero max-body accepted")
+	}
+}
+
+func TestHTTPGetErrorStatusStillReported(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	w, _ := New("http-get", Config{Name: "h", Params: Params{"url": srv.URL}})
+	e, err := w.(Producer).Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := e.ValueByName("status")
+	if status != int64(404) {
+		t.Errorf("status = %v; 4xx is a reading, not a failure", status)
+	}
+}

@@ -1,0 +1,330 @@
+package wrappers
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// TimerWrapper emits a monotonically increasing tick counter — GSN's
+// classic "clock" wrapper, used to build time-triggered virtual sensors.
+//
+// Parameters: interval (default "1s").
+type TimerWrapper struct {
+	pacer
+	cfg    Config
+	mu     sync.Mutex
+	tick   int64
+	schema *stream.Schema
+}
+
+var timerSchema = stream.MustSchema(
+	stream.Field{Name: "tick", Type: stream.TypeInt},
+	stream.Field{Name: "now", Type: stream.TypeTime},
+)
+
+// NewTimer builds a TimerWrapper.
+func NewTimer(cfg Config) (Wrapper, error) {
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &TimerWrapper{cfg: cfg, schema: timerSchema}
+	t.pacer.interval = interval
+	return t, nil
+}
+
+// Kind implements Wrapper.
+func (t *TimerWrapper) Kind() string { return "timer" }
+
+// Schema implements Wrapper.
+func (t *TimerWrapper) Schema() *stream.Schema { return t.schema }
+
+// Start implements Wrapper.
+func (t *TimerWrapper) Start(emit EmitFunc) error {
+	return t.pacer.start(func() error {
+		e, err := t.Produce()
+		if err != nil {
+			return err
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (t *TimerWrapper) Stop() error { return t.pacer.halt() }
+
+// Produce implements Producer.
+func (t *TimerWrapper) Produce() (stream.Element, error) {
+	t.mu.Lock()
+	t.tick++
+	tick := t.tick
+	t.mu.Unlock()
+	now := t.cfg.Clock.Now()
+	return stream.NewElement(t.schema, now, tick, int64(now))
+}
+
+// RandomWalkWrapper produces one or more numeric fields following
+// seeded random walks; it is the generic test/load generator.
+//
+// Parameters:
+//
+//	interval  (default 0 = pull-only)
+//	fields    comma list of field names (default "value")
+//	min, max  clamp bounds (defaults 0, 100)
+//	step      walk step scale (default 1)
+type RandomWalkWrapper struct {
+	pacer
+	cfg    Config
+	schema *stream.Schema
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    []float64
+	min, max float64
+	step     float64
+}
+
+// NewRandomWalk builds a RandomWalkWrapper.
+func NewRandomWalk(cfg Config) (Wrapper, error) {
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	minV, err := cfg.Params.Float("min", 0)
+	if err != nil {
+		return nil, err
+	}
+	maxV, err := cfg.Params.Float("max", 100)
+	if err != nil {
+		return nil, err
+	}
+	if maxV <= minV {
+		return nil, fmt.Errorf("wrappers: random walk needs max > min, got [%v, %v]", minV, maxV)
+	}
+	step, err := cfg.Params.Float("step", 1)
+	if err != nil {
+		return nil, err
+	}
+	names := strings.Split(cfg.Params.Get("fields", "value"), ",")
+	var fields []stream.Field
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		fields = append(fields, stream.Field{Name: n, Type: stream.TypeFloat})
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("wrappers: random walk needs at least one field")
+	}
+	schema, err := stream.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	state := make([]float64, len(fields))
+	for i := range state {
+		state[i] = minV + rng.Float64()*(maxV-minV)
+	}
+	w := &RandomWalkWrapper{
+		cfg: cfg, schema: schema, rng: rng, state: state,
+		min: minV, max: maxV, step: step,
+	}
+	w.pacer.interval = interval
+	return w, nil
+}
+
+// Kind implements Wrapper.
+func (w *RandomWalkWrapper) Kind() string { return "random-walk" }
+
+// Schema implements Wrapper.
+func (w *RandomWalkWrapper) Schema() *stream.Schema { return w.schema }
+
+// Start implements Wrapper.
+func (w *RandomWalkWrapper) Start(emit EmitFunc) error {
+	return w.pacer.start(func() error {
+		e, err := w.Produce()
+		if err != nil {
+			return err
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (w *RandomWalkWrapper) Stop() error { return w.pacer.halt() }
+
+// Produce implements Producer.
+func (w *RandomWalkWrapper) Produce() (stream.Element, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	values := make([]stream.Value, len(w.state))
+	for i := range w.state {
+		w.state[i] += w.rng.NormFloat64() * w.step
+		if w.state[i] < w.min {
+			w.state[i] = w.min
+		}
+		if w.state[i] > w.max {
+			w.state[i] = w.max
+		}
+		values[i] = w.state[i]
+	}
+	return stream.NewElement(w.schema, w.cfg.Clock.Now(), values...)
+}
+
+// SystemWrapper reports Go runtime statistics of the hosting container —
+// the equivalent of GSN's local "system monitor" wrapper, handy for
+// self-observation dashboards.
+//
+// Parameters: interval (default 0 = pull-only).
+type SystemWrapper struct {
+	pacer
+	cfg    Config
+	schema *stream.Schema
+}
+
+var systemSchema = stream.MustSchema(
+	stream.Field{Name: "heap_alloc", Type: stream.TypeInt, Description: "bytes of allocated heap"},
+	stream.Field{Name: "num_goroutine", Type: stream.TypeInt},
+	stream.Field{Name: "num_gc", Type: stream.TypeInt},
+)
+
+// NewSystem builds a SystemWrapper.
+func NewSystem(cfg Config) (Wrapper, error) {
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &SystemWrapper{cfg: cfg, schema: systemSchema}
+	s.pacer.interval = interval
+	return s, nil
+}
+
+// Kind implements Wrapper.
+func (s *SystemWrapper) Kind() string { return "system" }
+
+// Schema implements Wrapper.
+func (s *SystemWrapper) Schema() *stream.Schema { return s.schema }
+
+// Start implements Wrapper.
+func (s *SystemWrapper) Start(emit EmitFunc) error {
+	return s.pacer.start(func() error {
+		e, err := s.Produce()
+		if err != nil {
+			return err
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (s *SystemWrapper) Stop() error { return s.pacer.halt() }
+
+// Produce implements Producer.
+func (s *SystemWrapper) Produce() (stream.Element, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return stream.NewElement(s.schema, s.cfg.Clock.Now(),
+		int64(ms.HeapAlloc), int64(runtime.NumGoroutine()), int64(ms.NumGC))
+}
+
+// PushWrapper accepts elements pushed programmatically (or by the web
+// layer's HTTP push endpoint). It is the integration point for data
+// sources that call into GSN rather than being polled.
+//
+// Parameters:
+//
+//	fields  comma list of name:type pairs, e.g.
+//	        "temperature:integer,label:varchar" (required)
+type PushWrapper struct {
+	cfg    Config
+	schema *stream.Schema
+
+	mu   sync.Mutex
+	emit EmitFunc
+}
+
+// NewPush builds a PushWrapper.
+func NewPush(cfg Config) (Wrapper, error) {
+	spec := cfg.Params.Get("fields", "")
+	if spec == "" {
+		return nil, fmt.Errorf("wrappers: push wrapper requires a fields parameter")
+	}
+	var fields []stream.Field
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("wrappers: push field %q must be name:type", part)
+		}
+		ft, err := stream.ParseFieldType(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, stream.Field{Name: kv[0], Type: ft})
+	}
+	schema, err := stream.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	return &PushWrapper{cfg: cfg, schema: schema}, nil
+}
+
+// Kind implements Wrapper.
+func (p *PushWrapper) Kind() string { return "push" }
+
+// Schema implements Wrapper.
+func (p *PushWrapper) Schema() *stream.Schema { return p.schema }
+
+// Start implements Wrapper.
+func (p *PushWrapper) Start(emit EmitFunc) error {
+	p.mu.Lock()
+	p.emit = emit
+	p.mu.Unlock()
+	return nil
+}
+
+// Stop implements Wrapper.
+func (p *PushWrapper) Stop() error {
+	p.mu.Lock()
+	p.emit = nil
+	p.mu.Unlock()
+	return nil
+}
+
+// Push validates and forwards values into the stream. It fails when the
+// wrapper is not started.
+func (p *PushWrapper) Push(values ...stream.Value) error {
+	p.mu.Lock()
+	emit := p.emit
+	p.mu.Unlock()
+	if emit == nil {
+		return fmt.Errorf("wrappers: push wrapper %s not started", p.cfg.Name)
+	}
+	e, err := stream.NewElement(p.schema, p.cfg.Clock.Now(), values...)
+	if err != nil {
+		return err
+	}
+	emit(e)
+	return nil
+}
+
+func init() {
+	for kind, f := range map[string]Factory{
+		"timer":       NewTimer,
+		"random-walk": NewRandomWalk,
+		"system":      NewSystem,
+		"push":        NewPush,
+	} {
+		if err := Register(kind, f); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package wrappers
+
+import (
+	"sync"
+	"time"
+)
+
+// pacer runs a Producer on a fixed real-time interval, delivering
+// readings through the emit function. Wrappers embed it to get
+// Start/Stop for free; an interval of zero disables autonomous
+// production (the wrapper is then driven via Produce by the caller).
+type pacer struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// start launches the production loop. produce is called once per tick;
+// ErrNoReading skips the tick, any other error stops the loop (the
+// container's life-cycle manager observes the silence via the stream
+// quality layer and restarts the wrapper).
+func (p *pacer) start(produce func() error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil
+	}
+	p.started = true
+	if p.interval <= 0 {
+		return nil // pull-only wrapper
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if err := produce(); err != nil && err != ErrNoReading {
+					return
+				}
+			}
+		}
+	}(p.stop, p.done)
+	return nil
+}
+
+// halt stops the loop and waits for it to exit.
+func (p *pacer) halt() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return nil
+	}
+	p.started = false
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop, p.done = nil, nil
+	}
+	return nil
+}

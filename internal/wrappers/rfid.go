@@ -1,0 +1,143 @@
+package wrappers
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// RFIDWrapper simulates an RFID reader (the paper uses Texas Instruments
+// readers): a population of tags moves in and out of range; each poll
+// reports the tag currently present, if any. The demo's event scenario —
+// "when the RFID reader recognizes a tag, fetch a camera picture" —
+// drives off this wrapper.
+//
+// Parameters:
+//
+//	interval     poll period (default 0 = pull-only)
+//	tags         population size (default 8)
+//	presence     probability a poll sees a tag (default 0.3)
+//	reader-id    id string (default "reader-1")
+//	dwell        mean consecutive polls a tag stays in range (default 3)
+type RFIDWrapper struct {
+	pacer
+	cfg      Config
+	schema   *stream.Schema
+	tags     int
+	presence float64
+	readerID string
+	dwell    int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	current   int // tag in range, -1 if none
+	remaining int // polls before the current tag leaves
+}
+
+var rfidSchema = stream.MustSchema(
+	stream.Field{Name: "reader_id", Type: stream.TypeString},
+	stream.Field{Name: "tag_id", Type: stream.TypeString},
+	stream.Field{Name: "rssi", Type: stream.TypeInt, Description: "signal strength (dBm)"},
+)
+
+// NewRFID builds an RFIDWrapper from config.
+func NewRFID(cfg Config) (Wrapper, error) {
+	interval, err := cfg.Params.Duration("interval", 0)
+	if err != nil {
+		return nil, err
+	}
+	tags, err := cfg.Params.Int("tags", 8)
+	if err != nil {
+		return nil, err
+	}
+	if tags <= 0 {
+		return nil, fmt.Errorf("wrappers: rfid needs a positive tag population, got %d", tags)
+	}
+	presence, err := cfg.Params.Float("presence", 0.3)
+	if err != nil {
+		return nil, err
+	}
+	if presence < 0 || presence > 1 {
+		return nil, fmt.Errorf("wrappers: rfid presence %v outside [0,1]", presence)
+	}
+	dwell, err := cfg.Params.Int("dwell", 3)
+	if err != nil {
+		return nil, err
+	}
+	if dwell < 1 {
+		dwell = 1
+	}
+	r := &RFIDWrapper{
+		cfg:      cfg,
+		schema:   rfidSchema,
+		tags:     tags,
+		presence: presence,
+		readerID: cfg.Params.Get("reader-id", "reader-1"),
+		dwell:    dwell,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		current:  -1,
+	}
+	r.pacer.interval = interval
+	return r, nil
+}
+
+// Kind implements Wrapper.
+func (r *RFIDWrapper) Kind() string { return "rfid" }
+
+// Schema implements Wrapper.
+func (r *RFIDWrapper) Schema() *stream.Schema { return r.schema }
+
+// Start implements Wrapper.
+func (r *RFIDWrapper) Start(emit EmitFunc) error {
+	return r.pacer.start(func() error {
+		e, err := r.Produce()
+		if err != nil {
+			return err // ErrNoReading is skipped by the pacer
+		}
+		emit(e)
+		return nil
+	})
+}
+
+// Stop implements Wrapper.
+func (r *RFIDWrapper) Stop() error { return r.pacer.halt() }
+
+// Produce implements Producer. An empty read field returns ErrNoReading.
+func (r *RFIDWrapper) Produce() (stream.Element, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.current < 0 {
+		if r.rng.Float64() >= r.presence {
+			return stream.Element{}, ErrNoReading
+		}
+		r.current = r.rng.Intn(r.tags)
+		r.remaining = 1 + r.rng.Intn(2*r.dwell-1)
+	}
+	tag := fmt.Sprintf("tag-%04d", r.current)
+	rssi := int64(-40 - r.rng.Intn(30))
+	r.remaining--
+	if r.remaining <= 0 {
+		r.current = -1
+	}
+	return stream.NewElement(r.schema, r.cfg.Clock.Now(), r.readerID, tag, rssi)
+}
+
+// InjectTag forces the given tag into range for the next poll. The demo
+// uses it to let "the audience" trigger events deterministically.
+func (r *RFIDWrapper) InjectTag(tag int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tag < 0 || tag >= r.tags {
+		tag = 0
+	}
+	r.current = tag
+	r.remaining = 1
+}
+
+func init() {
+	if err := Register("rfid", NewRFID); err != nil {
+		panic(err)
+	}
+}

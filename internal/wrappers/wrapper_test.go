@@ -1,0 +1,403 @@
+package wrappers
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+func TestRegistryRegisterNewKinds(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("x", NewTimer); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register("x", NewTimer); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register("", NewTimer); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := r.Register("y", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := r.New("missing", Config{}); err == nil {
+		t.Error("unknown kind instantiated")
+	}
+	w, err := r.New("x", Config{Name: "t1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if w.Kind() != "timer" {
+		t.Errorf("kind = %q", w.Kind())
+	}
+}
+
+func TestDefaultRegistryHasBuiltins(t *testing.T) {
+	kinds := Kinds()
+	want := []string{"camera", "csv", "mote", "push", "random-walk", "rfid", "system", "timer"}
+	have := map[string]bool{}
+	for _, k := range kinds {
+		have[k] = true
+	}
+	for _, k := range want {
+		if !have[k] {
+			t.Errorf("builtin wrapper %q missing from %v", k, kinds)
+		}
+	}
+}
+
+func TestParamsParsing(t *testing.T) {
+	p := Params{"i": "42", "f": "2.5", "d1": "250", "d2": "3s", "b": "true", "s": "x"}
+	if v, err := p.Int("i", 0); err != nil || v != 42 {
+		t.Errorf("Int = %v, %v", v, err)
+	}
+	if v, err := p.Int("missing", 7); err != nil || v != 7 {
+		t.Errorf("Int default = %v, %v", v, err)
+	}
+	if _, err := p.Int("s", 0); err == nil {
+		t.Error("Int accepted non-integer")
+	}
+	if v, err := p.Float("f", 0); err != nil || v != 2.5 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+	if v, err := p.Duration("d1", 0); err != nil || v != 250*time.Millisecond {
+		t.Errorf("Duration(ms) = %v, %v", v, err)
+	}
+	if v, err := p.Duration("d2", 0); err != nil || v != 3*time.Second {
+		t.Errorf("Duration(s) = %v, %v", v, err)
+	}
+	if v, err := p.Bool("b", false); err != nil || !v {
+		t.Errorf("Bool = %v, %v", v, err)
+	}
+	if got := p.Get("s", "d"); got != "x" {
+		t.Errorf("Get = %q", got)
+	}
+	if got := p.Get("nope", "d"); got != "d" {
+		t.Errorf("Get default = %q", got)
+	}
+}
+
+func TestMoteDeterministicWithSeed(t *testing.T) {
+	mk := func() Wrapper {
+		w, err := New("mote", Config{Name: "m", Seed: 99, Clock: stream.NewManualClock(1000),
+			Params: Params{"sensors": "light,temperature,accel"}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return w
+	}
+	a, b := mk().(Producer), mk().(Producer)
+	for i := 0; i < 50; i++ {
+		ea, err1 := a.Produce()
+		eb, err2 := b.Produce()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Produce: %v %v", err1, err2)
+		}
+		for j := 0; j < ea.Len(); j++ {
+			if !stream.ValuesEqual(ea.Value(j), eb.Value(j)) {
+				t.Fatalf("iteration %d field %d: %v != %v", i, j, ea.Value(j), eb.Value(j))
+			}
+		}
+	}
+}
+
+func TestMoteSchemaSelection(t *testing.T) {
+	w, err := New("mote", Config{Name: "m", Params: Params{"sensors": "accel"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Schema()
+	if s.IndexOf("accel_x") < 0 || s.IndexOf("accel_y") < 0 {
+		t.Errorf("accel schema = %s", s)
+	}
+	if s.IndexOf("light") >= 0 {
+		t.Errorf("light should be absent: %s", s)
+	}
+	if _, err := New("mote", Config{Params: Params{"sensors": "sonar"}}); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+	if _, err := New("mote", Config{Params: Params{"sensors": ","}}); err == nil {
+		t.Error("empty sensor list accepted")
+	}
+	if _, err := New("mote", Config{Params: Params{"failure-rate": "1.5"}}); err == nil {
+		t.Error("failure-rate out of range accepted")
+	}
+}
+
+func TestMoteValuesPlausible(t *testing.T) {
+	w, _ := New("mote", Config{Name: "m", Seed: 5, Clock: stream.NewManualClock(0)})
+	p := w.(Producer)
+	for i := 0; i < 200; i++ {
+		e, err := p.Produce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		temp, _ := e.ValueByName("temperature")
+		if tv := temp.(int64); tv < 100 || tv > 350 {
+			t.Fatalf("temperature %d outside 10–35°C band", tv)
+		}
+		light, _ := e.ValueByName("light")
+		if lv := light.(int64); lv < 0 || lv > 2000 {
+			t.Fatalf("light %d implausible", lv)
+		}
+	}
+}
+
+func TestMoteFailureRate(t *testing.T) {
+	w, _ := New("mote", Config{Name: "m", Seed: 7, Params: Params{"failure-rate": "0.5"}})
+	p := w.(Producer)
+	var misses int
+	for i := 0; i < 400; i++ {
+		if _, err := p.Produce(); err == ErrNoReading {
+			misses++
+		}
+	}
+	if misses < 100 || misses > 300 {
+		t.Errorf("misses = %d of 400, want ≈200", misses)
+	}
+}
+
+func TestCameraPayloadSizes(t *testing.T) {
+	for _, spec := range []string{"15B", "50B", "100B", "16KB", "32KB", "75KB"} {
+		w, err := New("camera", Config{Name: "c", Params: Params{"payload": spec}})
+		if err != nil {
+			t.Fatalf("New(%s): %v", spec, err)
+		}
+		want, _ := ParseByteSize(spec)
+		if want < 16 {
+			want = 16 // minimum frame
+		}
+		e, err := w.(Producer).Produce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, _ := e.ValueByName("image")
+		if got := len(img.([]byte)); got != want {
+			t.Errorf("payload %s produced %d bytes, want %d", spec, got, want)
+		}
+	}
+}
+
+func TestCameraFramesDiffer(t *testing.T) {
+	w, _ := New("camera", Config{Name: "c", Params: Params{"payload": "1KB"}})
+	p := w.(Producer)
+	e1, _ := p.Produce()
+	e2, _ := p.Produce()
+	f1, _ := e1.ValueByName("frame")
+	f2, _ := e2.ValueByName("frame")
+	if f1 == f2 {
+		t.Error("frame counter did not advance")
+	}
+	i1, _ := e1.ValueByName("image")
+	i2, _ := e2.ValueByName("image")
+	if stream.ValuesEqual(i1, i2) {
+		t.Error("consecutive frames are identical")
+	}
+	// Each element owns its payload: mutating one must not affect the other.
+	i1.([]byte)[20]++
+	e1b, _ := e1.ValueByName("image")
+	if !stream.ValuesEqual(i1, e1b) {
+		t.Error("element does not share its own buffer") // sanity
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int{
+		"15": 15, "15B": 15, "16KB": 16384, "2MB": 2 << 20, " 75 KB ": 75 * 1024, "0": 0,
+	}
+	for in, want := range cases {
+		got, err := ParseByteSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "x", "-5", "KB"} {
+		if _, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRFIDPresenceAndDwell(t *testing.T) {
+	w, _ := New("rfid", Config{Name: "r", Seed: 3, Params: Params{"presence": "0.5", "tags": "4"}})
+	p := w.(Producer)
+	var hits int
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		e, err := p.Produce()
+		if err == ErrNoReading {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits++
+		tag, _ := e.ValueByName("tag_id")
+		seen[tag.(string)] = true
+		rssi, _ := e.ValueByName("rssi")
+		if rv := rssi.(int64); rv > -40 || rv < -70 {
+			t.Fatalf("rssi %d outside [-70,-40]", rv)
+		}
+	}
+	if hits == 0 || hits == 500 {
+		t.Errorf("hits = %d, want a mix of reads and misses", hits)
+	}
+	if len(seen) < 2 {
+		t.Errorf("only saw tags %v from a population of 4", seen)
+	}
+}
+
+func TestRFIDInjectTag(t *testing.T) {
+	w, _ := New("rfid", Config{Name: "r", Seed: 3, Params: Params{"presence": "0"}})
+	r := w.(*RFIDWrapper)
+	if _, err := r.Produce(); err != ErrNoReading {
+		t.Fatalf("presence=0 should never read, got %v", err)
+	}
+	r.InjectTag(2)
+	e, err := r.Produce()
+	if err != nil {
+		t.Fatalf("after inject: %v", err)
+	}
+	tag, _ := e.ValueByName("tag_id")
+	if tag != "tag-0002" {
+		t.Errorf("tag = %v", tag)
+	}
+}
+
+func TestRFIDValidation(t *testing.T) {
+	if _, err := New("rfid", Config{Params: Params{"tags": "0"}}); err == nil {
+		t.Error("zero tag population accepted")
+	}
+	if _, err := New("rfid", Config{Params: Params{"presence": "2"}}); err == nil {
+		t.Error("presence > 1 accepted")
+	}
+}
+
+func TestTimerTicks(t *testing.T) {
+	clock := stream.NewManualClock(500)
+	w, _ := New("timer", Config{Name: "t", Clock: clock})
+	p := w.(Producer)
+	e1, _ := p.Produce()
+	e2, _ := p.Produce()
+	t1, _ := e1.ValueByName("tick")
+	t2, _ := e2.ValueByName("tick")
+	if t1 != int64(1) || t2 != int64(2) {
+		t.Errorf("ticks = %v, %v", t1, t2)
+	}
+	now, _ := e1.ValueByName("now")
+	if now != int64(500) {
+		t.Errorf("now = %v", now)
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	w, err := New("random-walk", Config{Name: "rw", Seed: 1,
+		Params: Params{"fields": "a,b", "min": "-5", "max": "5", "step": "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.(Producer)
+	for i := 0; i < 300; i++ {
+		e, err := p.Produce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < e.Len(); j++ {
+			v := e.Value(j).(float64)
+			if v < -5 || v > 5 {
+				t.Fatalf("value %v escaped clamp bounds", v)
+			}
+		}
+	}
+	if _, err := New("random-walk", Config{Params: Params{"min": "5", "max": "5"}}); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+}
+
+func TestSystemWrapperProduces(t *testing.T) {
+	w, _ := New("system", Config{Name: "sys"})
+	e, err := w.(Producer).Produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, _ := e.ValueByName("heap_alloc")
+	if heap.(int64) <= 0 {
+		t.Errorf("heap_alloc = %v", heap)
+	}
+}
+
+func TestPushWrapper(t *testing.T) {
+	w, err := New("push", Config{Name: "p",
+		Params: Params{"fields": "temperature:integer,label:varchar"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := w.(*PushWrapper)
+	if err := pw.Push(int64(1), "x"); err == nil {
+		t.Error("Push before Start succeeded")
+	}
+	var mu sync.Mutex
+	var got []stream.Element
+	w.Start(func(e stream.Element) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	if err := pw.Push(int64(21), "ok"); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := pw.Push("not-an-int", "bad"); err == nil {
+		t.Error("Push accepted type-mismatched values")
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("emitted %d elements", n)
+	}
+	if _, err := New("push", Config{}); err == nil {
+		t.Error("push without fields accepted")
+	}
+	if _, err := New("push", Config{Params: Params{"fields": "bad"}}); err == nil {
+		t.Error("malformed field spec accepted")
+	}
+}
+
+func TestPacedProductionRealTime(t *testing.T) {
+	w, err := New("timer", Config{Name: "t", Params: Params{"interval": "5"}}) // 5 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	count := 0
+	if err := w.Start(func(stream.Element) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := count
+	mu.Unlock()
+	if n < 3 {
+		t.Errorf("paced wrapper produced %d elements in 60ms at 5ms interval", n)
+	}
+	// Stop must be idempotent and production must cease.
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	after := count
+	mu.Unlock()
+	if after != n {
+		t.Errorf("production continued after Stop: %d → %d", n, after)
+	}
+}
