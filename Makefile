@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The trigger-pipeline acceptance benchmark: the compiled zero-copy
+# path and the incremental path must beat the snapshot+re-plan path.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkTriggerPipeline' -benchmem .
+
+# ci is the tier-1 gate: everything a fresh clone must pass.
+ci: vet build race

@@ -13,6 +13,8 @@ import (
 	"gsn/internal/bench"
 	"gsn/internal/sqlengine"
 	"gsn/internal/sqlparser"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
 )
 
 // figure3Node builds the Figure 3 processing pipeline for one device at
@@ -303,5 +305,135 @@ func waitForOutputs(b *testing.B, node *gsn.Node, want uint64) {
 			b.Fatalf("pool never drained: %+v (want %d)", st, want)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// triggerPipelineTable builds a 1000-element count window for the
+// trigger pipeline benchmark.
+func triggerPipelineTable(b *testing.B) *storage.Table {
+	b.Helper()
+	schema := stream.MustSchema(stream.Field{Name: "temperature", Type: stream.TypeFloat})
+	table, err := storage.NewTable("wrapper", schema,
+		stream.Window{Kind: stream.CountWindow, Count: 1000}, stream.NewManualClock(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e, err := stream.NewElement(schema, stream.Timestamp(i+1), float64(i%37)+0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := table.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return table
+}
+
+const triggerPipelineQuery = "select count(*) as n, avg(temperature) as a, " +
+	"min(temperature) as mn, max(temperature) as mx from wrapper"
+
+// BenchmarkTriggerPipeline compares the three per-trigger source
+// evaluation tiers on the Figure-3-style aggregate workload over a
+// 1000-element count window:
+//
+//	snapshot-replan:    the seed path — copy the window (Snapshot),
+//	                    materialise a relation, plan and execute the
+//	                    statement from scratch every trigger.
+//	zerocopy-compiled:  scan the table in place (ForEach) and run the
+//	                    deploy-time compiled plan.
+//	incremental:        read the maintained aggregates; O(1) in the
+//	                    window size.
+func BenchmarkTriggerPipeline(b *testing.B) {
+	stmt, err := sqlparser.Parse(triggerPipelineQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("snapshot-replan", func(b *testing.B) {
+		table := triggerPipelineTable(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel := sqlengine.RelationOfElements(table.Schema(), table.Snapshot())
+			cat := sqlengine.MapCatalog{"WRAPPER": rel}
+			if _, err := sqlengine.Execute(stmt, cat, sqlengine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("zerocopy-compiled", func(b *testing.B) {
+		table := triggerPipelineTable(b)
+		plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(table.Schema()), "wrapper")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.ExecuteSource(table, sqlengine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		table := triggerPipelineTable(b)
+		plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(table.Schema()), "wrapper")
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := plan.Incremental()
+		if specs == nil {
+			b.Fatal("benchmark query should be incrementally maintainable")
+		}
+		m := sqlengine.NewAggMaintainer(specs)
+		table.SetObserver(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var rel *sqlengine.Relation
+			table.WithLock(func() { rel = m.Result() })
+			if rel == nil || len(rel.Rows) != 1 {
+				b.Fatal("maintainer produced no result")
+			}
+		}
+	})
+}
+
+// BenchmarkTriggerPipelineEndToEnd measures the full arrival→output
+// path through a container for the same workload, with the pipeline
+// tiers picked automatically by the deploy-time compiler.
+func BenchmarkTriggerPipelineEndToEnd(b *testing.B) {
+	node, err := gsn.NewNode(gsn.NodeOptions{Name: "bench-tp", SyncProcessing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	desc := `
+<virtual-sensor name="agg">
+  <output-structure>
+    <field name="n" type="integer"/>
+    <field name="a" type="double"/>
+  </output-structure>
+  <storage size="1"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1000">
+      <address wrapper="mote">
+        <predicate key="sensors" val="temperature"/>
+        <predicate key="seed" val="9"/>
+      </address>
+      <query>select count(*) as n, avg(temperature) as a from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`
+	if err := node.DeployXML([]byte(desc)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		node.Pulse()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.Pulse()
 	}
 }

@@ -1,0 +1,3 @@
+module gsn
+
+go 1.24

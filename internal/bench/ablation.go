@@ -138,6 +138,61 @@ func AblationWindowScan(windowSize, iters int) (snapshot, forEach time.Duration,
 	return snapshot, forEach, err
 }
 
+// AblationTriggerPlan compares the three source-evaluation tiers the
+// container picks between on every trigger: full re-planned execution
+// over a snapshot copy, the deploy-time compiled plan over the
+// zero-copy scan, and incremental aggregate maintenance.
+func AblationTriggerPlan(windowSize, iters int) (replan, compiled, incremental time.Duration, err error) {
+	schema := stream.MustSchema(stream.Field{Name: "v", Type: stream.TypeFloat})
+	table, err := storage.NewTable("wrapper", schema,
+		stream.Window{Kind: stream.CountWindow, Count: windowSize}, stream.NewManualClock(0))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 0; i < windowSize; i++ {
+		e, err := stream.NewElement(schema, stream.Timestamp(i+1), float64(i%97))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := table.Insert(e); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	const sql = "select count(*) as n, avg(v) as a, min(v) as mn, max(v) as mx from wrapper"
+	stmt, err := sqlengine.ParseNoCache(sql)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	replan, err = timeIt(iters, func() error {
+		rel := sqlengine.RelationOfElements(table.Schema(), table.Snapshot())
+		_, err := sqlengine.Execute(stmt, sqlengine.MapCatalog{"WRAPPER": rel}, sqlengine.Options{})
+		return err
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(schema), "wrapper")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	compiled, err = timeIt(iters, func() error {
+		_, err := plan.ExecuteSource(table, sqlengine.Options{})
+		return err
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m := sqlengine.NewAggMaintainer(plan.Incremental())
+	table.SetObserver(m)
+	incremental, err = timeIt(iters, func() error {
+		if m.Result() == nil {
+			return fmt.Errorf("bench: maintainer poisoned")
+		}
+		return nil
+	})
+	return replan, compiled, incremental, err
+}
+
 // RunAblations executes all ablations and prints a comparison table.
 func RunAblations(w io.Writer) error {
 	hash, nested, err := AblationJoin(500, 20)
@@ -160,5 +215,13 @@ func RunAblations(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%-34s snapshot=%-9v foreach=%-9v speedup=%.2fx\n",
 		"window scan (1000 elements)", snap, each, float64(snap)/float64(each))
+
+	replan, compiled, inc, err := AblationTriggerPlan(1000, 500)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s replan=%-10v compiled=%-10v incremental=%-10v speedup=%.0fx/%.0fx\n",
+		"trigger plan (1000-count window)", replan, compiled, inc,
+		float64(replan)/float64(compiled), float64(replan)/float64(inc))
 	return nil
 }

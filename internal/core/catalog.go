@@ -10,8 +10,10 @@ import (
 
 // storeCatalog adapts the storage layer to the SQL engine: table names
 // resolve to their current window contents with the implicit TIMED
-// column appended. Each resolution takes a fresh snapshot, so a query
-// sees one consistent instant per referenced table.
+// column appended. Each resolution scans the table once inside its
+// eviction critical section (the zero-copy ForEach path), so a query
+// sees one consistent instant per referenced table without an
+// intermediate element-slice copy.
 type storeCatalog struct {
 	store *storage.Store
 }
@@ -22,7 +24,7 @@ func (c storeCatalog) Relation(name string) (*sqlengine.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown stream %q", name)
 	}
-	return sqlengine.RelationOfElements(tab.Schema(), tab.Snapshot()), nil
+	return sqlengine.RelationOfSource(tab), nil
 }
 
 // Catalog exposes the container's stored streams (virtual sensor

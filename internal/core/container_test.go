@@ -386,7 +386,7 @@ func TestAsyncPoolProcessing(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		st := vs.Stats()
-		if st.Outputs+st.Dropped >= 50 {
+		if st.Outputs+st.Dropped+st.Coalesced >= 50 {
 			break
 		}
 		if time.Now().After(deadline) {

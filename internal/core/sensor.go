@@ -34,6 +34,7 @@ type VirtualSensor struct {
 	statOutputs   atomic.Uint64
 	statErrors    atomic.Uint64
 	statDropped   atomic.Uint64
+	statCoalesced atomic.Uint64
 	statLastError atomic.Value // string
 }
 
@@ -41,9 +42,17 @@ type VirtualSensor struct {
 type inputStream struct {
 	spec    vsensor.InputStream
 	stmt    *sqlparser.SelectStatement
+	plan    *sqlengine.Plan // compiled output query; nil → Execute fallback
 	rate    *quality.RateLimiter
 	count   *quality.CountLimiter
 	sources []*sourceRuntime
+
+	// queued is true while an evaluation for this stream is scheduled
+	// but has not started reading the window yet. Arrivals in that span
+	// coalesce into the pending evaluation (which sees their elements,
+	// unless it is itself shed by a full queue) instead of enqueueing
+	// another trigger.
+	queued atomic.Bool
 }
 
 // sourceRuntime is one <stream-source> at runtime.
@@ -53,6 +62,13 @@ type sourceRuntime struct {
 	wrapper wrappers.Wrapper
 	stmt    *sqlparser.SelectStatement
 	table   *storage.Table
+
+	// plan is the source query compiled against the wrapper schema at
+	// deploy time; nil when the statement shape needs the full engine.
+	plan *sqlengine.Plan
+	// agg incrementally maintains an aggregate-only source query over
+	// the count window; nil when the query or window does not qualify.
+	agg *sqlengine.AggMaintainer
 
 	sampler *quality.Sampler
 	repair  *quality.Repairer
@@ -75,11 +91,14 @@ type trigger struct {
 
 // SensorStats summarises a virtual sensor's activity.
 type SensorStats struct {
-	Name        string
-	Triggers    uint64
-	Outputs     uint64
-	Errors      uint64
-	Dropped     uint64
+	Name     string
+	Triggers uint64
+	Outputs  uint64
+	Errors   uint64
+	Dropped  uint64
+	// Coalesced counts triggers collapsed into an already-pending
+	// evaluation of the same input stream (overload back-pressure).
+	Coalesced   uint64
 	LastError   string
 	OutputLive  int
 	OutputTotal uint64
@@ -161,6 +180,16 @@ func newVirtualSensor(c *Container, desc *vsensor.Descriptor) (*VirtualSensor, e
 			}
 			in.sources = append(in.sources, src)
 		}
+		// Compile the output query once at deploy time when it runs over
+		// a single source whose column layout is itself known statically;
+		// other shapes (multi-source joins, uncompiled sources) keep the
+		// general Execute path.
+		if len(in.sources) == 1 && in.sources[0].plan != nil {
+			if plan, err := sqlengine.Compile(stmt, in.sources[0].plan.OutputColumns(),
+				in.sources[0].alias); err == nil {
+				in.plan = plan
+			}
+		}
 		vs.streams = append(vs.streams, in)
 	}
 	return vs, nil
@@ -226,6 +255,21 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 		src.slide = 1
 	}
 
+	// Compile the source query against the wrapper schema once, at
+	// deploy time. Statement shapes the compiler does not cover fall
+	// back to per-trigger Execute. Aggregate-only queries over a count
+	// window additionally get incremental maintenance: the table streams
+	// insert/evict events into the maintainer and each trigger reads the
+	// running aggregates instead of rescanning the window.
+	if plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(w.Schema()),
+		vsensor.WrapperTable(), spec.Alias); err == nil {
+		src.plan = plan
+		if inc := plan.Incremental(); inc != nil && window.Kind == stream.CountWindow {
+			src.agg = sqlengine.NewAggMaintainer(inc)
+			table.SetObserver(src.agg)
+		}
+	}
+
 	// Quality chain, innermost stage first: the terminal sink inserts
 	// into the window table and enqueues the trigger. With a slide > 1
 	// the window advances on every arrival but processing fires only on
@@ -285,8 +329,16 @@ func (vs *VirtualSensor) ingress(src *sourceRuntime, e stream.Element) {
 }
 
 // enqueue hands a trigger to the worker pool (or processes inline in
-// synchronous mode). A full queue drops the trigger: under overload the
-// window tables still advance, only recomputation is shed.
+// synchronous mode). When an evaluation for the same input stream is
+// already scheduled and has not yet read its window, the trigger
+// coalesces into it: if that evaluation runs, it sees this arrival's
+// element (the insert completed before the coalescing check, and the
+// worker clears the queued flag before scanning the window), so one
+// evaluation covers the whole burst. A full queue still drops the
+// trigger — and with it any arrivals that coalesced into it — matching
+// the pre-existing overload contract: window tables advance, only
+// recomputation is shed, and the next successful trigger's evaluation
+// covers everything still live in the window.
 func (vs *VirtualSensor) enqueue(tr trigger) {
 	vs.statTriggers.Add(1)
 	tr.enqueued = time.Now()
@@ -294,9 +346,15 @@ func (vs *VirtualSensor) enqueue(tr trigger) {
 		vs.process(tr)
 		return
 	}
+	if !tr.stream.queued.CompareAndSwap(false, true) {
+		vs.statCoalesced.Add(1)
+		vs.container.metrics.Counter("triggers_coalesced").Inc()
+		return
+	}
 	select {
 	case vs.triggers <- tr:
 	default:
+		tr.stream.queued.Store(false)
 		vs.statDropped.Add(1)
 	}
 }
@@ -328,6 +386,11 @@ func (vs *VirtualSensor) start() error {
 func (vs *VirtualSensor) worker() {
 	defer vs.wg.Done()
 	for tr := range vs.triggers {
+		// Clear the coalescing flag before the evaluation reads any
+		// window: an arrival after this point schedules a fresh trigger,
+		// an arrival before it is already in the table and covered by
+		// this evaluation.
+		tr.stream.queued.Store(false)
 		vs.safeProcess(tr)
 	}
 }
@@ -342,7 +405,10 @@ func (vs *VirtualSensor) safeProcess(tr trigger) {
 }
 
 // process executes steps 2–5 of the paper's processing pipeline for one
-// trigger.
+// trigger. Source evaluation picks the cheapest applicable tier:
+// incremental aggregates (O(1), no window scan), compiled plan over the
+// zero-copy window view (no snapshot copy, no re-planning), or the full
+// engine for statement shapes the compiler does not cover.
 func (vs *VirtualSensor) process(tr trigger) {
 	c := vs.container
 	start := time.Now()
@@ -351,12 +417,7 @@ func (vs *VirtualSensor) process(tr trigger) {
 	// query into a temporary relation named by the alias.
 	temps := make(sqlengine.MapCatalog, len(tr.stream.sources))
 	for _, src := range tr.stream.sources {
-		winRel := sqlengine.RelationOfElements(src.table.Schema(), src.table.Snapshot())
-		cat := sqlengine.MapCatalog{
-			vsensor.WrapperTable(): winRel,
-			src.alias:              winRel,
-		}
-		rel, err := sqlengine.Execute(src.stmt, cat, c.engineOpts())
+		rel, err := vs.evalSource(src)
 		if err != nil {
 			vs.recordError(fmt.Errorf("core: %s/%s source query: %w", vs.name, src.alias, err))
 			return
@@ -365,7 +426,13 @@ func (vs *VirtualSensor) process(tr trigger) {
 	}
 
 	// Step 4: the input stream's output query over the temporaries.
-	outRel, err := sqlengine.Execute(tr.stream.stmt, temps, c.engineOpts())
+	var outRel *sqlengine.Relation
+	var err error
+	if tr.stream.plan != nil {
+		outRel, err = tr.stream.plan.Execute(temps[tr.stream.sources[0].alias].Rows, c.engineOpts())
+	} else {
+		outRel, err = sqlengine.Execute(tr.stream.stmt, temps, c.engineOpts())
+	}
 	if err != nil {
 		vs.recordError(fmt.Errorf("core: %s/%s output query: %w", vs.name, tr.stream.spec.Name, err))
 		return
@@ -397,6 +464,41 @@ func (vs *VirtualSensor) process(tr trigger) {
 	c.metrics.Histogram("processing_time").Observe(time.Since(start))
 	c.metrics.Histogram("trigger_latency").Observe(time.Since(tr.enqueued))
 	c.metrics.Counter("elements_processed").Inc()
+}
+
+// evalSource evaluates one source query over its current window.
+func (vs *VirtualSensor) evalSource(src *sourceRuntime) (*sqlengine.Relation, error) {
+	c := vs.container
+	if src.agg != nil {
+		if src.agg.NeedsResync() {
+			// Bounded float drift: rebuild the aggregate state from the
+			// live window (SetObserver replays it under the table lock).
+			src.table.SetObserver(src.agg)
+			c.metrics.Counter("source_eval_resyncs").Inc()
+		}
+		// Read under the table lock so the result reflects exactly the
+		// live window — never the instant between an insert and the
+		// eviction it displaces.
+		var rel *sqlengine.Relation
+		src.table.WithLock(func() { rel = src.agg.Result() })
+		if rel != nil {
+			c.metrics.Counter("source_eval_incremental").Inc()
+			return rel, nil
+		}
+		// Poisoned maintainer: fall through so the full engine surfaces
+		// the underlying type error on the normal path.
+	}
+	if src.plan != nil {
+		c.metrics.Counter("source_eval_compiled").Inc()
+		return src.plan.ExecuteSource(src.table, c.engineOpts())
+	}
+	c.metrics.Counter("source_eval_general").Inc()
+	winRel := sqlengine.RelationOfSource(src.table)
+	cat := sqlengine.MapCatalog{
+		vsensor.WrapperTable(): winRel,
+		src.alias:              winRel,
+	}
+	return sqlengine.Execute(src.stmt, cat, c.engineOpts())
 }
 
 // stop halts wrappers, drains the pool and drops no tables (the
@@ -444,6 +546,7 @@ func (vs *VirtualSensor) Stats() SensorStats {
 		Outputs:   vs.statOutputs.Load(),
 		Errors:    vs.statErrors.Load(),
 		Dropped:   vs.statDropped.Load(),
+		Coalesced: vs.statCoalesced.Load(),
 		LastError: vs.statLastError.Load().(string),
 	}
 	ot := vs.outTable.Stats()

@@ -132,6 +132,64 @@ func (ev *evaluator) execSelect(stmt *sqlparser.SelectStatement, outer *scope) (
 	return rel, nil
 }
 
+// simplePlan is the per-statement analysis of one SELECT core against a
+// fixed input column layout: the projection slots, output columns,
+// ORDER BY resolution and aggregate inventory. It depends only on the
+// statement and the input columns, so the container compiles it once
+// per deployed sensor (see Compile) instead of re-deriving it on every
+// trigger; the ad-hoc path builds it per execution.
+type simplePlan struct {
+	stmt         *sqlparser.SelectStatement
+	proj         []projItem
+	outCols      []Column
+	orderPlans   []orderPlan
+	aggs         []*sqlparser.FuncCall
+	grouped      bool
+	needSortKeys bool
+}
+
+// analyzeSimple plans one SELECT core (no FROM resolution — srcCols is
+// the already-built input layout).
+func analyzeSimple(stmt *sqlparser.SelectStatement, srcCols []Column) (*simplePlan, error) {
+	// Aggregates are illegal in WHERE.
+	var whereAggs []*sqlparser.FuncCall
+	collectAggregates(stmt.Where, &whereAggs)
+	if len(whereAggs) > 0 {
+		return nil, fmt.Errorf("sqlengine: aggregate %s not allowed in WHERE", whereAggs[0].Name)
+	}
+
+	sp := &simplePlan{stmt: stmt}
+	for _, col := range stmt.Columns {
+		if !col.Star {
+			collectAggregates(col.Expr, &sp.aggs)
+		}
+	}
+	collectAggregates(stmt.Having, &sp.aggs)
+	sp.needSortKeys = len(stmt.OrderBy) > 0 && stmt.Compound == nil
+	if sp.needSortKeys {
+		for _, o := range stmt.OrderBy {
+			collectAggregates(o.Expr, &sp.aggs)
+		}
+	}
+	sp.grouped = len(stmt.GroupBy) > 0 || len(sp.aggs) > 0
+	if stmt.Having != nil && !sp.grouped {
+		return nil, fmt.Errorf("sqlengine: HAVING requires GROUP BY or aggregates")
+	}
+
+	var err error
+	sp.proj, sp.outCols, err = buildProjection(stmt.Columns, srcCols)
+	if err != nil {
+		return nil, err
+	}
+	if sp.needSortKeys {
+		sp.orderPlans, err = planOrderBy(stmt.OrderBy, sp.outCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
 // execSimple runs one SELECT core (no compound). It returns the
 // projected relation and, when the statement has ORDER BY and no
 // compound, per-row sort keys evaluated in row context.
@@ -140,13 +198,17 @@ func (ev *evaluator) execSimple(stmt *sqlparser.SelectStatement, outer *scope) (
 	if err != nil {
 		return nil, nil, err
 	}
-
-	// WHERE. Aggregates are illegal here.
-	var whereAggs []*sqlparser.FuncCall
-	collectAggregates(stmt.Where, &whereAggs)
-	if len(whereAggs) > 0 {
-		return nil, nil, fmt.Errorf("sqlengine: aggregate %s not allowed in WHERE", whereAggs[0].Name)
+	sp, err := analyzeSimple(stmt, src.Cols)
+	if err != nil {
+		return nil, nil, err
 	}
+	return ev.runSimple(sp, src, outer)
+}
+
+// runSimple executes an analyzed SELECT core over its input relation:
+// WHERE filter, projection or grouped aggregation, DISTINCT.
+func (ev *evaluator) runSimple(sp *simplePlan, src *Relation, outer *scope) (*Relation, [][]stream.Value, error) {
+	stmt := sp.stmt
 	rows := src.Rows
 	if stmt.Where != nil {
 		kept := rows[:0:0]
@@ -163,39 +225,11 @@ func (ev *evaluator) execSimple(stmt *sqlparser.SelectStatement, outer *scope) (
 		rows = kept
 	}
 
-	// Aggregation decision.
-	var aggs []*sqlparser.FuncCall
-	for _, col := range stmt.Columns {
-		if !col.Star {
-			collectAggregates(col.Expr, &aggs)
-		}
-	}
-	collectAggregates(stmt.Having, &aggs)
-	needSortKeys := len(stmt.OrderBy) > 0 && stmt.Compound == nil
-	if needSortKeys {
-		for _, o := range stmt.OrderBy {
-			collectAggregates(o.Expr, &aggs)
-		}
-	}
-	grouped := len(stmt.GroupBy) > 0 || len(aggs) > 0
-	if stmt.Having != nil && !grouped {
-		return nil, nil, fmt.Errorf("sqlengine: HAVING requires GROUP BY or aggregates")
-	}
-
-	// Projection plan.
-	proj, outCols, err := buildProjection(stmt.Columns, src)
-	if err != nil {
-		return nil, nil, err
-	}
+	aggs := sp.aggs
+	needSortKeys := sp.needSortKeys
+	grouped := sp.grouped
+	proj, outCols, orderPlans := sp.proj, sp.outCols, sp.orderPlans
 	out := &Relation{Cols: outCols}
-
-	var orderPlans []orderPlan
-	if needSortKeys {
-		orderPlans, err = planOrderBy(stmt.OrderBy, outCols)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
 	var sortKeys [][]stream.Value
 
 	project := func(sc *scope) error {
@@ -361,14 +395,14 @@ type projItem struct {
 	expr    sqlparser.Expr
 }
 
-func buildProjection(cols []sqlparser.SelectColumn, src *Relation) ([]projItem, []Column, error) {
+func buildProjection(cols []sqlparser.SelectColumn, srcCols []Column) ([]projItem, []Column, error) {
 	var items []projItem
 	var out []Column
 	for _, c := range cols {
 		if c.Star {
 			qual := stream.CanonicalName(c.StarTable)
 			var idxs []int
-			for i, sc := range src.Cols {
+			for i, sc := range srcCols {
 				if qual == "" || sc.Table == qual {
 					idxs = append(idxs, i)
 					out = append(out, sc)

@@ -1,0 +1,247 @@
+package sqlengine
+
+import (
+	"sync"
+
+	"gsn/internal/stream"
+)
+
+// AggMaintainer incrementally maintains the aggregates of a compiled
+// aggregate-only plan over a sliding window, so the dominant
+// `SELECT agg(col) FROM wrapper` trigger shape is O(aggregates) per
+// evaluation instead of O(window). It implements storage.Observer: the
+// table invokes OnInsert/OnEvict/OnTruncate under its own lock and in
+// arrival (FIFO) order; Result is called from the trigger workers, so
+// the maintainer carries its own mutex.
+//
+// COUNT/SUM/AVG subtract evicted inputs; MIN/MAX keep the classic
+// sliding-window monotonic deque; LAST keeps a FIFO of non-NULL inputs.
+// A value the aggregate cannot digest (non-numeric SUM input,
+// incomparable MIN operands) poisons the maintainer: Result returns nil
+// from then on and the caller falls back to full plan execution, which
+// reports the error through the normal path.
+type AggMaintainer struct {
+	specs []IncAggSpec
+	cols  []Column
+
+	mu     sync.Mutex
+	states []incState
+	broken bool
+	seq    uint64 // next insert sequence number
+	headSq uint64 // sequence number of the next eviction (FIFO)
+
+	// floatEvicts counts evicted float SUM/AVG inputs since the last
+	// rebuild. Subtract-on-evict float maintenance accumulates rounding
+	// error (and can be corrupted outright by catastrophic absorption
+	// when magnitudes differ wildly), so after resyncFloatEvery such
+	// evictions NeedsResync reports true and the owner rebuilds the
+	// state from the live window (storage.Table.SetObserver replays it).
+	floatEvicts uint64
+}
+
+// resyncFloatEvery bounds float SUM/AVG drift: one O(window) rebuild
+// per this many evicted float inputs keeps amortised maintenance O(1).
+const resyncFloatEvery = 65536
+
+// seqValue is one deque entry: the arrival sequence of the element it
+// came from, and the aggregate input value.
+type seqValue struct {
+	seq uint64
+	v   stream.Value
+}
+
+// incState is the running state of one aggregate column.
+type incState struct {
+	count  int64 // non-NULL inputs (all rows for COUNT(*))
+	intSum int64
+	fSum   float64
+	nFloat int64
+	deque  []seqValue // MIN/MAX monotonic deque, or LAST FIFO
+}
+
+// NewAggMaintainer builds a maintainer for a plan's incremental program
+// (Plan.Incremental).
+func NewAggMaintainer(specs []IncAggSpec) *AggMaintainer {
+	cols := make([]Column, len(specs))
+	for i, s := range specs {
+		cols[i] = s.Out
+	}
+	return &AggMaintainer{specs: specs, cols: cols, states: make([]incState, len(specs))}
+}
+
+// OnInsert implements storage.Observer.
+func (m *AggMaintainer) OnInsert(e stream.Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return
+	}
+	seq := m.seq
+	m.seq++
+	for i := range m.specs {
+		spec := &m.specs[i]
+		st := &m.states[i]
+		if spec.Col < 0 { // COUNT(*)
+			st.count++
+			continue
+		}
+		v := inputValue(e, spec.Col)
+		if v == nil {
+			continue // SQL aggregates ignore NULLs
+		}
+		st.count++
+		switch spec.Kind {
+		case IncSum, IncAvg:
+			switch x := v.(type) {
+			case int64:
+				st.intSum += x
+			case float64:
+				st.fSum += x
+				st.nFloat++
+			default:
+				m.broken = true
+				return
+			}
+		case IncMin, IncMax:
+			want := -1 // MIN keeps an increasing deque: pop backs >= v
+			if spec.Kind == IncMax {
+				want = 1 // MAX keeps a decreasing deque: pop backs <= v
+			}
+			for len(st.deque) > 0 {
+				c, known, err := compare(st.deque[len(st.deque)-1].v, v)
+				if err != nil || !known {
+					m.broken = true
+					return
+				}
+				if c*want > 0 {
+					break
+				}
+				st.deque = st.deque[:len(st.deque)-1]
+			}
+			st.deque = append(st.deque, seqValue{seq: seq, v: v})
+		case IncLast:
+			st.deque = append(st.deque, seqValue{seq: seq, v: v})
+		}
+	}
+}
+
+// OnEvict implements storage.Observer. Eviction order is the table's
+// arrival order, so the evicted element always carries the sequence
+// number at the head.
+func (m *AggMaintainer) OnEvict(e stream.Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return
+	}
+	seq := m.headSq
+	m.headSq++
+	for i := range m.specs {
+		spec := &m.specs[i]
+		st := &m.states[i]
+		if spec.Col < 0 {
+			st.count--
+			continue
+		}
+		v := inputValue(e, spec.Col)
+		if v == nil {
+			continue
+		}
+		st.count--
+		switch spec.Kind {
+		case IncSum, IncAvg:
+			switch x := v.(type) {
+			case int64:
+				st.intSum -= x
+			case float64:
+				st.fSum -= x
+				st.nFloat--
+				m.floatEvicts++
+			default:
+				m.broken = true
+				return
+			}
+		case IncMin, IncMax, IncLast:
+			if len(st.deque) > 0 && st.deque[0].seq == seq {
+				st.deque = st.deque[1:]
+			}
+		}
+	}
+}
+
+// OnTruncate implements storage.Observer: the window was cleared, so
+// every running aggregate restarts empty.
+func (m *AggMaintainer) OnTruncate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.states {
+		m.states[i] = incState{}
+	}
+	m.seq = 0
+	m.headSq = 0
+	m.broken = false
+	m.floatEvicts = 0
+}
+
+// NeedsResync reports that enough float inputs have been subtracted
+// out that accumulated rounding error warrants rebuilding the state
+// from the live window (re-attach with SetObserver, which replays it).
+func (m *AggMaintainer) NeedsResync() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.floatEvicts >= resyncFloatEvery
+}
+
+// inputValue extracts the aggregate input column from an element,
+// mapping the implicit TIMED column (index == element length) to the
+// timestamp.
+func inputValue(e stream.Element, col int) stream.Value {
+	if col == e.Len() {
+		return int64(e.Timestamp())
+	}
+	return e.Value(col)
+}
+
+// Result builds the single-row aggregate relation, or nil when the
+// maintainer is poisoned and the caller must fall back to full
+// execution. Empty-window semantics match aggState: COUNT is 0, the
+// rest are NULL.
+func (m *AggMaintainer) Result() *Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return nil
+	}
+	row := make([]stream.Value, len(m.specs))
+	for i := range m.specs {
+		spec := &m.specs[i]
+		st := &m.states[i]
+		switch spec.Kind {
+		case IncCount:
+			row[i] = st.count
+		case IncSum:
+			if st.count == 0 {
+				row[i] = nil
+			} else if st.nFloat == 0 {
+				row[i] = st.intSum
+			} else {
+				row[i] = float64(st.intSum) + st.fSum
+			}
+		case IncAvg:
+			if st.count == 0 {
+				row[i] = nil
+			} else {
+				row[i] = (float64(st.intSum) + st.fSum) / float64(st.count)
+			}
+		case IncMin, IncMax:
+			if len(st.deque) > 0 {
+				row[i] = st.deque[0].v
+			}
+		case IncLast:
+			if len(st.deque) > 0 {
+				row[i] = st.deque[len(st.deque)-1].v
+			}
+		}
+	}
+	return &Relation{Cols: m.cols, Rows: [][]stream.Value{row}}
+}

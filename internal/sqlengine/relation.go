@@ -173,12 +173,7 @@ func (c ChainCatalog) Relation(name string) (*Relation, error) {
 // RelationOfElements materialises stream elements into a relation,
 // appending the implicit TIMED column.
 func RelationOfElements(schema *stream.Schema, elems []stream.Element) *Relation {
-	cols := make([]Column, 0, schema.Len()+1)
-	for _, f := range schema.Fields() {
-		cols = append(cols, Column{Name: f.Name})
-	}
-	cols = append(cols, Column{Name: TimedColumn})
-	rel := &Relation{Cols: cols, Rows: make([][]stream.Value, 0, len(elems))}
+	rel := &Relation{Cols: ColumnsOfSchema(schema), Rows: make([][]stream.Value, 0, len(elems))}
 	for _, e := range elems {
 		row := make([]stream.Value, 0, schema.Len()+1)
 		for i := 0; i < e.Len(); i++ {
@@ -188,4 +183,61 @@ func RelationOfElements(schema *stream.Schema, elems []stream.Element) *Relation
 		rel.Rows = append(rel.Rows, row)
 	}
 	return rel
+}
+
+// ColumnsOfSchema returns the relation column layout of a stream
+// schema: one unqualified column per field plus the implicit TIMED
+// column.
+func ColumnsOfSchema(schema *stream.Schema) []Column {
+	cols := make([]Column, 0, schema.Len()+1)
+	for _, f := range schema.Fields() {
+		cols = append(cols, Column{Name: f.Name})
+	}
+	return append(cols, Column{Name: TimedColumn})
+}
+
+// ElementSource is a windowed element store the engine can scan without
+// copying; *storage.Table implements it. Len is a capacity hint, ForEach
+// must yield live elements in arrival order.
+type ElementSource interface {
+	Schema() *stream.Schema
+	Len() int
+	ForEach(fn func(stream.Element) bool)
+}
+
+// RowsOfSource scans a source into relation rows (schema fields plus
+// TIMED) in one pass over the source's own storage — the zero-copy
+// replacement for Snapshot()+RelationOfElements, which copied the whole
+// window into an intermediate element slice on every trigger. Row
+// backing arrays are carved from chunked arenas so a thousand-row
+// window costs a handful of allocations instead of one per row.
+func RowsOfSource(src ElementSource) [][]stream.Value {
+	ncols := src.Schema().Len() + 1
+	hint := src.Len()
+	if hint < 16 {
+		hint = 16
+	}
+	rows := make([][]stream.Value, 0, hint)
+	arena := make([]stream.Value, 0, hint*ncols)
+	src.ForEach(func(e stream.Element) bool {
+		if len(arena)+ncols > cap(arena) {
+			// Full chunk: start a new arena. Rows already handed out keep
+			// referencing the old one, so appends can never realloc under
+			// them.
+			arena = make([]stream.Value, 0, hint*ncols)
+		}
+		start := len(arena)
+		for i := 0; i < e.Len(); i++ {
+			arena = append(arena, e.Value(i))
+		}
+		arena = append(arena, int64(e.Timestamp()))
+		rows = append(rows, arena[start:len(arena):len(arena)])
+		return true
+	})
+	return rows
+}
+
+// RelationOfSource is RowsOfSource with the column header attached.
+func RelationOfSource(src ElementSource) *Relation {
+	return &Relation{Cols: ColumnsOfSchema(src.Schema()), Rows: RowsOfSource(src)}
 }

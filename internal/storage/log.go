@@ -19,6 +19,7 @@ type Log struct {
 	f      *os.File
 	w      *bufio.Writer
 	schema *stream.Schema
+	hdrLen int64 // file offset of the first element record
 }
 
 // OpenLog opens (or creates) the log at path for appending. If the file
@@ -33,6 +34,7 @@ func OpenLog(path string, schema *stream.Schema) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	var hdrLen int64
 	if info.Size() == 0 {
 		// Fresh log: write header.
 		hdr := append([]byte{}, logMagic...)
@@ -41,8 +43,9 @@ func OpenLog(path string, schema *stream.Schema) (*Log, error) {
 			f.Close()
 			return nil, err
 		}
+		hdrLen = int64(len(hdr))
 	} else {
-		existing, _, err := readLogHeader(f)
+		existing, off, err := readLogHeader(f)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -51,12 +54,13 @@ func OpenLog(path string, schema *stream.Schema) (*Log, error) {
 			f.Close()
 			return nil, fmt.Errorf("storage: log %s has schema %s, table wants %s", path, existing, schema)
 		}
+		hdrLen = off
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), schema: schema}, nil
+	return &Log{f: f, w: bufio.NewWriter(f), schema: schema, hdrLen: hdrLen}, nil
 }
 
 // Append writes one element record and flushes it.
@@ -65,6 +69,19 @@ func (l *Log) Append(e stream.Element) error {
 		return err
 	}
 	return l.w.Flush()
+}
+
+// Reset discards every element record, keeping the header, so a
+// truncated table's log does not resurrect rows on the next replay.
+// Append has already flushed each record, so the writer holds no
+// buffered data to discard.
+func (l *Log) Reset() error {
+	l.w.Reset(l.f)
+	if err := l.f.Truncate(l.hdrLen); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.hdrLen, io.SeekStart)
+	return err
 }
 
 // Close flushes and closes the file.

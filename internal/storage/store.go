@@ -77,14 +77,7 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			if !logSchema.Equal(schema) {
 				return nil, fmt.Errorf("storage: log %s schema %s does not match %s", path, logSchema, schema)
 			}
-			for _, e := range elems {
-				t.mu.Lock()
-				t.elems = append(t.elems, e)
-				t.inserted++
-				t.bytes += e.Size()
-				t.evictLocked()
-				t.mu.Unlock()
-			}
+			t.bulkLoad(elems)
 		}
 		log, err := OpenLog(path, schema)
 		if err != nil {

@@ -178,3 +178,54 @@ func TestOpenLogSchemaCheck(t *testing.T) {
 		t.Fatal("OpenLog accepted mismatched schema")
 	}
 }
+
+// TestTruncateResetsPersistenceLog: truncating a permanent table must
+// also reset its log, or the next CreateTable replay resurrects rows
+// that were explicitly discarded (the redeploy path hit this).
+func TestTruncateResetsPersistenceLog(t *testing.T) {
+	dir := t.TempDir()
+	clock := stream.NewManualClock(0)
+
+	s1, err := NewStore(clock, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := s1.CreateTable("perm", tempSchema, TableOptions{Window: stream.MustWindow("100"), Permanent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		if err := tab.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	// One element survives after the truncate: the log must hold only it.
+	e, _ := stream.NewElement(tempSchema, 9, int64(99))
+	if err := tab.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(clock, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tab2, err := s2.CreateTable("perm", tempSchema, TableOptions{Window: stream.MustWindow("100"), Permanent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tab2.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("replay resurrected truncated rows: got %d elements, want 1", len(snap))
+	}
+	if snap[0].Value(0) != int64(99) {
+		t.Errorf("survivor = %v, want 99", snap[0])
+	}
+}

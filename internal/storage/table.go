@@ -29,6 +29,23 @@ type TableStats struct {
 	Bytes int
 }
 
+// Observer receives element lifecycle events from a table. Methods are
+// invoked while the table lock is held: implementations must be fast
+// and must not call back into the table. Insert and eviction events
+// arrive in arrival order, so an observer can mirror the window with
+// FIFO state (the incremental aggregate maintainers in sqlengine rely
+// on this).
+type Observer interface {
+	// OnInsert is called after an element is appended, before any
+	// eviction it displaces.
+	OnInsert(e stream.Element)
+	// OnEvict is called for each element dropped by window retention,
+	// oldest first.
+	OnEvict(e stream.Element)
+	// OnTruncate is called when the table is cleared wholesale.
+	OnTruncate()
+}
+
 // Table is a windowed stream relation. All methods are safe for
 // concurrent use.
 type Table struct {
@@ -44,6 +61,7 @@ type Table struct {
 	evicted  uint64
 	bytes    int
 	log      *Log
+	observer Observer
 }
 
 // NewTable creates a standalone table (the Store is the usual entry
@@ -92,6 +110,9 @@ func (t *Table) Insert(e stream.Element) error {
 	t.elems = append(t.elems, e)
 	t.inserted++
 	t.bytes += e.Size()
+	if t.observer != nil {
+		t.observer.OnInsert(e)
+	}
 	t.evictLocked()
 	if t.log != nil {
 		if err := t.log.Append(e); err != nil {
@@ -130,6 +151,9 @@ func (t *Table) liveLenLocked() int { return len(t.elems) - t.head }
 
 func (t *Table) dropHeadLocked() {
 	t.bytes -= t.elems[t.head].Size()
+	if t.observer != nil {
+		t.observer.OnEvict(t.elems[t.head])
+	}
 	t.elems[t.head] = stream.Element{}
 	t.head++
 	t.evicted++
@@ -154,22 +178,34 @@ func (t *Table) Snapshot() []stream.Element {
 	return out
 }
 
-// ForEach calls fn for every live element in arrival order while holding
-// a read lock; fn must not call back into the table. Returning false
-// stops iteration early. This is the zero-copy path the query engine
-// uses to materialise window relations.
+// ForEach calls fn for every live element in arrival order; fn must not
+// call back into the table. Returning false stops iteration early. This
+// is the zero-copy path the query engine uses to materialise window
+// relations: eviction and iteration happen in one critical section, so
+// a concurrent writer can never mutate the window mid-scan (the old
+// implementation released the write lock after evicting and re-acquired
+// a read lock, leaving a gap for interleaved inserts).
 func (t *Table) ForEach(fn func(stream.Element) bool) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.evictLocked()
-	t.mu.Unlock()
-
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	for i := t.head; i < len(t.elems); i++ {
 		if !fn(t.elems[i]) {
 			return
 		}
 	}
+}
+
+// WithLock applies retention and then runs fn while holding the
+// table's write lock, excluding concurrent inserts and evictions. The
+// container uses it to read an observer's state at an instant that is
+// consistent with the window (observer callbacks also run under this
+// lock); fn must not call back into the table.
+func (t *Table) WithLock(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	fn()
 }
 
 // Last returns up to n most recent elements in arrival order.
@@ -217,14 +253,61 @@ func (t *Table) Latest() (stream.Element, bool) {
 	return t.elems[len(t.elems)-1], true
 }
 
-// Truncate discards all live elements (used on redeploy).
-func (t *Table) Truncate() {
+// Truncate discards all live elements (used on redeploy). A permanent
+// table's log is reset too, so a later CreateTable replay cannot
+// resurrect the truncated rows.
+func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.evicted += uint64(t.liveLenLocked())
 	t.elems = nil
 	t.head = 0
 	t.bytes = 0
+	if t.observer != nil {
+		t.observer.OnTruncate()
+	}
+	if t.log != nil {
+		if err := t.log.Reset(); err != nil {
+			return fmt.Errorf("storage: resetting log of %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// SetObserver installs (or with nil removes) the table's lifecycle
+// observer. The current live contents are replayed into the observer as
+// inserts under the same critical section, so the observer's state
+// starts consistent with the window no matter when it is attached.
+func (t *Table) SetObserver(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+	t.observer = o
+	if o == nil {
+		return
+	}
+	o.OnTruncate()
+	for i := t.head; i < len(t.elems); i++ {
+		o.OnInsert(t.elems[i])
+	}
+}
+
+// bulkLoad appends replayed elements in one critical section, applying
+// window retention once at the end. CreateTable replay uses it instead
+// of per-element Insert so an unpublished table is loaded without
+// lock churn and without appending the rows back into the log.
+func (t *Table) bulkLoad(elems []stream.Element) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range elems {
+		t.elems = append(t.elems, e)
+		t.inserted++
+		t.bytes += e.Size()
+		if t.observer != nil {
+			t.observer.OnInsert(e)
+		}
+	}
+	t.evictLocked()
 }
 
 // Stats returns activity counters.

@@ -318,3 +318,122 @@ func ExampleTable_Snapshot() {
 	// 20
 	// 30
 }
+
+// TestConcurrentInsertAndForEach exercises the fixed ForEach lock
+// hand-off under the race detector: eviction and iteration now happen
+// in one critical section, so every scan must observe a consistent
+// window — never more elements than the count bound, always in
+// non-decreasing timestamp order.
+func TestConcurrentInsertAndForEach(t *testing.T) {
+	const bound = 50
+	tab, _ := NewTable("t", tempSchema, stream.MustWindow("50"), stream.NewManualClock(0))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tab.Insert(intElem(t, stream.Timestamp(w*1000+i+1), int64(i)))
+			}
+		}(w)
+	}
+	errs := make(chan string, 8)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				seen := 0
+				valid := true
+				tab.ForEach(func(e stream.Element) bool {
+					// A zero element would mean the scan crossed into dead
+					// space a concurrent eviction cleared mid-iteration.
+					if e.Schema() == nil {
+						valid = false
+					}
+					seen++
+					return true
+				})
+				if !valid {
+					errs <- "scan observed a zero element"
+					return
+				}
+				if seen > bound {
+					errs <- fmt.Sprintf("scan saw %d elements, window bound is %d", seen, bound)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// tableObserverLog records lifecycle events for observer tests.
+type tableObserverLog struct {
+	inserts   int
+	evicts    int
+	truncates int
+	liveDelta int
+}
+
+func (l *tableObserverLog) OnInsert(e stream.Element) { l.inserts++; l.liveDelta++ }
+func (l *tableObserverLog) OnEvict(e stream.Element)  { l.evicts++; l.liveDelta-- }
+func (l *tableObserverLog) OnTruncate()               { l.truncates++; l.liveDelta = 0 }
+
+// TestObserverMirrorsWindow: insert/evict events keep an observer's
+// element count equal to the table's live count, SetObserver replays
+// pre-existing contents, and Truncate resets.
+func TestObserverMirrorsWindow(t *testing.T) {
+	tab, _ := NewTable("t", tempSchema, stream.MustWindow("5"), stream.NewManualClock(0))
+	for i := int64(0); i < 3; i++ {
+		tab.Insert(intElem(t, stream.Timestamp(i+1), i))
+	}
+	log := &tableObserverLog{}
+	tab.SetObserver(log)
+	if log.inserts != 3 || log.liveDelta != 3 {
+		t.Fatalf("SetObserver should replay current contents: %+v", log)
+	}
+	for i := int64(3); i < 12; i++ {
+		tab.Insert(intElem(t, stream.Timestamp(i+1), i))
+	}
+	if log.liveDelta != tab.Len() {
+		t.Errorf("observer live = %d, table live = %d", log.liveDelta, tab.Len())
+	}
+	if log.evicts != 7 {
+		t.Errorf("evicts = %d, want 7", log.evicts)
+	}
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if log.truncates != 2 || log.liveDelta != 0 { // 1 from SetObserver reset + 1 real
+		t.Errorf("after truncate: %+v", log)
+	}
+}
+
+// TestTimeWindowBoundaryEviction pins the half-open window semantics at
+// the storage layer: an element whose timestamp is exactly now-Size is
+// outside the window (Window.Covers is strict) and must be evicted.
+func TestTimeWindowBoundaryEviction(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	tab, _ := NewTable("t", tempSchema, stream.MustWindow("10s"), clock)
+	tab.Insert(intElem(t, 1_000, 1)) // @1s
+	tab.Insert(intElem(t, 5_000, 2)) // @5s
+
+	clock.Set(11_000) // element@1s is now exactly 10s old → out (strict bound)
+	if got := tab.Len(); got != 1 {
+		t.Errorf("live at exact boundary = %d, want 1 (boundary element excluded)", got)
+	}
+	clock.Set(14_999) // element@5s is 9.999s old → still in
+	if got := tab.Len(); got != 1 {
+		t.Errorf("live just inside boundary = %d, want 1", got)
+	}
+	clock.Set(15_000) // exactly 10s old → out
+	if got := tab.Len(); got != 0 {
+		t.Errorf("live at second boundary = %d, want 0", got)
+	}
+}

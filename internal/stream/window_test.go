@@ -63,6 +63,15 @@ func TestWindowCovers(t *testing.T) {
 	if w.Covers(90_000, now) {
 		t.Error("boundary element exactly size old should be excluded (half-open window)")
 	}
+	if !w.Covers(90_001, now) {
+		t.Error("element 1ms inside the boundary should be covered")
+	}
+	if !w.Covers(now, now) {
+		t.Error("element stamped exactly now should be covered")
+	}
+	if !w.Covers(now+5_000, now) {
+		t.Error("future-stamped elements (clock skew) stay covered until they age out")
+	}
 	cw := MustWindow("5")
 	if !cw.Covers(0, now) {
 		t.Error("count windows never exclude by time")
