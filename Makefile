@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench benchsmoke ci
 
 all: ci
 
@@ -21,5 +21,17 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkTriggerPipeline' -benchmem .
 
+# The ingestion acceptance benchmark: batched group-commit ingestion
+# must beat the per-element flush path.
+bench-ingest:
+	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem .
+
+# benchsmoke compiles and runs every benchmark once and sweeps the
+# gsn-bench experiments in quick mode, so perf-harness rot is caught on
+# every PR without paying for full measurement runs.
+benchsmoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/gsn-bench -experiment all -quick -out ""
+
 # ci is the tier-1 gate: everything a fresh clone must pass.
-ci: vet build race
+ci: vet build race benchsmoke

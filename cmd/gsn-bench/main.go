@@ -9,6 +9,7 @@
 //	gsn-bench -experiment figure4
 //	gsn-bench -experiment wrappers
 //	gsn-bench -experiment ablation
+//	gsn-bench -experiment ingest
 //	gsn-bench -experiment all
 package main
 
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -95,6 +96,20 @@ func main() {
 
 	run("ablation", func() error {
 		return bench.RunAblations(os.Stdout)
+	})
+
+	run("ingest", func() error {
+		cfg := bench.DefaultIngest()
+		if *quick {
+			cfg.Elements = 20_000
+		}
+		res, err := bench.RunIngest(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		return writeCSV(*outDir, "ingest.csv", res.CSV())
 	})
 }
 

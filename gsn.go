@@ -256,6 +256,11 @@ func (n *Node) RegisterQuery(sensor, sql string, sampling float64, cb func(*Rela
 // UnregisterQuery removes a continuous query.
 func (n *Node) UnregisterQuery(id int64) error { return n.container.UnregisterQuery(id) }
 
+// PulseBatch drives every batch-capable wrapper once, injecting up to
+// max elements per source as one burst through the batch ingestion
+// path (deterministic burst driver for benchmarks and tests).
+func (n *Node) PulseBatch(max int) int { return n.container.PulseBatch(max) }
+
 // Pulse drives every pull-capable wrapper once (deterministic
 // simulation; see the examples).
 func (n *Node) Pulse() int { return n.container.Pulse() }

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gsn/internal/core"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+// IngestConfig parameterises the batched-ingestion experiment: the
+// write-side counterpart of the trigger-pipeline ablation. It measures
+// permanent-table ingestion throughput across the batching × durability
+// matrix, plus the full wrapper→window end-to-end path.
+type IngestConfig struct {
+	// Elements is the number of elements written per matrix cell.
+	Elements int
+	// Batch is the burst size for the batched cells.
+	Batch int
+	// Window is the table's count-window retention.
+	Window int
+}
+
+// DefaultIngest returns a sweep sized for an interactive run (each
+// storage cell needs enough elements to reach group-commit steady
+// state).
+func DefaultIngest() IngestConfig {
+	return IngestConfig{Elements: 1_000_000, Batch: 64, Window: 1000}
+}
+
+// IngestPoint is one measured cell.
+type IngestPoint struct {
+	Mode    string  // "per-element" or "batched"
+	Sync    string  // "memory", "always", "interval", "none", "e2e"
+	Elems   int     // elements written
+	PerSec  float64 // ingestion throughput
+	Flushes uint64  // WAL write syscalls issued
+}
+
+// IngestResult is the full matrix.
+type IngestResult struct {
+	Batch  int
+	Points []IngestPoint
+}
+
+// Table renders an aligned comparison, reporting the batched/unbatched
+// speedup per sync policy.
+func (r *IngestResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-10s %12s %10s\n", "mode", "sync", "elems/sec", "flushes")
+	base := map[string]float64{}
+	for _, p := range r.Points {
+		if p.Mode == "per-element" {
+			base[p.Sync] = p.PerSec
+		}
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-10s %12.0f %10d", p.Mode, p.Sync, p.PerSec, p.Flushes)
+		if p.Mode == "batched" && base[p.Sync] > 0 {
+			fmt.Fprintf(&b, "   %.1fx", p.PerSec/base[p.Sync])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the matrix for external plotting.
+func (r *IngestResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mode,sync,batch,elements,elems_per_sec,flushes\n")
+	for _, p := range r.Points {
+		batch := 1
+		if p.Mode == "batched" {
+			batch = r.Batch
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%.0f,%d\n", p.Mode, p.Sync, batch, p.Elems, p.PerSec, p.Flushes)
+	}
+	return b.String()
+}
+
+// ingestElems pre-builds the element sequence so construction cost
+// stays out of the measurement.
+func ingestElems(n int) (*stream.Schema, []stream.Element, error) {
+	schema, err := stream.NewSchema(
+		stream.Field{Name: "node_id", Type: stream.TypeInt},
+		stream.Field{Name: "temperature", Type: stream.TypeFloat},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	elems := make([]stream.Element, n)
+	for i := range elems {
+		e, err := stream.NewElement(schema, stream.Timestamp(i+1), int64(i%32), float64(i%97)+0.5)
+		if err != nil {
+			return nil, nil, err
+		}
+		elems[i] = e
+	}
+	return schema, elems, nil
+}
+
+// runIngestCell times one (mode, sync) cell against a fresh table.
+func runIngestCell(cfg IngestConfig, schema *stream.Schema, elems []stream.Element,
+	sync string, batched bool) (IngestPoint, error) {
+	point := IngestPoint{Sync: sync, Elems: len(elems), Mode: "per-element"}
+	if batched {
+		point.Mode = "batched"
+	}
+
+	dir, err := os.MkdirTemp("", "gsn-ingest-*")
+	if err != nil {
+		return point, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := storage.TableOptions{
+		Window: stream.Window{Kind: stream.CountWindow, Count: cfg.Window},
+	}
+	if sync != "memory" {
+		policy, ok := storage.ParseSyncPolicy(sync)
+		if !ok {
+			return point, fmt.Errorf("bench: bad sync policy %q", sync)
+		}
+		opts.Permanent = true
+		opts.Sync = policy
+	}
+	store, err := storage.NewStore(stream.NewManualClock(0), dir)
+	if err != nil {
+		return point, err
+	}
+	defer store.Close()
+	table, err := store.CreateTable("ingest", schema, opts)
+	if err != nil {
+		return point, err
+	}
+
+	start := time.Now()
+	if batched {
+		for i := 0; i < len(elems); i += cfg.Batch {
+			end := i + cfg.Batch
+			if end > len(elems) {
+				end = len(elems)
+			}
+			if err := table.InsertBatch(elems[i:end]); err != nil {
+				return point, err
+			}
+		}
+	} else {
+		for _, e := range elems {
+			if err := table.Insert(e); err != nil {
+				return point, err
+			}
+		}
+	}
+	if err := table.Flush(); err != nil { // durability barrier inside the timed region
+		return point, err
+	}
+	elapsed := time.Since(start)
+
+	st := table.Stats()
+	point.PerSec = float64(len(elems)) / elapsed.Seconds()
+	point.Flushes = st.LogFlushes
+	if st.Inserted != uint64(len(elems)) {
+		return point, fmt.Errorf("bench: inserted %d of %d", st.Inserted, len(elems))
+	}
+	return point, nil
+}
+
+// runIngestE2E measures the full wrapper → quality chain → permanent
+// window path through a container, per-element (Pulse) vs burst
+// (PulseBatch).
+func runIngestE2E(cfg IngestConfig, batched bool) (IngestPoint, error) {
+	// The e2e path evaluates a trigger per arrival; cap the cell so the
+	// experiment stays interactive.
+	if cfg.Elements > 200_000 {
+		cfg.Elements = 200_000
+	}
+	point := IngestPoint{Sync: "e2e", Elems: cfg.Elements, Mode: "per-element"}
+	if batched {
+		point.Mode = "batched"
+	}
+	dir, err := os.MkdirTemp("", "gsn-ingest-e2e-*")
+	if err != nil {
+		return point, err
+	}
+	defer os.RemoveAll(dir)
+
+	c, err := core.New(core.Options{
+		Clock:          stream.NewManualClock(0),
+		SyncProcessing: true,
+		DataDir:        dir,
+	})
+	if err != nil {
+		return point, err
+	}
+	defer c.Close()
+	desc := fmt.Sprintf(`
+<virtual-sensor name="ingest">
+  <output-structure>
+    <field name="n" type="integer"/>
+    <field name="a" type="double"/>
+  </output-structure>
+  <storage size="1" permanent-storage="true" sync="interval"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="%d">
+      <address wrapper="mote">
+        <predicate key="sensors" val="temperature"/>
+        <predicate key="seed" val="7"/>
+      </address>
+      <query>select count(*) as n, avg(temperature) as a from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, cfg.Window)
+	if err := c.DeployXML([]byte(desc)); err != nil {
+		return point, err
+	}
+
+	// The trigger pipeline runs incrementally (O(1) per trigger) so
+	// this measures ingestion, not evaluation.
+	n := cfg.Elements
+	start := time.Now()
+	if batched {
+		for done := 0; done < n; {
+			batch := cfg.Batch
+			if done+batch > n {
+				batch = n - done
+			}
+			done += c.PulseBatch(batch)
+		}
+	} else {
+		for done := 0; done < n; {
+			done += c.Pulse()
+		}
+	}
+	point.PerSec = float64(n) / time.Since(start).Seconds()
+	return point, nil
+}
+
+// RunIngest executes the batching × durability matrix and the
+// end-to-end comparison, streaming progress to w.
+func RunIngest(cfg IngestConfig, w io.Writer) (*IngestResult, error) {
+	if cfg.Elements <= 0 {
+		cfg = DefaultIngest()
+	}
+	if cfg.Batch <= 1 {
+		cfg.Batch = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1000
+	}
+	schema, elems, err := ingestElems(cfg.Elements)
+	if err != nil {
+		return nil, err
+	}
+	res := &IngestResult{Batch: cfg.Batch}
+	for _, sync := range []string{"memory", "always", "interval", "none"} {
+		for _, batched := range []bool{false, true} {
+			p, err := runIngestCell(cfg, schema, elems, sync, batched)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "  %-12s sync=%-8s %12.0f elems/sec\n", p.Mode, p.Sync, p.PerSec)
+			res.Points = append(res.Points, p)
+		}
+	}
+	for _, batched := range []bool{false, true} {
+		p, err := runIngestE2E(cfg, batched)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  %-12s sync=%-8s %12.0f elems/sec\n", p.Mode, p.Sync, p.PerSec)
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}

@@ -111,6 +111,10 @@ func New(opts Options) (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry()
+	// WAL append/flush failures — including asynchronous group-commit
+	// losses — surface on this counter.
+	store.SetLogErrorCounter(reg.Counter("storage_log_errors"))
 	dir := opts.Directory
 	if dir == nil {
 		dir = directory.NewRegistry(opts.Clock, opts.DirectoryTTL)
@@ -124,7 +128,7 @@ func New(opts Options) (*Container, error) {
 		dir:      dir,
 		acl:      access.NewController(),
 		keys:     integrity.NewKeyRing(),
-		metrics:  metrics.NewRegistry(),
+		metrics:  reg,
 		registry: opts.Registry,
 		queries:  NewQueryRepository(),
 		sensors:  make(map[string]*VirtualSensor),
@@ -348,6 +352,17 @@ func (c *Container) Pulse() int {
 	total := 0
 	for _, vs := range c.Sensors() {
 		total += vs.Pulse()
+	}
+	return total
+}
+
+// PulseBatch drives every batch-capable wrapper once, injecting up to
+// max elements per source as one burst through the batch ingestion
+// path.
+func (c *Container) PulseBatch(max int) int {
+	total := 0
+	for _, vs := range c.Sensors() {
+		total += vs.PulseBatch(max)
 	}
 	return total
 }

@@ -123,8 +123,22 @@ func (r *RemoteWrapper) Schema() *stream.Schema { return r.schema }
 // Peer returns the resolved peer URL and sensor name.
 func (r *RemoteWrapper) Peer() (string, string) { return r.client.Base, r.vs }
 
-// Start launches the long-poll loop.
+// Start launches the long-poll loop, delivering fetched elements one
+// by one.
 func (r *RemoteWrapper) Start(emit wrappers.EmitFunc) error {
+	return r.StartBatch(emit, func(elems []stream.Element) {
+		for _, e := range elems {
+			emit(e)
+		}
+	})
+}
+
+// StartBatch implements wrappers.BatchEmitter: each long-poll fetch
+// returns a run of elements, and delivering the run as one batch lets
+// the receiving container cross its quality chain and window table with
+// a single lock acquisition — the natural shape for node-to-node
+// streams, which arrive in fetch-sized bursts by construction.
+func (r *RemoteWrapper) StartBatch(emit wrappers.EmitFunc, emitBatch wrappers.BatchEmitFunc) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.started {
@@ -133,11 +147,11 @@ func (r *RemoteWrapper) Start(emit wrappers.EmitFunc) error {
 	r.started = true
 	r.stop = make(chan struct{})
 	r.done = make(chan struct{})
-	go r.loop(emit, r.stop, r.done)
+	go r.loop(emitBatch, r.stop, r.done)
 	return nil
 }
 
-func (r *RemoteWrapper) loop(emit wrappers.EmitFunc, stop, done chan struct{}) {
+func (r *RemoteWrapper) loop(emitBatch wrappers.BatchEmitFunc, stop, done chan struct{}) {
 	defer close(done)
 	var since stream.Timestamp
 	backoff := 100 * time.Millisecond
@@ -175,8 +189,8 @@ func (r *RemoteWrapper) loop(emit wrappers.EmitFunc, stop, done chan struct{}) {
 			if e.Timestamp() > since {
 				since = e.Timestamp()
 			}
-			emit(e)
 		}
+		emitBatch(elems)
 	}
 }
 

@@ -18,6 +18,21 @@ import (
 // Sink consumes stream elements; stages call the next stage's Sink.
 type Sink func(stream.Element)
 
+// BatchSink consumes a burst of elements in arrival order. Ownership of
+// the slice passes to the callee: stages filter bursts in place, so the
+// caller must not reuse the slice after offering it.
+type BatchSink func([]stream.Element)
+
+// Each stage also has an OfferBatch form that performs the stage's
+// accounting for the whole burst under one lock acquisition and
+// forwards the surviving elements downstream as one batch. The
+// per-element decisions (sampling draws, token-bucket admits, repairs)
+// are made in the same order with the same state transitions as the
+// equivalent sequence of Offer calls, so any split of an arrival
+// sequence into batches is observationally identical. A stage whose
+// downstream has no batch form (nextBatch unset) falls back to calling
+// the per-element Sink in order.
+
 // Stats are the common per-stage counters.
 type Stats struct {
 	// In counts elements offered to the stage.
@@ -33,8 +48,9 @@ type Stats struct {
 // without consuming randomness, keeping fully-sampled streams
 // deterministic.
 type Sampler struct {
-	rate float64
-	next Sink
+	rate      float64
+	next      Sink
+	nextBatch BatchSink
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -45,6 +61,10 @@ type Sampler struct {
 func NewSampler(rate float64, seed int64, next Sink) *Sampler {
 	return &Sampler{rate: rate, rng: rand.New(rand.NewSource(seed)), next: next}
 }
+
+// SetBatchSink installs the downstream batch path; bursts that survive
+// sampling are forwarded through it instead of element by element.
+func (s *Sampler) SetBatchSink(b BatchSink) { s.nextBatch = b }
 
 // Offer implements the stage's Sink.
 func (s *Sampler) Offer(e stream.Element) {
@@ -62,11 +82,48 @@ func (s *Sampler) Offer(e stream.Element) {
 	}
 }
 
+// OfferBatch samples a burst under one lock, drawing per element in
+// arrival order (so the RNG sequence matches the per-element path), and
+// forwards the survivors as one batch.
+func (s *Sampler) OfferBatch(elems []stream.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	s.mu.Lock()
+	kept := elems[:0]
+	for _, e := range elems {
+		s.stats.In++
+		if s.rate >= 1 || s.rng.Float64() < s.rate {
+			s.stats.Out++
+			kept = append(kept, e)
+		} else {
+			s.stats.Dropped++
+		}
+	}
+	s.mu.Unlock()
+	forwardBatch(kept, s.nextBatch, s.next)
+}
+
 // Stats returns the stage counters.
 func (s *Sampler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// forwardBatch hands a surviving burst downstream: through the batch
+// path when one is installed, else element by element in order.
+func forwardBatch(elems []stream.Element, batch BatchSink, next Sink) {
+	if len(elems) == 0 {
+		return
+	}
+	if batch != nil {
+		batch(elems)
+		return
+	}
+	for _, e := range elems {
+		next(e)
+	}
 }
 
 // RateLimiter bounds a stream to a maximum element rate "in order to
@@ -100,16 +157,35 @@ func NewRateLimiter(maxPerSec float64, clock stream.Clock, next Sink) *RateLimit
 // element passes, without forwarding. Shared stream-level limiters in
 // front of several per-source chains use this form.
 func (r *RateLimiter) Admit(e stream.Element) bool {
-	if r.maxPerSec <= 0 {
-		r.mu.Lock()
-		r.stats.In++
-		r.stats.Out++
-		r.mu.Unlock()
-		return true
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admitLocked()
+}
+
+// AdmitBatch runs the token-bucket accounting for a burst under one
+// lock and returns the admitted elements, filtered in place (each
+// element consults the clock exactly as its Admit call would).
+func (r *RateLimiter) AdmitBatch(elems []stream.Element) []stream.Element {
+	if len(elems) == 0 {
+		return elems
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	kept := elems[:0]
+	for _, e := range elems {
+		if r.admitLocked() {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+func (r *RateLimiter) admitLocked() bool {
 	r.stats.In++
+	if r.maxPerSec <= 0 {
+		r.stats.Out++
+		return true
+	}
 	now := r.clock.Now()
 	if r.last != 0 {
 		elapsed := now.Sub(r.last).Seconds()
@@ -167,6 +243,27 @@ func NewCountLimiter(max int64, next Sink) *CountLimiter {
 func (c *CountLimiter) Admit(e stream.Element) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.admitLocked()
+}
+
+// AdmitBatch runs the lifetime-count accounting for a burst under one
+// lock and returns the admitted prefix, filtered in place.
+func (c *CountLimiter) AdmitBatch(elems []stream.Element) []stream.Element {
+	if len(elems) == 0 {
+		return elems
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := elems[:0]
+	for _, e := range elems {
+		if c.admitLocked() {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+func (c *CountLimiter) admitLocked() bool {
 	c.stats.In++
 	if c.max <= 0 || c.seen < c.max {
 		c.seen++
@@ -204,8 +301,9 @@ func (c *CountLimiter) Stats() Stats {
 // overflows, the oldest elements are dropped — for sensor observations
 // the newest data is the valuable data.
 type DisconnectBuffer struct {
-	capacity int
-	next     Sink
+	capacity  int
+	next      Sink
+	nextBatch BatchSink
 
 	mu        sync.Mutex
 	connected bool
@@ -220,6 +318,10 @@ func NewDisconnectBuffer(capacity int, next Sink) *DisconnectBuffer {
 	return &DisconnectBuffer{capacity: capacity, next: next, connected: true}
 }
 
+// SetBatchSink installs the downstream batch path, used for connected
+// bursts and for the reconnect flush.
+func (d *DisconnectBuffer) SetBatchSink(b BatchSink) { d.nextBatch = b }
+
 // Offer implements the stage's Sink.
 func (d *DisconnectBuffer) Offer(e stream.Element) {
 	d.mu.Lock()
@@ -230,9 +332,38 @@ func (d *DisconnectBuffer) Offer(e stream.Element) {
 		d.next(e)
 		return
 	}
+	d.bufferLocked(e)
+	d.mu.Unlock()
+}
+
+// OfferBatch passes a connected burst straight through as one batch;
+// while disconnected it buffers with the same drop-oldest policy the
+// per-element path applies.
+func (d *DisconnectBuffer) OfferBatch(elems []stream.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.connected {
+		d.stats.In += uint64(len(elems))
+		d.stats.Out += uint64(len(elems))
+		d.mu.Unlock()
+		forwardBatch(elems, d.nextBatch, d.next)
+		return
+	}
+	for _, e := range elems {
+		d.stats.In++
+		d.bufferLocked(e)
+	}
+	d.mu.Unlock()
+}
+
+// bufferLocked holds one disconnected element, dropping the oldest on
+// overflow — for sensor observations the newest data is the valuable
+// data.
+func (d *DisconnectBuffer) bufferLocked(e stream.Element) {
 	if d.capacity > 0 {
 		if len(d.buf) >= d.capacity {
-			// Drop oldest.
 			copy(d.buf, d.buf[1:])
 			d.buf = d.buf[:len(d.buf)-1]
 			d.stats.Dropped++
@@ -241,11 +372,11 @@ func (d *DisconnectBuffer) Offer(e stream.Element) {
 	} else {
 		d.stats.Dropped++
 	}
-	d.mu.Unlock()
 }
 
 // SetConnected flips the connection state; reconnecting flushes the
-// buffer in arrival order.
+// buffer in arrival order — as one batch when a batch path is
+// installed.
 func (d *DisconnectBuffer) SetConnected(connected bool) {
 	d.mu.Lock()
 	wasConnected := d.connected
@@ -257,9 +388,7 @@ func (d *DisconnectBuffer) SetConnected(connected bool) {
 		d.stats.Out += uint64(len(flush))
 	}
 	d.mu.Unlock()
-	for _, e := range flush {
-		d.next(e)
-	}
+	forwardBatch(flush, d.nextBatch, d.next)
 }
 
 // Buffered reports the number of elements currently held.

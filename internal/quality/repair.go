@@ -37,8 +37,9 @@ func ParseRepairPolicy(s string) (RepairPolicy, bool) {
 
 // Repairer applies a RepairPolicy to a stream.
 type Repairer struct {
-	policy RepairPolicy
-	next   Sink
+	policy    RepairPolicy
+	next      Sink
+	nextBatch BatchSink
 
 	mu       sync.Mutex
 	last     []stream.Value
@@ -51,29 +52,55 @@ func NewRepairer(policy RepairPolicy, next Sink) *Repairer {
 	return &Repairer{policy: policy, next: next}
 }
 
+// SetBatchSink installs the downstream batch path.
+func (r *Repairer) SetBatchSink(b BatchSink) { r.nextBatch = b }
+
 // Offer implements the stage's Sink.
 func (r *Repairer) Offer(e stream.Element) {
 	r.mu.Lock()
+	out, keep := r.repairLocked(e)
+	r.mu.Unlock()
+	if keep {
+		r.next(out)
+	}
+}
+
+// OfferBatch repairs a burst under one lock — hold-last state advances
+// element by element in arrival order, exactly as the per-element path
+// would — and forwards the survivors as one batch (filtered in place).
+func (r *Repairer) OfferBatch(elems []stream.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	r.mu.Lock()
+	kept := elems[:0]
+	for _, e := range elems {
+		if out, keep := r.repairLocked(e); keep {
+			kept = append(kept, out)
+		}
+	}
+	r.mu.Unlock()
+	forwardBatch(kept, r.nextBatch, r.next)
+}
+
+// repairLocked applies the policy to one element and reports whether it
+// survives.
+func (r *Repairer) repairLocked(e stream.Element) (stream.Element, bool) {
 	r.stats.In++
 	switch r.policy {
 	case RepairNone:
 		r.stats.Out++
-		r.mu.Unlock()
-		r.next(e)
-		return
+		return e, true
 
 	case RepairDrop:
 		for i := 0; i < e.Len(); i++ {
 			if e.Value(i) == nil {
 				r.stats.Dropped++
-				r.mu.Unlock()
-				return
+				return stream.Element{}, false
 			}
 		}
 		r.stats.Out++
-		r.mu.Unlock()
-		r.next(e)
-		return
+		return e, true
 
 	case RepairHoldLast:
 		if r.last == nil {
@@ -98,11 +125,10 @@ func (r *Repairer) Offer(e stream.Element) {
 			}
 		}
 		r.stats.Out++
-		r.mu.Unlock()
-		r.next(out)
-		return
+		return out, true
 	}
-	r.mu.Unlock()
+	r.stats.Out++
+	return e, true
 }
 
 // Repaired counts elements that had at least one value substituted.
@@ -149,6 +175,15 @@ func (g *GapDetector) Offer(e stream.Element) {
 	g.last = g.clock.Now()
 	g.reported = false
 	g.mu.Unlock()
+}
+
+// OfferBatch notes a burst arrival: one silence reset covers the whole
+// batch (all elements share the same arrival instant).
+func (g *GapDetector) OfferBatch(elems []stream.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	g.Offer(elems[0])
 }
 
 // Check inspects the current silence; it fires onGap at most once per

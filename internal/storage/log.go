@@ -2,29 +2,189 @@ package storage
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"gsn/internal/stream"
 )
 
-// logMagic identifies a GSN persistence log file (version 1).
+// logMagic identifies a GSN persistence log file (version 1: records
+// are length-prefixed full element encodings). New logs are written in
+// version 2 (logMagicV2): compact records with a delta-encoded logical
+// timestamp and no arrival/production stamps, roughly halving the bytes
+// per small sensor tuple. Both versions replay; appends continue the
+// version the file was created with.
 var logMagic = []byte("GSNLOG1\n")
 
-// Log is an append-only element log backing "permanent-storage" tables.
-// The file starts with a magic header and the binary-encoded schema,
-// followed by length-prefixed element records.
+// logMagicV2 identifies the compact-record format.
+var logMagicV2 = []byte("GSNLOG2\n")
+
+// SyncPolicy selects when staged WAL records are handed to the
+// operating system (a write syscall). None of the policies fsync — the
+// durability unit is "survives a process crash", matching the original
+// per-record bufio flush.
+type SyncPolicy int
+
+const (
+	// SyncAlways writes every Append/AppendBatch through to the file
+	// before returning — one syscall per call, the safest and slowest
+	// policy (the pre-group-commit behaviour for single appends).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval stages records in memory and lets a background
+	// flusher group-commit them every FlushInterval (or earlier when
+	// FlushBytes accumulate). A crash can lose at most the last
+	// interval's records.
+	SyncInterval
+	// SyncNone stages records and writes only when FlushBytes
+	// accumulate or a barrier (Flush, Reset, Close) forces it.
+	SyncNone
+)
+
+// String returns the descriptor spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps descriptor strings to policies. The empty string
+// is SyncAlways (the conservative default).
+func ParseSyncPolicy(s string) (SyncPolicy, bool) {
+	switch s {
+	case "", "always":
+		return SyncAlways, true
+	case "interval":
+		return SyncInterval, true
+	case "none":
+		return SyncNone, true
+	default:
+		return SyncAlways, false
+	}
+}
+
+// Log durability tuning defaults.
+const (
+	DefaultFlushInterval  = 5 * time.Millisecond
+	DefaultFlushBytes     = 256 << 10
+	DefaultMaxStagedBytes = 4 << 20
+)
+
+// LogOptions tunes a Log's group-commit behaviour.
+type LogOptions struct {
+	// Sync is the flush policy (default SyncAlways).
+	Sync SyncPolicy
+	// FlushInterval is the SyncInterval flusher period (default 5ms).
+	FlushInterval time.Duration
+	// FlushBytes forces a flush whenever at least this much is staged,
+	// under every policy (default 256 KiB).
+	FlushBytes int
+	// MaxStagedBytes bounds the staging buffer (default 4 MiB). An
+	// appender that finds at least this much staged commits inline —
+	// backpressure that stops memory growing without bound when the
+	// disk cannot keep up with ingestion.
+	MaxStagedBytes int
+	// OnError receives asynchronous flush failures (records that were
+	// acknowledged to Append but could not be written). May be nil.
+	// Called without internal locks held.
+	OnError func(error)
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = DefaultFlushInterval
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = DefaultFlushBytes
+	}
+	if o.MaxStagedBytes <= 0 {
+		o.MaxStagedBytes = DefaultMaxStagedBytes
+	}
+	if o.MaxStagedBytes < o.FlushBytes {
+		o.MaxStagedBytes = o.FlushBytes
+	}
+	return o
+}
+
+// LogStats reports WAL activity.
+type LogStats struct {
+	// Appends counts records staged.
+	Appends uint64
+	// Flushes counts write syscalls issued.
+	Flushes uint64
+	// Buffered is the number of staged, unwritten bytes.
+	Buffered int
+}
+
+// Log is an append-only element log backing "permanent-storage" tables,
+// organised as a group-commit WAL: Append and AppendBatch stage
+// length-prefixed records in memory, and the sync policy decides when
+// the staged group is committed in one syscall. Staging and writing use
+// separate buffers (swapped under the staging lock), so a group commit
+// in flight never blocks appenders — under SyncInterval the ingest path
+// is pure memory staging while the flusher drains concurrently. The
+// file starts with a magic header and the binary-encoded schema,
+// followed by the records.
 type Log struct {
-	f      *os.File
-	w      *bufio.Writer
-	schema *stream.Schema
-	hdrLen int64 // file offset of the first element record
+	f       *os.File
+	schema  *stream.Schema
+	hdrLen  int64 // file offset of the first element record
+	version int   // record format: 1 (full) or 2 (compact)
+	opts    LogOptions
+
+	// mu guards the staging state only; it is never held across a
+	// write syscall.
+	mu      sync.Mutex
+	buf     []byte           // staged records, not yet written
+	shadow  []byte           // spare buffer, swapped in by commit
+	scratch []byte           // reusable element-encoding buffer
+	lastTS  stream.Timestamp // previous staged timestamp (v2 deltas)
+	appends uint64
+	flushes uint64
+	closed  bool
+	// broken poisons the log after a failed commit: the file may end in
+	// a torn group and the v2 delta chain no longer matches what was
+	// staged, so appending anything further would write records that
+	// replay with silently wrong timestamps behind bytes the replayer
+	// can never pass. Every later Append/Flush fails with this error;
+	// Reset (which truncates back to the header) clears it. The next
+	// OpenLog truncates the torn tail and resumes cleanly.
+	broken error
+
+	// writeMu serializes commits so swapped-out groups reach the file
+	// in staging order. off (guarded by writeMu) is the end of the last
+	// fully-committed group: a failed commit truncates back to it so a
+	// partially-written group cannot resurrect records whose append was
+	// reported failed.
+	writeMu sync.Mutex
+	off     int64
+
+	kick        chan struct{} // wakes the flusher before its tick
+	flusherStop chan struct{}
+	flusherDone chan struct{}
 }
 
 // OpenLog opens (or creates) the log at path for appending. If the file
-// already exists its header must match the given schema.
-func OpenLog(path string, schema *stream.Schema) (*Log, error) {
+// already exists its header must match the given schema. A SyncInterval
+// log starts its background flusher immediately; Close stops it.
+func OpenLog(path string, schema *stream.Schema, opts LogOptions) (*Log, error) {
+	return openLog(path, schema, opts, nil)
+}
+
+// openLog is OpenLog with an optionally pre-computed replay, so a
+// caller that already decoded the file to load the window (CreateTable)
+// does not pay for a second full scan.
+func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay) (*Log, error) {
+	opts = opts.withDefaults()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -35,9 +195,11 @@ func OpenLog(path string, schema *stream.Schema) (*Log, error) {
 		return nil, err
 	}
 	var hdrLen int64
+	var lastTS stream.Timestamp
+	version := 2
 	if info.Size() == 0 {
-		// Fresh log: write header.
-		hdr := append([]byte{}, logMagic...)
+		// Fresh log: write a compact-format header.
+		hdr := append([]byte{}, logMagicV2...)
 		hdr = stream.EncodeSchema(hdr, schema)
 		if _, err := f.Write(hdr); err != nil {
 			f.Close()
@@ -45,108 +207,403 @@ func OpenLog(path string, schema *stream.Schema) (*Log, error) {
 		}
 		hdrLen = int64(len(hdr))
 	} else {
-		existing, off, err := readLogHeader(f)
-		if err != nil {
-			f.Close()
-			return nil, err
+		if rep == nil {
+			rep, err = replayLogFile(path)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
 		}
-		if !existing.Equal(schema) {
+		if !rep.schema.Equal(schema) {
 			f.Close()
-			return nil, fmt.Errorf("storage: log %s has schema %s, table wants %s", path, existing, schema)
+			return nil, fmt.Errorf("storage: log %s has schema %s, table wants %s", path, rep.schema, schema)
 		}
-		hdrLen = off
+		hdrLen = rep.hdrLen
+		version = rep.version
+		if rep.clean < info.Size() {
+			// Crash recovery: drop the torn tail so new records extend
+			// the clean prefix (and the v2 delta chain) instead of
+			// hiding behind bytes the replayer can never pass.
+			if err := f.Truncate(rep.clean); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if len(rep.elems) > 0 {
+			lastTS = rep.elems[len(rep.elems)-1].Timestamp()
+		}
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), schema: schema, hdrLen: hdrLen}, nil
+	l := &Log{f: f, schema: schema, hdrLen: hdrLen, version: version, lastTS: lastTS, off: end, opts: opts}
+	if opts.Sync == SyncInterval {
+		l.kick = make(chan struct{}, 1)
+		l.flusherStop = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flusher(l.flusherStop, l.flusherDone)
+	}
+	return l, nil
 }
 
-// Append writes one element record and flushes it.
-func (l *Log) Append(e stream.Element) error {
-	if err := stream.WriteElement(l.w, e); err != nil {
+// flusher is the SyncInterval group-commit loop: it wakes every
+// FlushInterval — or immediately when an appender crosses the byte
+// threshold — and commits whatever has been staged since the last
+// wake-up in one syscall.
+func (l *Log) flusher(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(l.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		case <-l.kick:
+		}
+		if err := l.commit(); err != nil {
+			// commit has already poisoned the log; report the
+			// acknowledged-but-lost records.
+			if cb := l.opts.OnError; cb != nil {
+				cb(err)
+			}
+		}
+	}
+}
+
+// commit swaps the staged group out from under the appenders and
+// writes it with no staging lock held. Commits are serialized, so
+// groups reach the file in staging order. A failed write poisons the
+// log (see Log.broken).
+func (l *Log) commit() error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.buf = l.buf[:0] // records behind a tear can never replay
+		l.mu.Unlock()
 		return err
 	}
-	return l.w.Flush()
+	buf := l.buf
+	l.buf = l.shadow[:0]
+	l.mu.Unlock()
+	if len(buf) == 0 {
+		l.mu.Lock()
+		l.shadow = buf
+		l.mu.Unlock()
+		return nil
+	}
+	_, err := l.f.Write(buf)
+	if err != nil {
+		// Best effort: cut any partially-written group back off the
+		// file, so records whose append was reported failed cannot
+		// replay. Poisoning below covers the case where even this
+		// fails.
+		if l.f.Truncate(l.off) == nil {
+			l.f.Seek(l.off, io.SeekStart)
+		}
+	} else {
+		l.off += int64(len(buf))
+	}
+	l.mu.Lock()
+	l.shadow = buf[:0] // recycle the group's capacity
+	l.flushes++
+	if err != nil {
+		l.broken = fmt.Errorf("storage: log poisoned by failed group commit: %w", err)
+		err = l.broken
+	}
+	l.mu.Unlock()
+	return err
 }
 
-// Reset discards every element record, keeping the header, so a
-// truncated table's log does not resurrect rows on the next replay.
-// Append has already flushed each record, so the writer holds no
-// buffered data to discard.
+// stageLocked encodes one record into the staging buffer.
+func (l *Log) stageLocked(e stream.Element) {
+	if l.version == 2 {
+		l.scratch = stream.EncodeElementCompact(l.scratch[:0], e, l.lastTS)
+		l.lastTS = e.Timestamp()
+	} else {
+		l.scratch = stream.EncodeElement(l.scratch[:0], e)
+	}
+	l.buf = binary.AppendUvarint(l.buf, uint64(len(l.scratch)))
+	l.buf = append(l.buf, l.scratch...)
+	l.appends++
+}
+
+// Append stages one element record; the sync policy decides whether it
+// is written before Append returns (SyncAlways) or by a later group
+// commit. A returned error means the record is not and will never be
+// durable.
+func (l *Log) Append(e stream.Element) error {
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.stageLocked(e)
+	return l.afterStage(len(l.buf)) // unlocks l.mu
+}
+
+// AppendBatch stages a batch of records as one group; under SyncAlways
+// the whole batch still costs a single write syscall, which is the
+// group-commit win for burst ingestion.
+func (l *Log) AppendBatch(elems []stream.Element) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	for _, e := range elems {
+		l.stageLocked(e)
+	}
+	return l.afterStage(len(l.buf)) // unlocks l.mu
+}
+
+// afterStage applies the sync policy once records are staged. It is
+// entered with l.mu held and releases it before any commit, so the
+// write syscall never runs under the staging lock.
+func (l *Log) afterStage(staged int) error {
+	l.mu.Unlock()
+	switch {
+	case l.opts.Sync == SyncAlways:
+		return l.commit()
+	case staged >= l.opts.MaxStagedBytes:
+		// Backpressure: staging has outrun the drain; the appender
+		// commits inline, rate-matching ingestion to the disk.
+		return l.commit()
+	case staged >= l.opts.FlushBytes:
+		if l.kick != nil {
+			// SyncInterval: wake the flusher early; the appender does
+			// not pay for the write.
+			select {
+			case l.kick <- struct{}{}:
+			default:
+			}
+		} else {
+			// SyncNone: bound staged memory by committing inline.
+			return l.commit()
+		}
+	}
+	return nil
+}
+
+// usableLocked reports whether the log can accept records.
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return os.ErrClosed
+	}
+	return l.broken
+}
+
+// Flush is the group-commit barrier: it forces every staged record out
+// to the file. Close and Reset imply it; tests and checkpoints call it
+// directly.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	err := l.usableLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return l.commit()
+}
+
+// Reset discards every element record — staged and written — keeping
+// the header, so a truncated table's log does not resurrect rows on the
+// next replay. Holding writeMu first waits out any in-flight group
+// commit; clearing the staging buffer under mu stops later ones from
+// resurrecting anything.
 func (l *Log) Reset() error {
-	l.w.Reset(l.f)
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	closed := l.closed
+	l.buf = l.buf[:0]
+	l.mu.Unlock()
+	if closed {
+		return os.ErrClosed
+	}
 	if err := l.f.Truncate(l.hdrLen); err != nil {
 		return err
 	}
 	_, err := l.f.Seek(l.hdrLen, io.SeekStart)
+	if err == nil {
+		l.off = l.hdrLen
+		l.mu.Lock()
+		// A header-only file is a clean slate: the v2 delta chain
+		// restarts and a poisoned log becomes usable again.
+		l.lastTS = 0
+		l.broken = nil
+		l.mu.Unlock()
+	}
 	return err
 }
 
-// Close flushes and closes the file.
-func (l *Log) Close() error {
-	if err := l.w.Flush(); err != nil {
-		l.f.Close()
-		return err
-	}
-	return l.f.Close()
+// Stats reports WAL activity counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{Appends: l.appends, Flushes: l.flushes, Buffered: len(l.buf)}
 }
 
+// Close stops the flusher, commits the staged tail and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true // new appends fail from here on
+	stop, done := l.flusherStop, l.flusherDone
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	flushErr := l.commit()
+	if err := l.f.Close(); err != nil && flushErr == nil {
+		flushErr = err
+	}
+	return flushErr
+}
+
+// maxRecordLen bounds decoded record sizes to guard against a corrupt
+// length prefix.
+const maxRecordLen = 64 << 20
+
 // readLogHeader validates the magic and decodes the schema, leaving the
-// read position at the first record.
-func readLogHeader(f *os.File) (*stream.Schema, int64, error) {
+// read position at the first record and reporting the file's record
+// format version. It takes an io.ReadSeeker so tests can exercise
+// short-read behaviour with wrapped readers.
+func readLogHeader(f io.ReadSeeker) (*stream.Schema, int64, int, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	magic := make([]byte, len(logMagic))
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, 0, fmt.Errorf("storage: reading log header: %w", err)
+		return nil, 0, 0, fmt.Errorf("storage: reading log header: %w", err)
 	}
-	if string(magic) != string(logMagic) {
-		return nil, 0, fmt.Errorf("storage: not a GSN log file")
+	var version int
+	switch string(magic) {
+	case string(logMagic):
+		version = 1
+	case string(logMagicV2):
+		version = 2
+	default:
+		return nil, 0, 0, fmt.Errorf("storage: not a GSN log file")
 	}
-	// The schema is small; read a bounded prefix to decode it.
+	// The schema is small; fill a bounded prefix to decode it. A single
+	// Read may legally return fewer bytes than available, so keep
+	// reading until the buffer is full or the file ends — a short read
+	// must not truncate the schema mid-field.
 	buf := make([]byte, 64*1024)
-	n, err := f.Read(buf)
-	if err != nil && err != io.EOF {
-		return nil, 0, err
+	n := 0
+	for n < len(buf) {
+		m, err := f.Read(buf[n:])
+		n += m
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
 	}
 	schema, consumed, err := stream.DecodeSchema(buf[:n])
 	if err != nil {
-		return nil, 0, fmt.Errorf("storage: decoding log schema: %w", err)
+		return nil, 0, 0, fmt.Errorf("storage: decoding log schema: %w", err)
 	}
-	off := int64(len(logMagic) + consumed)
+	off := int64(len(magic) + consumed)
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return schema, off, nil
+	return schema, off, version, nil
 }
 
-// ReplayLog reads every element from the log at path. Corrupt trailing
-// records (e.g. after a crash mid-append) terminate the replay without
-// error, returning the prefix that decoded cleanly.
-func ReplayLog(path string) (*stream.Schema, []stream.Element, error) {
+// readRecord reads one length-prefixed record in the given format,
+// returning the element and the record's total encoded size.
+func readRecord(r *bufio.Reader, schema *stream.Schema, version int,
+	prev stream.Timestamp) (stream.Element, int, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return stream.Element{}, 0, err
+	}
+	if size > maxRecordLen {
+		return stream.Element{}, 0, fmt.Errorf("storage: record of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return stream.Element{}, 0, err
+	}
+	var e stream.Element
+	if version == 2 {
+		e, _, err = stream.DecodeElementCompact(schema, buf, prev)
+	} else {
+		e, _, err = stream.DecodeElement(schema, buf)
+	}
+	if err != nil {
+		return stream.Element{}, 0, err
+	}
+	return e, uvarintLen(size) + int(size), nil
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// logReplay is the decoded state of an existing log file.
+type logReplay struct {
+	schema  *stream.Schema
+	elems   []stream.Element // the clean record prefix
+	hdrLen  int64            // offset of the first record
+	clean   int64            // offset where the clean prefix ends
+	version int              // record format
+}
+
+// replayLogFile decodes the log at path. Corrupt trailing records — a
+// torn single append or the partial tail of a group commit cut short
+// by a crash — terminate the replay without error, leaving clean at
+// the last decodable offset.
+func replayLogFile(path string) (*logReplay, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer f.Close()
-	schema, _, err := readLogHeader(f)
+	schema, off, version, err := readLogHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	rep := &logReplay{schema: schema, hdrLen: off, clean: off, version: version}
+	r := bufio.NewReader(f)
+	var prev stream.Timestamp
+	for {
+		e, n, err := readRecord(r, schema, version, prev)
+		if err != nil {
+			// EOF or torn tail: keep the clean prefix.
+			return rep, nil
+		}
+		prev = e.Timestamp()
+		rep.elems = append(rep.elems, e)
+		rep.clean += int64(n)
+	}
+}
+
+// ReplayLog reads every cleanly-decodable element from the log at path
+// (either record format).
+func ReplayLog(path string) (*stream.Schema, []stream.Element, error) {
+	rep, err := replayLogFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	r := bufio.NewReader(f)
-	var out []stream.Element
-	for {
-		e, err := stream.ReadElement(r, schema)
-		if err == io.EOF {
-			return schema, out, nil
-		}
-		if err != nil {
-			// Torn tail: keep the clean prefix.
-			return schema, out, nil
-		}
-		out = append(out, e)
-	}
+	return rep.schema, rep.elems, nil
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"gsn/internal/stream"
 )
@@ -15,6 +16,11 @@ import (
 type Store struct {
 	clock   stream.Clock
 	dataDir string // persistence directory; empty disables persistence
+
+	// logErrs, when set, is bumped for every WAL append/flush failure
+	// in any of the store's tables (the container points it at its
+	// storage_log_errors counter).
+	logErrs Incrementer
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -43,6 +49,16 @@ type TableOptions struct {
 	// attribute permanent-storage="true"). Requires the store to have a
 	// data directory.
 	Permanent bool
+	// Sync selects the WAL durability policy for a permanent table
+	// (descriptor attribute sync="always|interval|none"; default
+	// SyncAlways).
+	Sync SyncPolicy
+	// FlushInterval tunes the SyncInterval group-commit period (zero
+	// means DefaultFlushInterval).
+	FlushInterval time.Duration
+	// FlushBytes forces a flush when at least this much is staged (zero
+	// means DefaultFlushBytes).
+	FlushBytes int
 }
 
 // CreateTable registers a new table. It fails if the name is taken.
@@ -69,17 +85,27 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			return nil, fmt.Errorf("storage: table %s wants permanent storage but the store has no data directory", canonical)
 		}
 		path := filepath.Join(s.dataDir, canonical+".gsnlog")
+		var rep *logReplay
 		if _, err := os.Stat(path); err == nil {
-			logSchema, elems, err := ReplayLog(path)
+			rep, err = replayLogFile(path)
 			if err != nil {
 				return nil, fmt.Errorf("storage: replaying %s: %w", path, err)
 			}
-			if !logSchema.Equal(schema) {
-				return nil, fmt.Errorf("storage: log %s schema %s does not match %s", path, logSchema, schema)
+			if !rep.schema.Equal(schema) {
+				return nil, fmt.Errorf("storage: log %s schema %s does not match %s", path, rep.schema, schema)
 			}
-			t.bulkLoad(elems)
+			t.bulkLoad(rep.elems)
 		}
-		log, err := OpenLog(path, schema)
+		t.logErrMetr = s.logErrs
+		// openLog reuses the replay, so the file is decoded once.
+		log, err := openLog(path, schema, LogOptions{
+			Sync:          opts.Sync,
+			FlushInterval: opts.FlushInterval,
+			FlushBytes:    opts.FlushBytes,
+			// Background group-commit failures happen after Insert has
+			// returned; count them so the loss is observable.
+			OnError: func(error) { t.recordLogError() },
+		}, rep)
 		if err != nil {
 			return nil, err
 		}
@@ -140,3 +166,12 @@ func (s *Store) Close() error {
 
 // Clock returns the store's clock (shared with its container).
 func (s *Store) Clock() stream.Clock { return s.clock }
+
+// SetLogErrorCounter points WAL failure accounting for tables created
+// after this call at an external metrics counter (the container wires
+// its storage_log_errors counter here before deploying sensors).
+func (s *Store) SetLogErrorCounter(c Incrementer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logErrs = c
+}

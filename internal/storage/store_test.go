@@ -128,7 +128,7 @@ func TestStorePersistenceSchemaMismatch(t *testing.T) {
 func TestReplayLogTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "torn.gsnlog")
-	log, err := OpenLog(path, tempSchema)
+	log, err := OpenLog(path, tempSchema, LogOptions{})
 	if err != nil {
 		t.Fatalf("OpenLog: %v", err)
 	}
@@ -168,13 +168,13 @@ func TestReplayLogRejectsGarbage(t *testing.T) {
 func TestOpenLogSchemaCheck(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "l.gsnlog")
-	log, err := OpenLog(path, tempSchema)
+	log, err := OpenLog(path, tempSchema, LogOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	log.Close()
 	other := stream.MustSchema(stream.Field{Name: "x", Type: stream.TypeBytes})
-	if _, err := OpenLog(path, other); err == nil {
+	if _, err := OpenLog(path, other, LogOptions{}); err == nil {
 		t.Fatal("OpenLog accepted mismatched schema")
 	}
 }

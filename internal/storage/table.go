@@ -8,11 +8,36 @@
 // identical access pattern (insert-on-arrival, window-scan-on-trigger)
 // without an external dependency, which is what the latency experiments
 // measure.
+//
+// # Ingestion and durability
+//
+// The write path is batch-oriented: InsertBatch appends a burst of
+// elements under one lock acquisition and one WAL group append, while
+// Insert remains the single-element form with identical semantics.
+// Permanent tables stage records into a group-commit WAL (see Log)
+// before publishing them to the window, so a failed append never
+// leaves the memory window and the log diverged: on error the element
+// is neither visible to readers nor reported to the observer.
+//
+// The WAL's durability is governed by TableOptions.Sync:
+//
+//	SyncAlways   write syscall per Insert/InsertBatch (default)
+//	SyncInterval group commit on a background interval
+//	SyncNone     write only on byte threshold and barriers
+//
+// # Read concurrency
+//
+// Read-side methods (Len, Snapshot, Last, Since, Latest, ForEach) take
+// a shared lock and upgrade to the exclusive lock only when window
+// retention actually has work to do — count windows never evict on
+// read, and time windows check the head timestamp first — so long-poll
+// readers and dashboards do not serialise against ingestion.
 package storage
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gsn/internal/stream"
 )
@@ -27,14 +52,21 @@ type TableStats struct {
 	Live int
 	// Bytes is the approximate payload size of live elements.
 	Bytes int
+	// LogErrors counts failed WAL appends and flushes (elements the
+	// caller was told are not durable).
+	LogErrors uint64
+	// LogFlushes counts WAL write syscalls (zero for memory-only
+	// tables); the batched-ingest benchmarks assert on it.
+	LogFlushes uint64
 }
 
 // Observer receives element lifecycle events from a table. Methods are
 // invoked while the table lock is held: implementations must be fast
 // and must not call back into the table. Insert and eviction events
-// arrive in arrival order, so an observer can mirror the window with
-// FIFO state (the incremental aggregate maintainers in sqlengine rely
-// on this).
+// arrive in arrival order — a batch insert reports the same interleaved
+// insert/evict sequence as the equivalent single-element inserts — so
+// an observer can mirror the window with FIFO state (the incremental
+// aggregate maintainers in sqlengine rely on this).
 type Observer interface {
 	// OnInsert is called after an element is appended, before any
 	// eviction it displaces.
@@ -45,6 +77,11 @@ type Observer interface {
 	// OnTruncate is called when the table is cleared wholesale.
 	OnTruncate()
 }
+
+// Incrementer is the minimal counter surface the storage layer needs to
+// report events into an external metrics system (satisfied by
+// *metrics.Counter).
+type Incrementer interface{ Inc() }
 
 // Table is a windowed stream relation. All methods are safe for
 // concurrent use.
@@ -62,6 +99,11 @@ type Table struct {
 	bytes    int
 	log      *Log
 	observer Observer
+
+	// logErrors is atomic: background WAL flush failures are counted
+	// from the flusher goroutine without the table lock.
+	logErrors  atomic.Uint64
+	logErrMetr Incrementer
 }
 
 // NewTable creates a standalone table (the Store is the usual entry
@@ -97,16 +139,82 @@ func (t *Table) Schema() *stream.Schema { return t.schema }
 // Window returns the retention window.
 func (t *Table) Window() stream.Window { return t.window }
 
+// checkSchema validates one element against the table schema. Elements
+// almost always carry the table's own schema pointer, so identity is
+// the fast path.
+func (t *Table) checkSchema(e stream.Element) error {
+	if s := e.Schema(); s == t.schema || (s != nil && s.Equal(t.schema)) {
+		return nil
+	}
+	return fmt.Errorf("storage: element schema %s does not match table %s schema %s",
+		e.Schema(), t.name, t.schema)
+}
+
+// recordLogError counts a WAL failure (also called from the log's
+// background flusher, without the table lock).
+func (t *Table) recordLogError() {
+	t.logErrors.Add(1)
+	if t.logErrMetr != nil {
+		t.logErrMetr.Inc()
+	}
+}
+
 // Insert appends an element. The element schema must equal the table
-// schema. Eviction by the retention window happens inline so the table
-// never holds more than one extra element beyond its bound.
+// schema. For permanent tables the record is staged into the WAL before
+// the window is touched: a failed append returns an error with the
+// window unchanged and the observer not notified. Eviction by the
+// retention window happens inline so the table never holds more than
+// one extra element beyond its bound.
 func (t *Table) Insert(e stream.Element) error {
-	if e.Schema() == nil || !e.Schema().Equal(t.schema) {
-		return fmt.Errorf("storage: element schema %s does not match table %s schema %s",
-			e.Schema(), t.name, t.schema)
+	if err := t.checkSchema(e); err != nil {
+		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.log != nil {
+		if err := t.log.Append(e); err != nil {
+			t.recordLogError()
+			return fmt.Errorf("storage: persist %s: %w", t.name, err)
+		}
+	}
+	t.insertLocked(e)
+	return nil
+}
+
+// InsertBatch appends a burst of elements under one lock acquisition
+// and one WAL group append. It is all-or-nothing with respect to the
+// WAL stage: schemas are validated and the whole batch is staged before
+// any element becomes visible, so an error means no element of the
+// batch was published. The observer sees the exact insert/evict
+// interleaving the equivalent sequence of Insert calls would produce.
+func (t *Table) InsertBatch(elems []stream.Element) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	for _, e := range elems {
+		if err := t.checkSchema(e); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log != nil {
+		if err := t.log.AppendBatch(elems); err != nil {
+			t.recordLogError()
+			return fmt.Errorf("storage: persist %s: %w", t.name, err)
+		}
+	}
+	for _, e := range elems {
+		t.insertLocked(e)
+	}
+	return nil
+}
+
+// insertLocked publishes one element to the window: append, notify,
+// evict. Running eviction per element (it is a cheap bound check once
+// the window is full) keeps the observer event sequence identical for
+// any batching of the same arrivals.
+func (t *Table) insertLocked(e stream.Element) {
 	t.elems = append(t.elems, e)
 	t.inserted++
 	t.bytes += e.Size()
@@ -114,12 +222,6 @@ func (t *Table) Insert(e stream.Element) error {
 		t.observer.OnInsert(e)
 	}
 	t.evictLocked()
-	if t.log != nil {
-		if err := t.log.Append(e); err != nil {
-			return fmt.Errorf("storage: persist %s: %w", t.name, err)
-		}
-	}
-	return nil
 }
 
 // evictLocked drops elements outside the retention window and compacts
@@ -159,48 +261,78 @@ func (t *Table) dropHeadLocked() {
 	t.evicted++
 }
 
-// Len returns the number of live elements, applying time-window expiry
-// as of the current clock.
-func (t *Table) Len() int {
+// evictionDueLocked reports whether a read must apply retention before
+// serving; callable under the shared lock. Count windows never exceed
+// their bound between inserts (Insert evicts inline), so only time
+// windows with an expired head need the exclusive path.
+func (t *Table) evictionDueLocked() bool {
+	if t.window.Kind != stream.TimeWindow || t.liveLenLocked() == 0 {
+		return false
+	}
+	return !t.window.Covers(t.elems[t.head].Timestamp(), t.clock.Now())
+}
+
+// readLocked runs fn with at least the shared lock held and retention
+// applied: the common case serves entirely under RLock, upgrading to
+// the write lock only when a time-window head has actually expired.
+// The upgrade re-checks nothing — evictLocked is idempotent — so the
+// brief unlock between the two modes cannot produce a stale view.
+func (t *Table) readLocked(fn func()) {
+	t.mu.RLock()
+	if !t.evictionDueLocked() {
+		// Deferred so a panicking caller (e.g. a ForEach callback the
+		// trigger pipeline recovers from) cannot leak the lock.
+		defer t.mu.RUnlock()
+		fn()
+		return
+	}
+	t.mu.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.evictLocked()
-	return t.liveLenLocked()
+	fn()
+}
+
+// Len returns the number of live elements, applying time-window expiry
+// as of the current clock.
+func (t *Table) Len() int {
+	var n int
+	t.readLocked(func() { n = t.liveLenLocked() })
+	return n
 }
 
 // Snapshot returns a copy of the live window contents in arrival order.
 func (t *Table) Snapshot() []stream.Element {
-	t.mu.Lock()
-	t.evictLocked()
-	out := make([]stream.Element, t.liveLenLocked())
-	copy(out, t.elems[t.head:])
-	t.mu.Unlock()
+	var out []stream.Element
+	t.readLocked(func() {
+		out = make([]stream.Element, t.liveLenLocked())
+		copy(out, t.elems[t.head:])
+	})
 	return out
 }
 
 // ForEach calls fn for every live element in arrival order; fn must not
-// call back into the table. Returning false stops iteration early. This
-// is the zero-copy path the query engine uses to materialise window
-// relations: eviction and iteration happen in one critical section, so
-// a concurrent writer can never mutate the window mid-scan (the old
-// implementation released the write lock after evicting and re-acquired
-// a read lock, leaving a gap for interleaved inserts).
+// call back into the table and must not mutate shared state without its
+// own synchronisation (scans may run concurrently under the shared
+// lock). Returning false stops iteration early. This is the zero-copy
+// path the query engine uses to materialise window relations: eviction
+// (when due) and iteration happen in one critical section, so a
+// concurrent writer can never mutate the window mid-scan.
 func (t *Table) ForEach(fn func(stream.Element) bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.evictLocked()
-	for i := t.head; i < len(t.elems); i++ {
-		if !fn(t.elems[i]) {
-			return
+	t.readLocked(func() {
+		for i := t.head; i < len(t.elems); i++ {
+			if !fn(t.elems[i]) {
+				return
+			}
 		}
-	}
+	})
 }
 
 // WithLock applies retention and then runs fn while holding the
-// table's write lock, excluding concurrent inserts and evictions. The
-// container uses it to read an observer's state at an instant that is
-// consistent with the window (observer callbacks also run under this
-// lock); fn must not call back into the table.
+// table's write lock, excluding concurrent inserts, evictions and
+// readers. The container uses it to read an observer's state at an
+// instant that is consistent with the window (observer callbacks also
+// run under this lock); fn must not call back into the table.
 func (t *Table) WithLock(fn func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -213,49 +345,53 @@ func (t *Table) Last(n int) []stream.Element {
 	if n <= 0 {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.evictLocked()
-	live := t.liveLenLocked()
-	if n > live {
-		n = live
-	}
-	out := make([]stream.Element, n)
-	copy(out, t.elems[len(t.elems)-n:])
+	var out []stream.Element
+	t.readLocked(func() {
+		k := n
+		if live := t.liveLenLocked(); k > live {
+			k = live
+		}
+		out = make([]stream.Element, k)
+		copy(out, t.elems[len(t.elems)-k:])
+	})
 	return out
 }
 
 // Since returns the elements with logical timestamp strictly greater
 // than ts, in arrival order. It is the long-poll primitive used by the
-// p2p layer.
+// p2p layer; it runs under the shared lock so concurrent pollers do not
+// serialise against ingestion.
 func (t *Table) Since(ts stream.Timestamp) []stream.Element {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.evictLocked()
 	var out []stream.Element
-	for i := t.head; i < len(t.elems); i++ {
-		if t.elems[i].Timestamp() > ts {
-			out = append(out, t.elems[i])
+	t.readLocked(func() {
+		for i := t.head; i < len(t.elems); i++ {
+			if t.elems[i].Timestamp() > ts {
+				out = append(out, t.elems[i])
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Latest returns the most recent element and false if the table is
 // empty.
 func (t *Table) Latest() (stream.Element, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.evictLocked()
-	if t.liveLenLocked() == 0 {
-		return stream.Element{}, false
-	}
-	return t.elems[len(t.elems)-1], true
+	var (
+		e  stream.Element
+		ok bool
+	)
+	t.readLocked(func() {
+		if t.liveLenLocked() > 0 {
+			e, ok = t.elems[len(t.elems)-1], true
+		}
+	})
+	return e, ok
 }
 
 // Truncate discards all live elements (used on redeploy). A permanent
-// table's log is reset too, so a later CreateTable replay cannot
-// resurrect the truncated rows.
+// table's log is reset too — including any records still staged in the
+// WAL buffer — so a later CreateTable replay cannot resurrect the
+// truncated rows.
 func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -270,6 +406,22 @@ func (t *Table) Truncate() error {
 		if err := t.log.Reset(); err != nil {
 			return fmt.Errorf("storage: resetting log of %s: %w", t.name, err)
 		}
+	}
+	return nil
+}
+
+// Flush forces any staged WAL records out to the file — the durability
+// barrier for permanent tables under SyncInterval/SyncNone. It is a
+// no-op for memory-only tables.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log == nil {
+		return nil
+	}
+	if err := t.log.Flush(); err != nil {
+		t.recordLogError()
+		return fmt.Errorf("storage: flushing %s: %w", t.name, err)
 	}
 	return nil
 }
@@ -312,18 +464,23 @@ func (t *Table) bulkLoad(elems []stream.Element) {
 
 // Stats returns activity counters.
 func (t *Table) Stats() TableStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.evictLocked()
-	return TableStats{
-		Inserted: t.inserted,
-		Evicted:  t.evicted,
-		Live:     t.liveLenLocked(),
-		Bytes:    t.bytes,
-	}
+	var st TableStats
+	t.readLocked(func() {
+		st = TableStats{
+			Inserted: t.inserted,
+			Evicted:  t.evicted,
+			Live:     t.liveLenLocked(),
+			Bytes:    t.bytes,
+		}
+		if t.log != nil {
+			st.LogFlushes = t.log.Stats().Flushes
+		}
+	})
+	st.LogErrors = t.logErrors.Load()
+	return st
 }
 
-// Close releases the persistence log, if any.
+// Close releases the persistence log, if any, flushing its staged tail.
 func (t *Table) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,687 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+// chunkedReader caps every Read at chunk bytes, simulating a file
+// reader that legally returns short reads.
+type chunkedReader struct {
+	r     io.ReadSeeker
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	return c.r.Read(p)
+}
+
+func (c *chunkedReader) Seek(off int64, whence int) (int64, error) {
+	return c.r.Seek(off, whence)
+}
+
+// TestReadLogHeaderShortReads: the header schema must decode correctly
+// even when the underlying reader returns a few bytes per Read — the
+// old single-Read implementation truncated the schema mid-field.
+func TestReadLogHeaderShortReads(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "a_rather_long_field_name_one", Type: stream.TypeInt},
+		stream.Field{Name: "a_rather_long_field_name_two", Type: stream.TypeFloat},
+		stream.Field{Name: "a_rather_long_field_name_three", Type: stream.TypeBytes},
+	)
+	path := filepath.Join(t.TempDir(), "short.gsnlog")
+	log, err := OpenLog(path, schema, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stream.NewElement(schema, 1, int64(7), 1.5, []byte("x"))
+	if err := log.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, chunk := range []int{1, 3, 7} {
+		got, off, version, err := readLogHeader(&chunkedReader{r: f, chunk: chunk})
+		if err != nil {
+			t.Fatalf("chunk=%d: readLogHeader: %v", chunk, err)
+		}
+		if !got.Equal(schema) {
+			t.Fatalf("chunk=%d: schema = %s, want %s", chunk, got, schema)
+		}
+		if off <= int64(len(logMagic)) {
+			t.Fatalf("chunk=%d: implausible header offset %d", chunk, off)
+		}
+		if version != 2 {
+			t.Fatalf("chunk=%d: fresh log version = %d, want 2", chunk, version)
+		}
+	}
+}
+
+// TestGroupCommitReplay: under every sync policy, a batch-heavy write
+// sequence followed by Close must replay in full — Close is the
+// durability barrier that flushes the staged tail.
+func TestGroupCommitReplay(t *testing.T) {
+	for _, sync := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(sync.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewStore(stream.NewManualClock(0), dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := s.CreateTable("perm", tempSchema, TableOptions{
+				Window:        stream.MustWindow("100"),
+				Permanent:     true,
+				Sync:          sync,
+				FlushInterval: time.Hour, // the flusher must not be what saves us
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var batch []stream.Element
+			for i := int64(1); i <= 7; i++ {
+				batch = append(batch, intElem(t, stream.Timestamp(i), i))
+			}
+			if err := tab.InsertBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Insert(intElem(t, 8, 8)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			_, elems, err := ReplayLog(filepath.Join(dir, "PERM.gsnlog"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(elems) != 8 {
+				t.Fatalf("replayed %d records, want 8", len(elems))
+			}
+			for i, e := range elems {
+				if e.Value(0) != int64(i+1) {
+					t.Fatalf("record %d = %v", i, e)
+				}
+			}
+		})
+	}
+}
+
+// TestTornBatchTailReplay: a crash that tears the last record of a
+// group commit must replay the clean prefix — including the intact
+// records of the same batch.
+func TestTornBatchTailReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []stream.Element
+	for i := int64(1); i <= 5; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		batch = append(batch, e)
+	}
+	if err := log.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Tear the last record of the group.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 4 {
+		t.Fatalf("replayed %d records from torn batch, want 4", len(elems))
+	}
+}
+
+// TestCrashLosesOnlyStagedTail: without a barrier, SyncNone keeps
+// records staged in memory; a crash (no Close, no Flush) must lose
+// exactly those and the file must replay to the flushed prefix.
+func TestCrashLosesOnlyStagedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "staged.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := stream.NewElement(tempSchema, 1, int64(1))
+	e2, _ := stream.NewElement(tempSchema, 2, int64(2))
+	if err := log.Append(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(e2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: e2 was only staged.
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 1 || elems[0].Value(0) != int64(1) {
+		t.Fatalf("replayed %v, want exactly the flushed record", elems)
+	}
+}
+
+// TestTruncateDiscardsStagedRecords: Truncate → crash → replay must
+// not resurrect rows under any sync policy, even rows that were still
+// sitting in the WAL staging buffer at truncate time.
+func TestTruncateDiscardsStagedRecords(t *testing.T) {
+	for _, sync := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(sync.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewStore(stream.NewManualClock(0), dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := s.CreateTable("perm", tempSchema, TableOptions{
+				Window:        stream.MustWindow("100"),
+				Permanent:     true,
+				Sync:          sync,
+				FlushInterval: time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(1); i <= 5; i++ {
+				if err := tab.Insert(intElem(t, stream.Timestamp(i), i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tab.Truncate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Insert(intElem(t, 9, 99)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Crash: no Close. The file alone decides what survives.
+			path := filepath.Join(dir, "PERM.gsnlog")
+			_, elems, err := ReplayLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(elems) != 1 || elems[0].Value(0) != int64(99) {
+				t.Fatalf("sync=%s: replay after truncate+crash = %v, want only the post-truncate row", sync, elems)
+			}
+			s.Close()
+		})
+	}
+}
+
+// TestSyncIntervalBackgroundFlush: the group-commit flusher must make
+// appends durable without any explicit barrier.
+func TestSyncIntervalBackgroundFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "interval.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{Sync: SyncInterval, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	e, _ := stream.NewElement(tempSchema, 1, int64(42))
+	if err := log.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, elems, err := ReplayLog(path)
+		if err == nil && len(elems) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background flusher never committed the record (replayed %d)", len(elems))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlushBytesThresholdForcesWrite: SyncNone must still bound staged
+// memory — crossing FlushBytes triggers an inline group commit.
+func TestFlushBytesThresholdForcesWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "thresh.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{Sync: SyncNone, FlushBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for i := int64(1); i <= 20; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := log.Stats()
+	if st.Flushes == 0 {
+		t.Fatalf("no flushes despite crossing the byte threshold: %+v", st)
+	}
+	if st.Buffered >= 32 {
+		t.Fatalf("staged bytes %d never bounded by threshold", st.Buffered)
+	}
+}
+
+// TestAppendAfterCloseFails pins the closed-log contract.
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stream.NewElement(tempSchema, 1, int64(1))
+	if err := log.Append(e); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestFailedCommitPoisonsLog: after a failed group commit the file may
+// end in a torn group and the v2 delta chain no longer matches what
+// was staged, so the log must refuse every further append — otherwise
+// later records would replay with silently wrong timestamps behind
+// bytes the replayer can never pass.
+func TestFailedCommitPoisonsLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "poison.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{}) // SyncAlways
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := stream.NewElement(tempSchema, 100, int64(1))
+	if err := log.Append(e1); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the file so the next commit's write fails.
+	log.f.Close()
+	e2, _ := stream.NewElement(tempSchema, 200, int64(2))
+	if err := log.Append(e2); err == nil {
+		t.Fatal("Append with dead file succeeded")
+	}
+	e3, _ := stream.NewElement(tempSchema, 300, int64(3))
+	if err := log.Append(e3); err == nil {
+		t.Fatal("poisoned log accepted a record")
+	}
+	if err := log.Flush(); err == nil {
+		t.Fatal("poisoned log flushed cleanly")
+	}
+	st := log.Stats()
+	if st.Appends != 2 { // e3 must not even stage
+		t.Fatalf("appends = %d, want 2", st.Appends)
+	}
+	// The file holds exactly the pre-failure prefix with intact
+	// timestamps.
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 1 || elems[0].Timestamp() != 100 {
+		t.Fatalf("replay after poison = %v", elems)
+	}
+}
+
+// TestV1LogBackwardsCompat: logs written in the original full-record
+// format must still replay, and appends to them must keep the v1
+// format so the file stays self-consistent.
+func TestV1LogBackwardsCompat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.gsnlog")
+	// Hand-write a v1 log: v1 magic, schema, full element records.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := append([]byte{}, logMagic...)
+	hdr = stream.EncodeSchema(hdr, tempSchema)
+	if _, err := f.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i*100), i)
+		if err := stream.WriteElement(f, e.WithArrival(stream.Timestamp(i*100+5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 || elems[2].Value(0) != int64(3) {
+		t.Fatalf("v1 replay = %v", elems)
+	}
+	// v1 records carry their arrival stamps through replay.
+	if elems[0].Arrival() != 105 {
+		t.Fatalf("v1 arrival = %v, want 105", elems[0].Arrival())
+	}
+
+	// Appending through the WAL must continue the v1 format.
+	log, err := OpenLog(path, tempSchema, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stream.NewElement(tempSchema, 400, int64(4))
+	if err := log.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, elems, err = ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 4 || elems[3].Value(0) != int64(4) || elems[3].Timestamp() != 400 {
+		t.Fatalf("v1 replay after append = %v", elems)
+	}
+}
+
+// TestOpenLogTruncatesTornTail: reopening a log with a torn tail must
+// truncate the tear so later appends extend the clean prefix instead of
+// hiding behind undecodable bytes.
+func TestOpenLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "recover.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i*10), i)
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err = OpenLog(path, tempSchema, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stream.NewElement(tempSchema, 40, int64(4))
+	if err := log.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, elems, err := ReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 1, 2 (clean prefix) and 4 (post-recovery append); the
+	// torn record 3 is gone.
+	if len(elems) != 3 || elems[2].Value(0) != int64(4) || elems[2].Timestamp() != 40 {
+		t.Fatalf("replay after torn-tail recovery = %v", elems)
+	}
+}
+
+// TestInsertErrorLeavesWindowUnchanged: when the WAL stage fails, the
+// element must be neither visible to readers nor reported to the
+// observer, and the failure must be counted — the seed left the window
+// and the log diverged here.
+func TestInsertErrorLeavesWindowUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(stream.NewManualClock(0), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tab, err := s.CreateTable("perm", tempSchema, TableOptions{
+		Window:    stream.MustWindow("100"),
+		Permanent: true, // SyncAlways: append errors surface synchronously
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(intElem(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	events := &eventRecorder{}
+	tab.SetObserver(events)
+	before := len(events.log)
+
+	// Sabotage the WAL file underneath the log: the next write fails.
+	tab.log.f.Close()
+
+	if err := tab.Insert(intElem(t, 2, 2)); err == nil {
+		t.Fatal("Insert with dead WAL succeeded")
+	}
+	if err := tab.InsertBatch([]stream.Element{intElem(t, 3, 3), intElem(t, 4, 4)}); err == nil {
+		t.Fatal("InsertBatch with dead WAL succeeded")
+	}
+	if n := tab.Len(); n != 1 {
+		t.Fatalf("window has %d elements after failed appends, want 1", n)
+	}
+	if len(events.log) != before {
+		t.Fatalf("observer saw %v for elements that were never published", events.log[before:])
+	}
+	st := tab.Stats()
+	if st.LogErrors != 2 {
+		t.Fatalf("LogErrors = %d, want 2", st.LogErrors)
+	}
+	if st.Inserted != 1 {
+		t.Fatalf("Inserted = %d, want 1", st.Inserted)
+	}
+}
+
+// eventRecorder logs the exact observer event sequence.
+type eventRecorder struct {
+	log []string
+}
+
+func (r *eventRecorder) OnInsert(e stream.Element) {
+	r.log = append(r.log, fmt.Sprintf("i%v", e.Value(0)))
+}
+func (r *eventRecorder) OnEvict(e stream.Element) {
+	r.log = append(r.log, fmt.Sprintf("e%v", e.Value(0)))
+}
+func (r *eventRecorder) OnTruncate() { r.log = append(r.log, "t") }
+
+// TestInsertBatchEquivalence: any split of an arrival sequence into
+// batches must yield identical window contents, stats and observer
+// event sequences as the per-element inserts (count and time windows).
+func TestInsertBatchEquivalence(t *testing.T) {
+	f := func(values []int16, splits []uint8, bound, sizeSec uint8, useTime bool) bool {
+		var window stream.Window
+		if useTime {
+			window = stream.Window{Kind: stream.TimeWindow,
+				Size: time.Duration(int(sizeSec%30)+1) * time.Second}
+		} else {
+			window = stream.Window{Kind: stream.CountWindow, Count: int(bound%10) + 1}
+		}
+		clockA := stream.NewManualClock(0)
+		clockB := stream.NewManualClock(0)
+		tabA, err := NewTable("a", tempSchema, window, clockA)
+		if err != nil {
+			return false
+		}
+		tabB, err := NewTable("b", tempSchema, window, clockB)
+		if err != nil {
+			return false
+		}
+		evA, evB := &eventRecorder{}, &eventRecorder{}
+		tabA.SetObserver(evA)
+		tabB.SetObserver(evB)
+
+		elems := make([]stream.Element, len(values))
+		// Batch boundaries from the fuzzed split list; both clocks
+		// advance identically at each boundary.
+		pos := 0
+		for si := 0; pos < len(elems); si++ {
+			n := 1
+			if si < len(splits) {
+				n = int(splits[si]%5) + 1
+			}
+			if pos+n > len(elems) {
+				n = len(elems) - pos
+			}
+			clockA.Advance(500 * time.Millisecond)
+			clockB.Advance(500 * time.Millisecond)
+			batch := elems[pos : pos+n]
+			for i := range batch {
+				ts := clockA.Now()
+				e, err := stream.NewElement(tempSchema, ts, int64(values[pos+i]))
+				if err != nil {
+					return false
+				}
+				batch[i] = e
+				if err := tabA.Insert(e); err != nil {
+					return false
+				}
+			}
+			// The batch slice is consumed by InsertBatch; tabA already
+			// copied what it needed.
+			if err := tabB.InsertBatch(batch); err != nil {
+				return false
+			}
+			pos += n
+		}
+
+		snapA, snapB := tabA.Snapshot(), tabB.Snapshot()
+		if len(snapA) != len(snapB) {
+			return false
+		}
+		for i := range snapA {
+			if snapA[i].Value(0) != snapB[i].Value(0) || snapA[i].Timestamp() != snapB[i].Timestamp() {
+				return false
+			}
+		}
+		stA, stB := tabA.Stats(), tabB.Stats()
+		if stA.Inserted != stB.Inserted || stA.Evicted != stB.Evicted ||
+			stA.Live != stB.Live || stA.Bytes != stB.Bytes {
+			return false
+		}
+		if len(evA.log) != len(evB.log) {
+			return false
+		}
+		for i := range evA.log {
+			if evA.log[i] != evB.log[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadPathSharedLock: while one reader holds the table's shared
+// lock mid-scan, other read-side methods must complete — the seed
+// serialised every read behind the exclusive lock.
+func TestReadPathSharedLock(t *testing.T) {
+	tab, _ := NewTable("t", tempSchema, stream.MustWindow("100"), stream.NewManualClock(0))
+	for i := int64(1); i <= 10; i++ {
+		tab.Insert(intElem(t, stream.Timestamp(i), i))
+	}
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		first := true
+		tab.ForEach(func(e stream.Element) bool {
+			if first {
+				first = false
+				close(holding)
+				<-release
+			}
+			return false
+		})
+	}()
+	<-holding
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if tab.Len() != 10 {
+			t.Error("Len under shared lock")
+		}
+		if len(tab.Snapshot()) != 10 {
+			t.Error("Snapshot under shared lock")
+		}
+		if len(tab.Last(3)) != 3 {
+			t.Error("Last under shared lock")
+		}
+		if len(tab.Since(5)) != 5 {
+			t.Error("Since under shared lock")
+		}
+		if _, ok := tab.Latest(); !ok {
+			t.Error("Latest under shared lock")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read-side methods blocked behind a concurrent reader: still taking the exclusive lock")
+	}
+	close(release)
+	<-scanDone
+}
+
+// TestTimeWindowReadUpgradesAndEvicts: the shared-lock fast path must
+// still apply expiry when it is actually due.
+func TestTimeWindowReadUpgradesAndEvicts(t *testing.T) {
+	clock := stream.NewManualClock(0)
+	tab, _ := NewTable("t", tempSchema, stream.MustWindow("10s"), clock)
+	clock.Advance(time.Second)
+	tab.Insert(intElem(t, clock.Now(), 1))
+	clock.Advance(time.Second)
+	tab.Insert(intElem(t, clock.Now(), 2))
+
+	// No eviction due: reads serve under RLock and see both.
+	if n := tab.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	// Expire the first element; every read form must upgrade and evict.
+	clock.Set(11_500)
+	if n := tab.Len(); n != 1 {
+		t.Fatalf("Len after expiry = %d, want 1", n)
+	}
+	clock.Set(stream.Timestamp(time.Hour.Milliseconds()))
+	if got := tab.Snapshot(); len(got) != 0 {
+		t.Fatalf("Snapshot after full expiry = %v", got)
+	}
+	if st := tab.Stats(); st.Evicted != 2 {
+		t.Fatalf("Evicted = %d, want 2", st.Evicted)
+	}
+}

@@ -23,6 +23,44 @@ func TestEncodeDecodeElementRoundTrip(t *testing.T) {
 	assertElementsEqual(t, e, got)
 }
 
+func TestEncodeDecodeElementCompactRoundTrip(t *testing.T) {
+	prev := Timestamp(0)
+	for _, ts := range []Timestamp{12345, 12300, 12346, 1 << 40} { // deltas go both ways
+		e := MustElement(testSchema, ts, 42, 3.25, "hello", []byte{0xde, 0xad}, true)
+		buf := EncodeElementCompact(nil, e, prev)
+		got, n, err := DecodeElementCompact(testSchema, buf, prev)
+		if err != nil {
+			t.Fatalf("DecodeElementCompact: %v", err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Timestamp() != ts {
+			t.Errorf("timestamp = %v, want %v", got.Timestamp(), ts)
+		}
+		// Compact records re-stamp arrival/produced from the logical
+		// timestamp.
+		if got.Arrival() != ts || got.Produced() != ts {
+			t.Errorf("stamps = %v/%v, want %v", got.Arrival(), got.Produced(), ts)
+		}
+		for i := 0; i < e.Len(); i++ {
+			if !reflect.DeepEqual(e.Value(i), got.Value(i)) {
+				t.Errorf("value %d = %v, want %v", i, got.Value(i), e.Value(i))
+			}
+		}
+		prev = ts
+	}
+}
+
+func TestCompactEncodingIsSmaller(t *testing.T) {
+	e := MustElement(MustSchema(Field{Name: "v", Type: TypeInt}), 1_700_000_000_001, 7)
+	full := EncodeElement(nil, e)
+	compact := EncodeElementCompact(nil, e, 1_700_000_000_000)
+	if len(compact) >= len(full)/2 {
+		t.Errorf("compact record is %dB vs full %dB; expected < half", len(compact), len(full))
+	}
+}
+
 func TestEncodeDecodeNulls(t *testing.T) {
 	e := MustElement(testSchema, 1, nil, nil, nil, nil, nil)
 	got, _, err := DecodeElement(testSchema, EncodeElement(nil, e))

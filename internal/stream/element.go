@@ -39,6 +39,7 @@ type Element struct {
 	ts       Timestamp // logical (producer) timestamp
 	arrival  Timestamp // reception time at the container (paper §3 item 3)
 	produced Timestamp // time the producing device generated the reading
+	size     int       // cached Size(); values are immutable, so it never changes
 }
 
 // NewElement builds an element after validating and coercing the values
@@ -60,7 +61,9 @@ func NewElement(schema *Schema, ts Timestamp, values ...Value) (Element, error) 
 		}
 		vs[i] = cv
 	}
-	return Element{schema: schema, values: vs, ts: ts, produced: ts}, nil
+	e := Element{schema: schema, values: vs, ts: ts, produced: ts}
+	e.size = sizeOf(vs)
+	return e, nil
 }
 
 // MustElement is like NewElement but panics on error. For tests.
@@ -127,9 +130,18 @@ func (e Element) Values() []Value {
 // Size returns the approximate wire size of the element payload in
 // bytes. It is used by the stream quality manager for rate accounting
 // and by the evaluation harness to report stream element sizes (SES).
+// The constructors cache it, so the hot insert/evict accounting in the
+// storage layer does not re-walk the values.
 func (e Element) Size() int {
+	if e.size > 0 {
+		return e.size
+	}
+	return sizeOf(e.values)
+}
+
+func sizeOf(values []Value) int {
 	n := 8 + 8 // two timestamps
-	for _, v := range e.values {
+	for _, v := range values {
 		switch x := v.(type) {
 		case nil:
 			n++

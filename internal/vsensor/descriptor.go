@@ -67,6 +67,14 @@ type StorageSpec struct {
 	// Size is the retention window of the output table ("10s", "1h",
 	// or a tuple count). Default "100".
 	Size string `xml:"size,attr"`
+	// Sync selects the WAL durability policy for permanent storage:
+	// "always" (write per insert, the default), "interval" (group
+	// commit on a background interval), or "none" (write on byte
+	// threshold and barriers only).
+	Sync string `xml:"sync,attr"`
+	// FlushInterval tunes the "interval" group-commit period (a Go
+	// duration such as "5ms"; empty uses the storage default).
+	FlushInterval string `xml:"flush-interval,attr"`
 }
 
 // InputStream declares one input with its sources and combining query.
@@ -214,6 +222,17 @@ func (d *Descriptor) Validate() error {
 	}
 	if _, err := stream.ParseWindow(d.Storage.Size); err != nil {
 		return fmt.Errorf("vsensor: %s: storage size: %w", d.Name, err)
+	}
+	switch d.Storage.Sync {
+	case "", "always", "interval", "none":
+	default:
+		return fmt.Errorf("vsensor: %s: storage sync must be always, interval or none (got %q)",
+			d.Name, d.Storage.Sync)
+	}
+	if d.Storage.FlushInterval != "" {
+		if _, err := time.ParseDuration(d.Storage.FlushInterval); err != nil {
+			return fmt.Errorf("vsensor: %s: storage flush-interval: %w", d.Name, err)
+		}
 	}
 	if len(d.Streams) == 0 {
 		return fmt.Errorf("vsensor: %s: no input-stream defined", d.Name)

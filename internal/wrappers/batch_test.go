@@ -1,0 +1,184 @@
+package wrappers
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gsn/internal/stream"
+)
+
+func writeTestCSV(t *testing.T, rows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "b.csv")
+	data := "v\n"
+	for i := 1; i <= rows; i++ {
+		data += fmt.Sprintf("%d\n", i)
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCSVProduceBatch: batches replay runs of rows in order and report
+// ErrNoReading only once the file is exhausted.
+func TestCSVProduceBatch(t *testing.T) {
+	w, err := New("csv", Config{Name: "b", Params: Params{
+		"file": writeTestCSV(t, 5), "types": "integer",
+	}, Clock: stream.NewManualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := w.(BatchProducer)
+	first, err := bp.ProduceBatch(3)
+	if err != nil || len(first) != 3 {
+		t.Fatalf("ProduceBatch(3) = %d, %v", len(first), err)
+	}
+	if first[0].Value(0) != int64(1) || first[2].Value(0) != int64(3) {
+		t.Fatalf("batch order wrong: %v", first)
+	}
+	rest, err := bp.ProduceBatch(10)
+	if err != nil || len(rest) != 2 {
+		t.Fatalf("ProduceBatch(10) = %d, %v", len(rest), err)
+	}
+	if _, err := bp.ProduceBatch(1); err != ErrNoReading {
+		t.Fatalf("exhausted file returned %v", err)
+	}
+}
+
+// TestMoteProduceBatch: a packet train of random-walk readings under
+// one call, schema-conformant.
+func TestMoteProduceBatch(t *testing.T) {
+	w, err := New("mote", Config{Name: "m", Params: Params{}, Seed: 3,
+		Clock: stream.NewManualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := w.(BatchProducer)
+	elems, err := bp.ProduceBatch(10)
+	if err != nil || len(elems) != 10 {
+		t.Fatalf("ProduceBatch = %d, %v", len(elems), err)
+	}
+	for _, e := range elems {
+		if !e.Schema().Equal(w.Schema()) {
+			t.Fatalf("element schema %s != wrapper schema %s", e.Schema(), w.Schema())
+		}
+	}
+}
+
+// TestProduceUpTo: the generic helper stops at the first empty poll and
+// reports ErrNoReading only for a completely empty drain.
+func TestProduceUpTo(t *testing.T) {
+	w, err := New("csv", Config{Name: "u", Params: Params{
+		"file": writeTestCSV(t, 2), "types": "integer",
+	}, Clock: stream.NewManualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.(Producer)
+	got, err := ProduceUpTo(p, 5)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ProduceUpTo = %d, %v", len(got), err)
+	}
+	if _, err := ProduceUpTo(p, 5); err != ErrNoReading {
+		t.Fatalf("empty drain returned %v", err)
+	}
+}
+
+// TestCSVStartBatchEmitsBursts: with a batch parameter, the paced loop
+// delivers whole bursts through the batch emit path.
+func TestCSVStartBatchEmitsBursts(t *testing.T) {
+	w, err := New("csv", Config{Name: "sb", Params: Params{
+		"file": writeTestCSV(t, 9), "types": "integer",
+		"interval": "1ms", "batch": "3",
+	}, Clock: stream.NewManualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := w.(BatchEmitter)
+	if !ok {
+		t.Fatal("csv wrapper does not implement BatchEmitter")
+	}
+	var (
+		mu      sync.Mutex
+		batches [][]stream.Element
+	)
+	err = be.StartBatch(
+		func(e stream.Element) { t.Error("single emit used despite batch mode") },
+		func(elems []stream.Element) {
+			mu.Lock()
+			batches = append(batches, elems)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(batches)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d batches arrived", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, b := range batches[:3] {
+		if len(b) != 3 {
+			t.Fatalf("batch %d has %d elements, want 3", i, len(b))
+		}
+	}
+	if batches[0][0].Value(0) != int64(1) || batches[2][2].Value(0) != int64(9) {
+		t.Fatalf("burst order wrong: %v ... %v", batches[0][0], batches[2][2])
+	}
+}
+
+// TestBatchParamDefaultsToPerElement: batch=1 (or absent) keeps
+// StartBatch on the per-element emit path, preserving old behaviour.
+func TestBatchParamDefaultsToPerElement(t *testing.T) {
+	w, err := New("csv", Config{Name: "pe", Params: Params{
+		"file": writeTestCSV(t, 4), "types": "integer", "interval": "1ms",
+	}, Clock: stream.NewManualClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := w.(BatchEmitter)
+	var (
+		mu      sync.Mutex
+		singles int
+	)
+	err = be.StartBatch(
+		func(e stream.Element) { mu.Lock(); singles++; mu.Unlock() },
+		func(elems []stream.Element) { t.Error("batch emit used without a batch parameter") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := singles
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d singles arrived", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,8 @@ import (
 //	types     comma list of column types aligned with the header
 //	          (default: every column "double")
 //	interval  replay period (default 0 = pull-only)
+//	batch     rows replayed per tick as one burst (default 1); bursts
+//	          flow through the container's batch ingestion path
 //	loop      restart at EOF (default false; when false, Produce
 //	          returns ErrNoReading after the last row)
 type CSVWrapper struct {
@@ -80,6 +82,9 @@ func NewCSV(cfg Config) (Wrapper, error) {
 	}
 	w := &CSVWrapper{cfg: cfg, schema: schema, rows: records[1:], loop: loop}
 	w.pacer.interval = interval
+	if err := w.pacer.configureBatch(cfg.Params); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
@@ -108,6 +113,15 @@ func (w *CSVWrapper) Start(emit EmitFunc) error {
 	})
 }
 
+// StartBatch implements BatchEmitter: with a batch parameter > 1 each
+// tick replays a run of rows as one burst.
+func (w *CSVWrapper) StartBatch(emit EmitFunc, emitBatch BatchEmitFunc) error {
+	if w.pacer.batch <= 1 {
+		return w.Start(emit)
+	}
+	return w.pacer.startBatch(w.ProduceBatch, emitBatch)
+}
+
 // Stop implements Wrapper.
 func (w *CSVWrapper) Stop() error { return w.pacer.halt() }
 
@@ -116,6 +130,32 @@ func (w *CSVWrapper) Stop() error { return w.pacer.halt() }
 func (w *CSVWrapper) Produce() (stream.Element, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.produceLocked()
+}
+
+// ProduceBatch implements BatchProducer, replaying up to max rows under
+// one lock acquisition.
+func (w *CSVWrapper) ProduceBatch(max int) ([]stream.Element, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []stream.Element
+	for len(out) < max {
+		e, err := w.produceLocked()
+		if err == ErrNoReading {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoReading
+	}
+	return out, nil
+}
+
+func (w *CSVWrapper) produceLocked() (stream.Element, error) {
 	if w.pos >= len(w.rows) {
 		if !w.loop || len(w.rows) == 0 {
 			return stream.Element{}, ErrNoReading

@@ -17,6 +17,8 @@ import (
 // Parameters:
 //
 //	interval     production period (default "1s"; 0 = pull-only)
+//	batch        readings produced per tick as one burst (default 1),
+//	             simulating a packet train from the radio
 //	sensors      comma list of light,temperature,accel (default
 //	             "light,temperature")
 //	node-id      integer id reported in the NODE_ID field (default 1)
@@ -108,6 +110,9 @@ func NewMote(cfg Config) (Wrapper, error) {
 		failRate: failRate,
 	}
 	m.pacer.interval = interval
+	if err := m.pacer.configureBatch(cfg.Params); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -137,6 +142,18 @@ func (m *MoteWrapper) Start(emit EmitFunc) error {
 	})
 }
 
+// StartBatch implements BatchEmitter: with a batch parameter > 1 each
+// tick delivers a packet train of readings as one burst.
+func (m *MoteWrapper) StartBatch(emit EmitFunc, emitBatch BatchEmitFunc) error {
+	if m.pacer.batch <= 1 {
+		return m.Start(emit)
+	}
+	m.mu.Lock()
+	m.emit = emit
+	m.mu.Unlock()
+	return m.pacer.startBatch(m.ProduceBatch, emitBatch)
+}
+
 // Stop implements Wrapper.
 func (m *MoteWrapper) Stop() error { return m.pacer.halt() }
 
@@ -144,6 +161,33 @@ func (m *MoteWrapper) Stop() error { return m.pacer.halt() }
 func (m *MoteWrapper) Produce() (stream.Element, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.produceLocked()
+}
+
+// ProduceBatch implements BatchProducer: up to max readings of the
+// random walk under one lock acquisition. Lost polls (failure-rate)
+// thin the batch exactly as they would thin individual polls.
+func (m *MoteWrapper) ProduceBatch(max int) ([]stream.Element, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []stream.Element
+	for i := 0; i < max; i++ {
+		e, err := m.produceLocked()
+		if err == ErrNoReading {
+			continue // radio loss drops this poll, not the burst
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoReading
+	}
+	return out, nil
+}
+
+func (m *MoteWrapper) produceLocked() (stream.Element, error) {
 	if m.failRate > 0 && m.rng.Float64() < m.failRate {
 		return stream.Element{}, ErrNoReading
 	}

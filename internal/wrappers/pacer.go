@@ -3,14 +3,19 @@ package wrappers
 import (
 	"sync"
 	"time"
+
+	"gsn/internal/stream"
 )
 
 // pacer runs a Producer on a fixed real-time interval, delivering
 // readings through the emit function. Wrappers embed it to get
 // Start/Stop for free; an interval of zero disables autonomous
 // production (the wrapper is then driven via Produce by the caller).
+// With batch > 1 each tick drains up to batch readings and delivers
+// them as one burst (the wrapper's descriptor batch parameter).
 type pacer struct {
 	interval time.Duration
+	batch    int
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -49,6 +54,41 @@ func (p *pacer) start(produce func() error) error {
 			}
 		}
 	}(p.stop, p.done)
+	return nil
+}
+
+// startBatch launches the production loop in burst mode: each tick
+// pulls up to p.batch readings in one call and hands them downstream as
+// a single batch. Wrappers implementing BatchEmitter route StartBatch
+// here when a batch size is configured.
+func (p *pacer) startBatch(produceBatch func(max int) ([]stream.Element, error), emitBatch BatchEmitFunc) error {
+	max := p.batch
+	if max < 1 {
+		max = 1
+	}
+	return p.start(func() error {
+		elems, err := produceBatch(max)
+		// A mid-batch producer error still delivers the prefix that was
+		// produced — the per-element pacer would already have emitted
+		// those readings on their own ticks.
+		if len(elems) > 0 {
+			emitBatch(elems)
+		}
+		return err
+	})
+}
+
+// configureBatch reads the shared batch parameter (per-tick burst size,
+// default 1).
+func (p *pacer) configureBatch(params Params) error {
+	batch, err := params.Int("batch", 1)
+	if err != nil {
+		return err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	p.batch = batch
 	return nil
 }
 

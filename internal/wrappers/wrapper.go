@@ -24,6 +24,11 @@ import (
 // container's input stream manager).
 type EmitFunc func(stream.Element)
 
+// BatchEmitFunc delivers a burst of produced elements downstream as one
+// batch, in arrival order. Ownership of the slice passes to the callee;
+// the wrapper must not reuse it after emitting.
+type BatchEmitFunc func([]stream.Element)
+
 // Wrapper is the platform adaptation interface. Implementations must be
 // safe for the container to Start and Stop from different goroutines.
 type Wrapper interface {
@@ -48,6 +53,51 @@ type Producer interface {
 	// the device has nothing to report this poll (e.g. an RFID reader
 	// with no tag in range).
 	Produce() (stream.Element, error)
+}
+
+// BatchEmitter is the optional burst capability of the wrapper
+// contract: a wrapper that naturally produces several elements at once
+// (a replayed file, a radio packet train, a long-poll fetch) delivers
+// them through emitBatch so the whole burst crosses the quality chain
+// and the window table with one lock acquisition and one WAL group
+// append. The container prefers StartBatch over Start when a wrapper
+// implements it; a wrapper may still use emit for single readings.
+type BatchEmitter interface {
+	Wrapper
+	// StartBatch begins production like Start, delivering bursts
+	// through emitBatch (slice ownership passes to the callee) and
+	// single readings through emit. It must not block.
+	StartBatch(emit EmitFunc, emitBatch BatchEmitFunc) error
+}
+
+// BatchProducer is the pull-capable burst form: ProduceBatch generates
+// up to max readings synchronously in one call. Like Produce it returns
+// ErrNoReading when the device has nothing at all to report.
+type BatchProducer interface {
+	Producer
+	ProduceBatch(max int) ([]stream.Element, error)
+}
+
+// ProduceUpTo drains a Producer into a burst of at most max elements,
+// stopping at the first empty poll. It returns ErrNoReading only when
+// nothing at all was produced — wrappers without a cheaper native batch
+// use it to satisfy BatchProducer.
+func ProduceUpTo(p Producer, max int) ([]stream.Element, error) {
+	var out []stream.Element
+	for len(out) < max {
+		e, err := p.Produce()
+		if err == ErrNoReading {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoReading
+	}
+	return out, nil
 }
 
 // ErrNoReading signals an empty poll from a Producer.
