@@ -26,11 +26,18 @@ bench:
 bench-ingest:
 	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem .
 
+# The client-query acceptance benchmark: the compiled/shared/parallel
+# repository must beat the serial interpreted sweep at 1000 registered
+# queries.
+bench-queries:
+	$(GO) test -run xxx -bench 'BenchmarkClientQueries' -benchmem .
+
 # benchsmoke compiles and runs every benchmark once and sweeps the
 # gsn-bench experiments in quick mode, so perf-harness rot is caught on
 # every PR without paying for full measurement runs.
 benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
 	$(GO) run ./cmd/gsn-bench -experiment all -quick -out ""
 
 # ci is the tier-1 gate: everything a fresh clone must pass.

@@ -387,6 +387,79 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkClientQueries is the acceptance benchmark of the query
+// repository rebuild: 1,000 registered client queries (mixed
+// unique/duplicate SQL, the Figure 4 load shape) evaluated per trigger
+// against a count-1000 output window. The compiled/shared/parallel
+// sweep must beat the seed's serial interpreted strategy by >=5x.
+func BenchmarkClientQueries(b *testing.B) {
+	const window = 1000
+	const clients = 1000
+	node, err := gsn.NewNode(gsn.NodeOptions{Name: "bench-cq", SyncProcessing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	desc := fmt.Sprintf(`
+<virtual-sensor name="q">
+  <output-structure>
+    <field name="value" type="integer"/>
+  </output-structure>
+  <storage size="%d"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="timer"/>
+      <query>select tick %% 101 as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, window)
+	if err := node.DeployXML([]byte(desc)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < window; i++ {
+		node.Pulse()
+	}
+	duplicates := []string{
+		"select count(*), avg(value) from q",
+		"select count(*) as n, min(value) as lo, max(value) as hi from q",
+		"select count(*), avg(value) from q where value > 40",
+		"select value from q where value > 95",
+		"select count(*) from q where value between 20 and 60",
+	}
+	for i := 0; i < clients; i++ {
+		sql := duplicates[i%len(duplicates)]
+		if i%2 == 1 {
+			// Unique half: the upper bound exceeds the value domain, so
+			// it only makes the SQL text (the evaluation group) unique.
+			sql = fmt.Sprintf("select count(*), avg(value) from q where value > %d and value <= %d",
+				i%97, 101+i)
+		}
+		if _, err := node.RegisterQuery("q", sql, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := node.Container()
+	repo := c.QueryRepositoryRef()
+	cat := c.Catalog()
+	opts := sqlengine.Options{Clock: c.Clock()}
+
+	b.Run("serial-interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := repo.EvaluateForSerial("q", cat, opts); n != clients {
+				b.Fatalf("evaluated %d of %d", n, clients)
+			}
+		}
+	})
+	b.Run("compiled-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := repo.EvaluateFor("q", cat, opts); n != clients {
+				b.Fatalf("evaluated %d of %d", n, clients)
+			}
+		}
+	})
+}
+
 // triggerPipelineTable builds a 1000-element count window for the
 // trigger pipeline benchmark.
 func triggerPipelineTable(b *testing.B) *storage.Table {

@@ -10,6 +10,7 @@
 //	gsn-bench -experiment wrappers
 //	gsn-bench -experiment ablation
 //	gsn-bench -experiment ingest
+//	gsn-bench -experiment queries
 //	gsn-bench -experiment all
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -96,6 +97,24 @@ func main() {
 
 	run("ablation", func() error {
 		return bench.RunAblations(os.Stdout)
+	})
+
+	run("queries", func() error {
+		cfg := bench.DefaultQueries()
+		if *quick {
+			cfg.Counts = []int{1, 100, 1000}
+			cfg.Sweeps = 3
+			cfg.MaxSerialSweepQueries = 20_000
+		}
+		res, err := bench.RunQueries(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		fmt.Println()
+		fmt.Print(res.ShapeReport())
+		return writeCSV(*outDir, "queries.csv", res.CSV())
 	})
 
 	run("ingest", func() error {

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gsn/internal/core"
+	"gsn/internal/sqlengine"
+	"gsn/internal/stream"
+)
+
+// QueriesConfig parameterises the registered-query serving experiment —
+// the load side of the paper's Figure 4 claim that one node sustains
+// thousands of concurrently registered client queries. It sweeps the
+// registered-query count across unique/duplicate/mixed SQL mixes over a
+// count-1000 output window and compares the compiled+shared+parallel
+// repository against the seed's serial interpreted evaluation.
+type QueriesConfig struct {
+	// Counts is the x-axis sweep of registered queries per point.
+	Counts []int
+	// Window is the output window the queries scan.
+	Window int
+	// Sweeps is how many repository sweeps are timed per cell.
+	Sweeps int
+	// MaxSerialSweepQueries caps baseline work (serial cost grows
+	// linearly in the query count, so large cells scale sweeps down).
+	MaxSerialSweepQueries int
+}
+
+// DefaultQueries returns the full sweep.
+func DefaultQueries() QueriesConfig {
+	return QueriesConfig{
+		Counts:                []int{1, 100, 1000, 10000},
+		Window:                1000,
+		Sweeps:                20,
+		MaxSerialSweepQueries: 400_000,
+	}
+}
+
+// QueriesPoint is one measured cell.
+type QueriesPoint struct {
+	Mix       string // "unique", "duplicate", "mixed"
+	Queries   int
+	Groups    int     // distinct SQL after dedupe
+	SerialUS  float64 // mean serial interpreted sweep, microseconds
+	GroupedUS float64 // mean compiled/shared/parallel sweep, microseconds
+	Speedup   float64
+}
+
+// QueriesResult is the full matrix.
+type QueriesResult struct {
+	Window int
+	Points []QueriesPoint
+}
+
+// duplicateShapes is the pool the duplicate-heavy mix draws from: the
+// Figure 4 query shape family (aggregate + filter) plus pure
+// aggregates that the incremental tier serves O(1).
+var duplicateShapes = []string{
+	"select count(*), avg(value) from q",
+	"select count(*) as n, min(value) as lo, max(value) as hi from q",
+	"select count(*), avg(value) from q where value > 10",
+	"select count(*), avg(value) from q where value > 40",
+	"select count(*), avg(value) from q where value > 70",
+	"select value from q where value > 95",
+	"select avg(value) from q where value <= 50",
+	"select count(*) from q where value between 20 and 60",
+	"select value, timed from q where value > 90 order by value desc limit 5",
+	"select sum(value) as s from q",
+}
+
+// queriesSQL builds the i-th query of a mix. Unique queries vary the
+// predicate constant so no two texts dedupe.
+func queriesSQL(mix string, i int) string {
+	switch mix {
+	case "duplicate":
+		return duplicateShapes[i%len(duplicateShapes)]
+	case "mixed":
+		if i%2 == 0 {
+			return duplicateShapes[(i/2)%len(duplicateShapes)]
+		}
+		fallthrough
+	default: // unique
+		// The upper bound exceeds the value domain, so it only makes
+		// the SQL text (and therefore the evaluation group) unique.
+		return fmt.Sprintf("select count(*), avg(value) from q where value > %d and value <= %d",
+			i%97, 101+i)
+	}
+}
+
+// queriesDescriptor is the serving substrate: an integer stream kept in
+// a count-window output table named q.
+func queriesDescriptor(window int) string {
+	return fmt.Sprintf(`
+<virtual-sensor name="q">
+  <output-structure>
+    <field name="value" type="integer"/>
+  </output-structure>
+  <storage size="%d"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="timer"/>
+      <query>select tick %% 101 as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, window)
+}
+
+// runQueriesPoint measures one (mix, count) cell.
+func runQueriesPoint(cfg QueriesConfig, mix string, n int, w io.Writer) (QueriesPoint, error) {
+	point := QueriesPoint{Mix: mix, Queries: n}
+	c, err := core.New(core.Options{Name: "bench-queries", Clock: stream.NewManualClock(1), SyncProcessing: true})
+	if err != nil {
+		return point, err
+	}
+	defer c.Close()
+	if err := c.DeployXML([]byte(queriesDescriptor(cfg.Window))); err != nil {
+		return point, err
+	}
+	// Fill the output window to capacity before measuring.
+	for i := 0; i < cfg.Window; i++ {
+		c.Pulse()
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.RegisterQuery("q", queriesSQL(mix, i), 1, nil); err != nil {
+			return point, err
+		}
+	}
+	repo := c.QueryRepositoryRef()
+	point.Groups = repo.GroupCount("q")
+	cat := c.Catalog()
+	opts := sqlengine.Options{Clock: c.Clock()}
+
+	// Serial baseline: scale the sweep count down for huge cells so the
+	// experiment stays interactive (serial cost is linear in n).
+	serialSweeps := cfg.Sweeps
+	if n > 0 && serialSweeps*n > cfg.MaxSerialSweepQueries {
+		serialSweeps = cfg.MaxSerialSweepQueries / n
+		if serialSweeps < 2 {
+			serialSweeps = 2
+		}
+	}
+	repo.EvaluateForSerial("q", cat, opts) // warm caches
+	start := time.Now()
+	for i := 0; i < serialSweeps; i++ {
+		repo.EvaluateForSerial("q", cat, opts)
+	}
+	point.SerialUS = float64(time.Since(start).Microseconds()) / float64(serialSweeps)
+
+	repo.EvaluateFor("q", cat, opts) // warm pool + plans
+	start = time.Now()
+	for i := 0; i < cfg.Sweeps; i++ {
+		repo.EvaluateFor("q", cat, opts)
+	}
+	point.GroupedUS = float64(time.Since(start).Microseconds()) / float64(cfg.Sweeps)
+
+	if point.GroupedUS > 0 {
+		point.Speedup = point.SerialUS / point.GroupedUS
+	}
+	if w != nil {
+		fmt.Fprintf(w, "  %-10s n=%-6d groups=%-5d serial=%10.1fus  grouped=%10.1fus  %6.1fx\n",
+			mix, n, point.Groups, point.SerialUS, point.GroupedUS, point.Speedup)
+	}
+	return point, nil
+}
+
+// RunQueries executes the sweep.
+func RunQueries(cfg QueriesConfig, w io.Writer) (*QueriesResult, error) {
+	if len(cfg.Counts) == 0 {
+		cfg = DefaultQueries()
+	}
+	res := &QueriesResult{Window: cfg.Window}
+	for _, mix := range []string{"unique", "duplicate", "mixed"} {
+		for _, n := range cfg.Counts {
+			p, err := runQueriesPoint(cfg, mix, n, w)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// Table renders an aligned comparison.
+func (r *QueriesResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Registered-query sweep, count-%d window (Figure 4 load shape)\n", r.Window)
+	fmt.Fprintf(&b, "%-10s %8s %8s %14s %14s %9s\n", "mix", "queries", "groups", "serial(us)", "grouped(us)", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10s %8d %8d %14.1f %14.1f %8.1fx\n",
+			p.Mix, p.Queries, p.Groups, p.SerialUS, p.GroupedUS, p.Speedup)
+	}
+	return b.String()
+}
+
+// CSV renders the matrix for plotting.
+func (r *QueriesResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mix,queries,groups,window,serial_us,grouped_us,speedup\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.1f,%.1f,%.2f\n",
+			p.Mix, p.Queries, p.Groups, r.Window, p.SerialUS, p.GroupedUS, p.Speedup)
+	}
+	return b.String()
+}
+
+// ShapeReport validates the headline claims: ≥5x at 1000 mixed
+// queries, and duplicate-heavy sweeps scaling sublinearly in the
+// query count.
+func (r *QueriesResult) ShapeReport() string {
+	var mixed1k, dupLo, dupHi *QueriesPoint
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Mix == "mixed" && p.Queries == 1000 {
+			mixed1k = p
+		}
+		if p.Mix == "duplicate" {
+			if dupLo == nil || p.Queries < dupLo.Queries {
+				dupLo = p
+			}
+			if dupHi == nil || p.Queries > dupHi.Queries {
+				dupHi = p
+			}
+		}
+	}
+	var b strings.Builder
+	if mixed1k != nil {
+		b.WriteString(fmt.Sprintf("mixed@1000: %.1fx vs serial interpreted (target >=5x)\n", mixed1k.Speedup))
+	}
+	if dupLo != nil && dupHi != nil && dupLo.Queries > 0 && dupLo.GroupedUS > 0 {
+		countRatio := float64(dupHi.Queries) / float64(dupLo.Queries)
+		timeRatio := dupHi.GroupedUS / dupLo.GroupedUS
+		b.WriteString(fmt.Sprintf(
+			"duplicate sweep cost grows %.1fx across a %.0fx query-count increase (sublinear: %v)\n",
+			timeRatio, countRatio, timeRatio < countRatio))
+	}
+	return b.String()
+}

@@ -100,8 +100,11 @@ func TestBatchIngestEquivalence(t *testing.T) {
 		}
 	}
 
-	// Identical trigger counts: the batch terminal enqueues one trigger
-	// per slide boundary crossed, matching the per-element count.
+	// Identical trigger counts: the batch terminal accounts one trigger
+	// per slide boundary crossed, matching the per-element count. In
+	// sync mode a burst's crossings collapse into one evaluation, so
+	// the batched node reports the surplus as Coalesced and produces
+	// correspondingly fewer (identical-content) outputs.
 	stA, stB := vsA.Stats(), vsB.Stats()
 	if stA.Triggers != stB.Triggers {
 		t.Fatalf("trigger counts diverged: %d vs %d", stA.Triggers, stB.Triggers)
@@ -113,8 +116,15 @@ func TestBatchIngestEquivalence(t *testing.T) {
 		t.Fatalf("errors: per-element %d (%s), batched %d (%s)",
 			stA.Errors, stA.LastError, stB.Errors, stB.LastError)
 	}
-	if stA.Outputs != stB.Outputs {
-		t.Fatalf("output counts diverged: %d vs %d", stA.Outputs, stB.Outputs)
+	if stA.Coalesced != 0 {
+		t.Fatalf("per-element sync path coalesced %d triggers", stA.Coalesced)
+	}
+	if stB.Outputs+stB.Coalesced != stA.Outputs {
+		t.Fatalf("batched outputs %d + coalesced %d != per-element outputs %d",
+			stB.Outputs, stB.Coalesced, stA.Outputs)
+	}
+	if stB.Coalesced == 0 {
+		t.Fatal("multi-crossing bursts coalesced nothing; sync batching exercised nothing")
 	}
 
 	// Identical final aggregate: both windows hold the same elements,

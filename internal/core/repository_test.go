@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/stream"
+)
+
+// deployVals builds a sensor whose output window holds integer source
+// values verbatim — the substrate for the client-query tests. Integer
+// inputs keep float aggregation exact, so the grouped/incremental and
+// serial interpreted paths must agree to the last byte even across
+// window eviction; the output is a count window so aggregate-only
+// client queries qualify for incremental maintenance.
+func deployVals(t testing.TB, c *Container, rows int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vals.csv")
+	data := "v\n"
+	for i := 0; i < rows; i++ {
+		data += fmt.Sprintf("%d\n", (i*37)%101)
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	desc := fmt.Sprintf(`
+<virtual-sensor name="vals">
+  <output-structure>
+    <field name="value" type="integer"/>
+  </output-structure>
+  <storage size="100" />
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="csv">
+        <predicate key="file" val=%q/>
+        <predicate key="types" val="integer"/>
+      </address>
+      <query>select v as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, path)
+	if err := c.DeployXML([]byte(desc)); err != nil {
+		t.Fatalf("DeployXML: %v", err)
+	}
+}
+
+// clientQueryShapes covers every evaluation tier the repository
+// serves: incremental aggregates, compiled plans with WHERE /
+// ORDER BY / LIMIT, and full-engine fallbacks (subquery).
+var clientQueryShapes = []string{
+	"select count(*), avg(value) from vals",                                 // incremental
+	"select count(*) as n, min(value) as lo, max(value) as hi from vals",    // incremental
+	"select value from vals where value > 5",                                // compiled filter
+	"select value, timed from vals where value <= 20 order by value desc",   // compiled sort
+	"select avg(value) from vals where timed > 0",                           // compiled agg+filter
+	"select value from vals order by timed desc limit 3",                    // compiled limit
+	"select value from vals where value > (select avg(value) from vals)",    // fallback subquery
+	"select count(*) from vals where value between -1000 and 1000",          // compiled between
+	"select value * 2 as dbl from vals where value >= -1e12 limit 5",        // compiled expr
+	"select distinct value from vals where value > -1000000 order by value", // compiled distinct
+}
+
+// TestGroupedEvaluationMatchesSerial is the equivalence property test:
+// for every bench query shape the compiled/shared/grouped path must
+// deliver results byte-identical to the seed's per-query interpreted
+// path, trigger after trigger, while the window slides.
+func TestGroupedEvaluationMatchesSerial(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 200)
+
+	type captured struct {
+		mu   sync.Mutex
+		last map[int]string
+	}
+	grouped := &captured{last: make(map[int]string)}
+	serial := &captured{last: make(map[int]string)}
+	record := func(cap *captured, i int) func(*sqlengine.Relation) {
+		return func(rel *sqlengine.Relation) {
+			cap.mu.Lock()
+			cap.last[i] = rel.String()
+			cap.mu.Unlock()
+		}
+	}
+
+	// Two subscribers per shape through the repository under test (so
+	// shapes dedupe into one group with fan-out) …
+	repo := c.QueryRepositoryRef()
+	for i, sql := range clientQueryShapes {
+		if _, err := c.RegisterQuery("vals", sql, 1, record(grouped, i)); err != nil {
+			t.Fatalf("register %q: %v", sql, err)
+		}
+		if _, err := c.RegisterQuery("vals", sql, 1, nil); err != nil {
+			t.Fatalf("register dup %q: %v", sql, err)
+		}
+	}
+	// … and a shadow repository evaluated with the seed's serial
+	// interpreted strategy.
+	shadow := NewQueryRepository(nil)
+	for i, sql := range clientQueryShapes {
+		if _, err := shadow.Register("vals", sql, 1, record(serial, i), nil); err != nil {
+			t.Fatalf("shadow register %q: %v", sql, err)
+		}
+	}
+
+	for pulse := 0; pulse < 150; pulse++ {
+		c.Pulse() // sync mode: the repository sweep runs inline
+		shadow.EvaluateForSerial("vals", c.Catalog(), sqlengine.Options{Clock: c.Clock()})
+		for i, sql := range clientQueryShapes {
+			g, s := grouped.last[i], serial.last[i]
+			if g != s {
+				t.Fatalf("pulse %d, shape %q:\ngrouped:\n%s\nserial:\n%s", pulse, sql, g, s)
+			}
+		}
+	}
+
+	if got := repo.GroupCount("vals"); got != len(clientQueryShapes) {
+		t.Errorf("GroupCount = %d, want %d (duplicates must dedupe)", got, len(clientQueryShapes))
+	}
+	if repo.Count() != 2*len(clientQueryShapes) {
+		t.Errorf("Count = %d, want %d", repo.Count(), 2*len(clientQueryShapes))
+	}
+	for _, st := range repo.Stats() {
+		if st.Errors != 0 {
+			t.Errorf("query %q: %d errors", st.SQL, st.Errors)
+		}
+		if st.Evaluations != 150 {
+			t.Errorf("query %q: %d evaluations, want 150", st.SQL, st.Evaluations)
+		}
+	}
+}
+
+// TestRepositoryConcurrentRegisterUnregister races Register/Unregister
+// against sweeps and the trigger pipeline (run with -race). The sweep
+// goroutines keep going until every mutator has finished, so overlap
+// is guaranteed regardless of scheduling.
+func TestRepositoryConcurrentRegisterUnregister(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 2000)
+	for i := 0; i < 50; i++ {
+		c.Pulse()
+	}
+	repo := c.QueryRepositoryRef()
+
+	var mutators, sweepers sync.WaitGroup
+	var mutatorsDone atomic.Bool
+	var delivered atomic.Int64
+	// One persistent always-sampled subscriber guarantees a delivery on
+	// every sweep regardless of how the mutators schedule.
+	keepID, err := c.RegisterQuery("vals", "select count(*) from vals", 1,
+		func(*sqlengine.Relation) { delivered.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		mutators.Add(1)
+		go func(seed int64) {
+			defer mutators.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ids := make([]int64, 0, 32)
+			for op := 0; op < 400; op++ {
+				if len(ids) < 16 || rng.Intn(2) == 0 {
+					sql := clientQueryShapes[rng.Intn(len(clientQueryShapes))]
+					id, err := c.RegisterQuery("vals", sql, 0.5+rng.Float64()/2,
+						func(*sqlengine.Relation) { delivered.Add(1) })
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ids = append(ids, id)
+				} else {
+					i := rng.Intn(len(ids))
+					if err := repo.Unregister(ids[i]); err != nil {
+						t.Error(err)
+						return
+					}
+					ids = append(ids[:i], ids[i+1:]...)
+				}
+			}
+			for _, id := range ids {
+				if err := repo.Unregister(id); err != nil {
+					t.Error(err)
+				}
+			}
+		}(int64(w + 1))
+	}
+	sweepers.Add(1)
+	go func() {
+		defer sweepers.Done()
+		for i := 0; i < 30 || !mutatorsDone.Load(); i++ {
+			c.Pulse() // sync mode: inline trigger + repository sweep
+		}
+	}()
+	sweepers.Add(1)
+	go func() {
+		defer sweepers.Done()
+		for i := 0; i < 30 || !mutatorsDone.Load(); i++ {
+			repo.EvaluateFor("vals", c.Catalog(), sqlengine.Options{Clock: c.Clock()})
+			repo.Stats()
+		}
+	}()
+	mutators.Wait()
+	mutatorsDone.Store(true)
+	sweepers.Wait()
+
+	if err := repo.Unregister(keepID); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Count() != 0 {
+		t.Errorf("Count = %d after all workers unregistered", repo.Count())
+	}
+	if delivered.Load() == 0 {
+		t.Error("no callback ever fired under the race")
+	}
+}
+
+// TestSweepCompletesWithSaturatedPool pins the no-deadlock property of
+// the fan-out: with every pool worker blocked and the task queue full,
+// EvaluateFor must drain all groups on the calling goroutine and
+// return (completion is tracked per work item, not per helper task).
+func TestSweepCompletesWithSaturatedPool(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	c := testContainer(t)
+	deployVals(t, c, 60)
+	for i := 0; i < 30; i++ {
+		c.Pulse()
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		sql := fmt.Sprintf("select count(*) from vals where value > %d", i)
+		if _, err := c.RegisterQuery("vals", sql, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repo := c.QueryRepositoryRef()
+	release := make(chan struct{})
+	defer close(release)
+	for repo.submit(func() { <-release }) {
+		// Block every worker and fill the queue.
+	}
+	done := make(chan int, 1)
+	go func() { done <- repo.EvaluateFor("vals", c.Catalog(), sqlengine.Options{Clock: c.Clock()}) }()
+	select {
+	case got := <-done:
+		if got != n {
+			t.Errorf("evaluated %d of %d with a saturated pool", got, n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep deadlocked against the saturated pool")
+	}
+}
+
+// TestPanickingCallbackIsolated: one bad subscriber must not take down
+// the sweep or starve other groups.
+func TestPanickingCallbackIsolated(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 30)
+	if _, err := c.RegisterQuery("vals", "select value from vals", 1,
+		func(*sqlengine.Relation) { panic("bad subscriber") }); err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	if _, err := c.RegisterQuery("vals", "select count(*) from vals", 1,
+		func(*sqlengine.Relation) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Pulse()
+	}
+	if delivered.Load() != 5 {
+		t.Errorf("healthy subscriber delivered %d of 5", delivered.Load())
+	}
+	if got := c.Metrics().Counter("client_query_panics").Value(); got != 5 {
+		t.Errorf("client_query_panics = %d, want 5", got)
+	}
+}
+
+// TestSamplingDeterministicAndUniform pins the lock-free sampler: the
+// draw sequence is deterministic per query and lands near the target
+// rate.
+func TestSamplingDeterministicAndUniform(t *testing.T) {
+	q := &ClientQuery{SamplingRate: 0.25, seed: splitmix64(99)}
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		if q.sample() {
+			hits++
+		}
+	}
+	if hits < 850 || hits > 1150 {
+		t.Errorf("sampling 0.25 over 4000 draws admitted %d", hits)
+	}
+	q2 := &ClientQuery{SamplingRate: 0.25, seed: splitmix64(99)}
+	for i := 0; i < 4000; i++ {
+		q2.sample()
+	}
+	if q.draws.Load() != q2.draws.Load() {
+		t.Error("draw sequences diverged for identical seeds")
+	}
+}
+
+// TestUnregisterSensorDetachesObserver: undeploy must drop every group
+// and detach aggregate maintainers from the output table.
+func TestUnregisterSensorDetachesObserver(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 50)
+	for i := 0; i < 3; i++ {
+		if _, err := c.RegisterQuery("vals", "select count(*), avg(value) from vals", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.RegisterQuery("vals", "select count(*) from vals", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Pulse()
+	if n := c.QueryRepositoryRef().UnregisterSensor("vals"); n != 4 {
+		t.Fatalf("UnregisterSensor dropped %d, want 4", n)
+	}
+	if c.QueryRepositoryRef().Count() != 0 {
+		t.Error("queries survived UnregisterSensor")
+	}
+	c.Pulse() // the detached observer must not fire (would panic on nil deref inside stale maintainers only if miswired)
+}
+
+// TestAggregateGroupUsesMaintainer confirms the O(1) tier actually
+// serves aggregate-only client queries (the counter moves), and that
+// its results track the window exactly.
+func TestAggregateGroupUsesMaintainer(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 50)
+	var last atomic.Value
+	if _, err := c.RegisterQuery("vals", "select count(*) as n from vals", 1,
+		func(rel *sqlengine.Relation) { last.Store(rel.Rows[0][0]) }); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Metrics().Counter("client_query_incremental").Value()
+	for i := 1; i <= 20; i++ {
+		c.Pulse()
+		if got := last.Load(); got != int64(i) {
+			t.Fatalf("after %d pulses count = %v", i, got)
+		}
+	}
+	if c.Metrics().Counter("client_query_incremental").Value() != before+20 {
+		t.Errorf("incremental tier served %d of 20 evaluations",
+			c.Metrics().Counter("client_query_incremental").Value()-before)
+	}
+}
+
+func BenchmarkRepositorySweep(b *testing.B) {
+	// Micro-benchmark kept beside the tests: 1000 mixed queries on a
+	// 100-element window, grouped vs serial (see BenchmarkClientQueries
+	// for the acceptance version on a 1000-element window).
+	c, err := New(Options{Name: "bench-repo", Clock: stream.NewManualClock(1), SyncProcessing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	deployVals(b, c, 200)
+	for i := 0; i < 100; i++ {
+		c.Pulse()
+	}
+	for i := 0; i < 1000; i++ {
+		sql := clientQueryShapes[i%len(clientQueryShapes)]
+		if i%2 == 1 {
+			sql = fmt.Sprintf("select count(*) from vals where value > %d", i)
+		}
+		if _, err := c.RegisterQuery("vals", sql, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat := c.Catalog()
+	opts := sqlengine.Options{Clock: c.Clock()}
+	repo := c.QueryRepositoryRef()
+	b.Run("grouped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repo.EvaluateFor("vals", cat, opts)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repo.EvaluateForSerial("vals", cat, opts)
+		}
+	})
+}

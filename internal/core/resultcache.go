@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+
+	"gsn/internal/metrics"
+	"gsn/internal/sqlengine"
+	"gsn/internal/storage"
+)
+
+// resultCache memoises ad-hoc query results keyed by (SQL text, the
+// identity and version of every table the execution read). Window
+// tables carry a monotonic mutation counter (storage.Table.Version), so
+// an entry is valid exactly while every dependency resolves to the
+// same table object at the same version — repeated identical reads
+// between inserts (dashboard refreshes, peer pulls, polling clients)
+// are served without re-execution. Statements that call NOW() are
+// never cached: their results drift with the clock while the windows
+// stand still.
+//
+// Cached relations are shared: every consumer must treat them as
+// read-only, which the web/JSON/CSV serialisers already do.
+type resultCache struct {
+	store  *storage.Store
+	hits   *metrics.Counter
+	misses *metrics.Counter
+
+	mu      sync.Mutex
+	entries map[string]*resultEntry
+	cap     int
+}
+
+// resultCacheCap bounds the entry count; like the statement cache, a
+// full reset on overflow keeps it bounded without LRU bookkeeping.
+const resultCacheCap = 512
+
+type resultEntry struct {
+	rel  *sqlengine.Relation
+	deps []resultDep
+}
+
+// resultDep pins one table read: the entry is valid only while the
+// store still resolves name to the same table object (a drop/redeploy
+// creates a new one) at the same version.
+type resultDep struct {
+	name    string
+	table   *storage.Table
+	version uint64
+}
+
+func newResultCache(store *storage.Store, reg *metrics.Registry) *resultCache {
+	return &resultCache{
+		store:   store,
+		hits:    reg.Counter("result_cache_hits"),
+		misses:  reg.Counter("result_cache_misses"),
+		entries: make(map[string]*resultEntry),
+		cap:     resultCacheCap,
+	}
+}
+
+// recordingCatalog resolves tables against the store while recording
+// each table's identity and version. The version is read before the
+// scan: an insert racing between the two leaves the entry stamped one
+// version behind, which costs a refresh on the next lookup but can
+// never serve rows older than the recorded version.
+type recordingCatalog struct {
+	store *storage.Store
+	deps  []resultDep
+}
+
+func (rc *recordingCatalog) Relation(name string) (*sqlengine.Relation, error) {
+	tab, ok := rc.store.Table(name)
+	if !ok {
+		return nil, &unknownStreamError{name: name}
+	}
+	version := tab.Version()
+	rel := sqlengine.RelationOfSource(tab)
+	rc.deps = append(rc.deps, resultDep{name: tab.Name(), table: tab, version: version})
+	return rel, nil
+}
+
+// unknownStreamError mirrors storeCatalog's error text.
+type unknownStreamError struct{ name string }
+
+func (e *unknownStreamError) Error() string {
+	return "core: unknown stream \"" + e.name + "\""
+}
+
+// Query executes sql, serving from cache when every dependency is
+// unchanged.
+func (c *resultCache) Query(sql string, opts sqlengine.Options) (*sqlengine.Relation, error) {
+	c.mu.Lock()
+	entry := c.entries[sql]
+	c.mu.Unlock()
+	if entry != nil && c.valid(entry) {
+		c.hits.Inc()
+		return entry.rel, nil
+	}
+	c.misses.Inc()
+
+	stmt, err := sqlengine.ParseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	rc := &recordingCatalog{store: c.store}
+	rel, err := sqlengine.Execute(stmt, rc, opts)
+	if err != nil {
+		// Failed executions are not cached: the error may be transient
+		// (a table appearing on deploy).
+		c.invalidate(sql)
+		return nil, err
+	}
+	if sqlengine.Volatile(stmt) {
+		c.invalidate(sql)
+		return rel, nil
+	}
+
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]*resultEntry)
+	}
+	c.entries[sql] = &resultEntry{rel: rel, deps: rc.deps}
+	c.mu.Unlock()
+	return rel, nil
+}
+
+// valid re-checks every dependency against the live store.
+func (c *resultCache) valid(entry *resultEntry) bool {
+	for _, d := range entry.deps {
+		tab, ok := c.store.Table(d.name)
+		if !ok || tab != d.table || tab.Version() != d.version {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *resultCache) invalidate(sql string) {
+	c.mu.Lock()
+	delete(c.entries, sql)
+	c.mu.Unlock()
+}
+
+// Len reports the number of cached results (metrics endpoint).
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// interface check: recordingCatalog is a sqlengine.Catalog.
+var _ sqlengine.Catalog = (*recordingCatalog)(nil)

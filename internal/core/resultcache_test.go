@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+func cacheCounters(c *Container) (hits, misses uint64) {
+	return c.Metrics().Counter("result_cache_hits").Value(),
+		c.Metrics().Counter("result_cache_misses").Value()
+}
+
+// TestResultCacheServesRepeatsAndInvalidatesOnInsert: identical reads
+// between inserts are served from cache; any window mutation
+// invalidates.
+func TestResultCacheServesRepeatsAndInvalidatesOnInsert(t *testing.T) {
+	c := testContainer(t)
+	deploy(t, c, moteAvgDescriptor)
+	for i := 0; i < 5; i++ {
+		c.Pulse()
+	}
+	const sql = `select count(*) as n from "avg-temp"`
+
+	first, err := c.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := cacheCounters(c)
+	again, err := c.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := cacheCounters(c)
+	if misses1 != misses0 || hits1 == 0 {
+		t.Fatalf("repeat read not served from cache (hits=%d misses=%d→%d)", hits1, misses0, misses1)
+	}
+	if again.String() != first.String() {
+		t.Fatalf("cached result diverged:\n%s\nvs\n%s", again, first)
+	}
+
+	c.Pulse() // insert → version bump → entry invalid
+	after, err := c.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.String() == first.String() {
+		t.Fatal("stale result served after insert")
+	}
+	if _, misses2 := cacheCounters(c); misses2 != misses1+1 {
+		t.Fatalf("insert did not invalidate (misses %d → %d)", misses1, misses2)
+	}
+}
+
+// TestResultCacheInvalidation drives the full mutation matrix — insert,
+// window eviction, truncate, drop/recreate — and asserts the cached
+// path stays byte-identical to a direct uncached execution at every
+// step (the equivalence acceptance criterion).
+func TestResultCacheInvalidation(t *testing.T) {
+	c := testContainer(t)
+	schema := stream.MustSchema(stream.Field{Name: "v", Type: stream.TypeInt})
+	table := mustCreateTable(t, c, "t", 3)
+
+	queries := []string{
+		"select * from t",
+		"select count(*) as n, sum(v) as s from t",
+		"select v from t where v > 2 order by v desc",
+	}
+	check := func(step string) {
+		t.Helper()
+		for _, sql := range queries {
+			cached, err := c.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", step, sql, err)
+			}
+			direct, err := sqlengine.ExecuteSQL(sql, c.Catalog(), sqlengine.Options{Clock: c.Clock()})
+			if err != nil {
+				t.Fatalf("%s: direct %q: %v", step, sql, err)
+			}
+			if cached.String() != direct.String() {
+				t.Fatalf("%s: %q diverged:\ncached:\n%s\ndirect:\n%s", step, sql, cached, direct)
+			}
+		}
+	}
+
+	insert := func(v int64) {
+		e, err := stream.NewElement(schema, stream.Timestamp(v), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := table.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check("empty")
+	check("empty-repeat")
+	for v := int64(1); v <= 3; v++ {
+		insert(v)
+		check(fmt.Sprintf("insert-%d", v))
+	}
+	insert(4) // count window 3: evicts v=1
+	check("evict")
+	check("evict-repeat")
+	if err := table.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	check("truncate")
+
+	// Drop and recreate under the same name: the dependency pins table
+	// identity, so a fresh (even version-0) table must not validate old
+	// entries.
+	insert(7)
+	check("pre-drop")
+	if err := c.Store().DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	table = mustCreateTable(t, c, "t", 3)
+	e, err := stream.NewElement(schema, 50, int64(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	check("recreate")
+}
+
+func mustCreateTable(t *testing.T, c *Container, name string, count int) *storage.Table {
+	t.Helper()
+	schema := stream.MustSchema(stream.Field{Name: "v", Type: stream.TypeInt})
+	table, err := c.Store().CreateTable(name, schema, storage.TableOptions{
+		Window: stream.Window{Kind: stream.CountWindow, Count: count},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// TestResultCacheSkipsVolatile: NOW()-dependent statements are never
+// cached (their results drift with the clock while windows stand
+// still).
+func TestResultCacheSkipsVolatile(t *testing.T) {
+	c := testContainer(t)
+	deploy(t, c, moteAvgDescriptor)
+	c.Pulse()
+	const sql = `select count(*) as n from "avg-temp" where timed >= now() - 60000`
+	if _, err := c.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := cacheCounters(c)
+	clock := c.Clock().(*stream.ManualClock)
+	clock.Advance(120 * time.Second) // all rows age out of the predicate
+	rel, err := c.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _ := cacheCounters(c); hits1 != hits0 {
+		t.Fatal("volatile statement served from cache")
+	}
+	if n := rel.Rows[0][0]; n != int64(0) {
+		t.Errorf("aged-out count = %v, want 0", n)
+	}
+}
+
+// TestRegisterQueryCompilesAgainstOutputSchema pins the deploy-time
+// compile contract at the container level.
+func TestRegisterQueryCompilesAgainstOutputSchema(t *testing.T) {
+	c := testContainer(t)
+	deploy(t, c, moteAvgDescriptor)
+	if _, err := c.RegisterQuery("avg-temp",
+		"select nonexistent from \"avg-temp\"", 1, nil); err != nil {
+		// Unknown columns surface at evaluation (seed semantics), not
+		// registration — registration only parses.
+		t.Fatalf("register: %v", err)
+	}
+	c.Pulse()
+	stats := c.QueryRepositoryRef().Stats()
+	if len(stats) != 1 || stats[0].Errors == 0 {
+		t.Fatalf("bad-column query stats = %+v", stats)
+	}
+}

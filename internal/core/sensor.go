@@ -297,10 +297,12 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 		}
 	}
 	// The batch terminal lands a whole burst with one InsertBatch (one
-	// table lock, one WAL group append) and enqueues one trigger per
+	// table lock, one WAL group append) and accounts one trigger per
 	// slide boundary the burst crosses — the same count the per-element
-	// path would produce, and PR 1's coalescing collapses them into a
-	// single evaluation covering the burst.
+	// path would produce. Async mode relies on PR 1's coalescing to
+	// collapse them into one evaluation; sync mode collapses them here
+	// (enqueueCoalesced), so a burst costs one evaluation covering its
+	// full window in either mode.
 	terminalBatch := func(batch []stream.Element) {
 		if len(batch) == 0 {
 			return
@@ -313,9 +315,7 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 		n := uint64(len(batch))
 		total := src.arrivals.Add(n)
 		slide := uint64(src.slide)
-		for i := total/slide - (total-n)/slide; i > 0; i-- {
-			vs.enqueue(trigger{stream: in})
-		}
+		vs.enqueueCoalesced(trigger{stream: in}, int(total/slide-(total-n)/slide))
 	}
 	src.buffer = quality.NewDisconnectBuffer(spec.DisconnectBuffer, terminal)
 	src.buffer.SetBatchSink(terminalBatch)
@@ -419,6 +419,29 @@ func (vs *VirtualSensor) enqueue(tr trigger) {
 	}
 }
 
+// enqueueCoalesced accounts n slide crossings from one burst. In
+// synchronous mode the burst evaluates once — the single evaluation
+// sees the whole burst in the window, exactly what async coalescing
+// converges to — with the collapsed triggers counted in
+// SensorStats.Coalesced. Async mode enqueues each trigger and lets the
+// queued-flag coalescing collapse them.
+func (vs *VirtualSensor) enqueueCoalesced(tr trigger, n int) {
+	if n <= 0 {
+		return
+	}
+	if vs.container.opts.SyncProcessing && n > 1 {
+		vs.statTriggers.Add(uint64(n))
+		vs.statCoalesced.Add(uint64(n - 1))
+		vs.container.metrics.Counter("triggers_coalesced").Add(uint64(n - 1))
+		tr.enqueued = time.Now()
+		vs.process(tr)
+		return
+	}
+	for i := 0; i < n; i++ {
+		vs.enqueue(tr)
+	}
+}
+
 // start launches the worker pool and the wrappers.
 func (vs *VirtualSensor) start() error {
 	if !vs.container.opts.SyncProcessing {
@@ -519,12 +542,15 @@ func (vs *VirtualSensor) process(tr trigger) {
 		vs.statOutputs.Add(1)
 		c.notifier.Publish(vs.name, e)
 	}
+	// The client-query sweep (repository layer) observes its own wall
+	// time into client_query_time. Async mode schedules it on the
+	// repository's pool with per-sensor coalescing, so a burst of
+	// outputs costs one sweep and never blocks this trigger worker.
 	if len(elems) > 0 {
-		cat := c.Catalog()
-		clientStart := time.Now()
-		n := c.queries.EvaluateFor(vs.name, cat, c.engineOpts())
-		if n > 0 {
-			c.metrics.Histogram("client_query_time").Observe(time.Since(clientStart))
+		if c.opts.SyncProcessing {
+			c.queries.EvaluateFor(vs.name, c.Catalog(), c.engineOpts())
+		} else {
+			c.queries.ScheduleSweep(vs.name, c.Catalog(), c.engineOpts())
 		}
 	}
 

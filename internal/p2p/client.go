@@ -124,6 +124,15 @@ func (c *Client) Fetch(vs string, since stream.Timestamp, wait time.Duration) ([
 	return out, schema, nil
 }
 
+// Query runs a one-shot SQL query on the peer (served from the peer's
+// result cache when its windows are unchanged). JSON flattens numeric
+// types; use Fetch for the typed element stream.
+func (c *Client) Query(sql string) (QueryResult, error) {
+	var out QueryResult
+	err := c.getJSON("/p2p/query?sql="+url.QueryEscape(sql), &out)
+	return out, err
+}
+
 // DirectorySnapshot fetches the peer's directory entries.
 func (c *Client) DirectorySnapshot() ([]directory.Entry, error) {
 	var out []directory.Entry

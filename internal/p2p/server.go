@@ -54,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /p2p/sensors", s.handleSensors)
 	mux.HandleFunc("GET /p2p/schema", s.handleSchema)
 	mux.HandleFunc("GET /p2p/stream", s.handleStream)
+	mux.HandleFunc("GET /p2p/query", s.handleQuery)
 	mux.HandleFunc("GET /p2p/directory", s.handleDirectory)
 	mux.HandleFunc("POST /p2p/directory/merge", s.handleDirectoryMerge)
 	return mux
@@ -182,6 +183,38 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(signatureHeader, sig.MAC)
 	}
 	w.Write(body.Bytes())
+}
+
+// QueryResult is the JSON shape of a peer query response. Byte
+// payloads ride as base64 (encoding/json's []byte default); numeric
+// types flatten to JSON numbers, so the endpoint serves dashboards and
+// federation probes, not the typed element stream (use /p2p/stream for
+// that).
+type QueryResult struct {
+	Columns []string         `json:"columns"`
+	Rows    [][]stream.Value `json:"rows"`
+}
+
+// handleQuery runs a one-shot SQL query over the node's stored streams
+// on behalf of a peer. It goes through the container's version-stamped
+// result cache, so repeated identical pulls between inserts cost one
+// map lookup.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		http.Error(w, "missing sql parameter", http.StatusBadRequest)
+		return
+	}
+	rel, err := s.container.Query(sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := QueryResult{Columns: rel.Names(), Rows: rel.Rows}
+	if out.Rows == nil {
+		out.Rows = [][]stream.Value{}
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gsn/internal/sqlparser"
 	"gsn/internal/stream"
@@ -56,6 +57,9 @@ type StatementCache struct {
 	mu  sync.Mutex
 	m   map[string]*sqlparser.SelectStatement
 	cap int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewStatementCache creates a cache bounded to capacity entries.
@@ -71,9 +75,11 @@ func (c *StatementCache) Get(sql string) (*sqlparser.SelectStatement, error) {
 	c.mu.Lock()
 	if stmt, ok := c.m[sql]; ok {
 		c.mu.Unlock()
+		c.hits.Add(1)
 		return stmt, nil
 	}
 	c.mu.Unlock()
+	c.misses.Add(1)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -96,7 +102,32 @@ func (c *StatementCache) Len() int {
 	return len(c.m)
 }
 
+// StatementCacheStats reports a cache's hit/miss counters and size.
+type StatementCacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
+// Stats snapshots the cache counters.
+func (c *StatementCache) Stats() StatementCacheStats {
+	return StatementCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: c.Len()}
+}
+
 var defaultStmtCache = NewStatementCache(4096)
+
+// ParseCached parses sql through the shared statement cache (the same
+// cache ExecuteSQL uses), so callers that need the AST — volatility
+// checks, compilation — pay for parsing once per distinct text.
+func ParseCached(sql string) (*sqlparser.SelectStatement, error) {
+	return defaultStmtCache.Get(sql)
+}
+
+// DefaultStatementCacheStats reports the shared statement cache's
+// counters for the metrics endpoint.
+func DefaultStatementCacheStats() StatementCacheStats {
+	return defaultStmtCache.Stats()
+}
 
 // execSelect runs a (possibly compound) statement.
 func (ev *evaluator) execSelect(stmt *sqlparser.SelectStatement, outer *scope) (*Relation, error) {

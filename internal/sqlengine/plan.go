@@ -26,6 +26,11 @@ type Plan struct {
 	// inc is the incremental aggregate program when the statement is an
 	// aggregate-only projection; nil otherwise.
 	inc []IncAggSpec
+
+	// prog is the bound (column-index-resolved) execution program when
+	// the statement is inside the compiled subset; nil falls back to
+	// the interpreted evaluator. See compiled.go.
+	prog *boundProgram
 }
 
 // IncAggKind enumerates the aggregates the incremental maintainer can
@@ -107,6 +112,7 @@ func Compile(stmt *sqlparser.SelectStatement, cols []Column, tables ...string) (
 	}
 	p := &Plan{sp: sp, inCols: inCols, bareCols: cols, names: canonical}
 	p.inc = incrementalProgram(sp, inCols)
+	p.prog = newBoundProgram(sp, inCols)
 	return p, nil
 }
 
@@ -266,6 +272,11 @@ func (p *Plan) Execute(rows [][]stream.Value, opts Options) (*Relation, error) {
 	}
 	if opts.MaxRows <= 0 {
 		opts.MaxRows = defaultMaxRows
+	}
+	// Compiled subset: run the bound program (no name resolution, no
+	// scope allocation, no per-call planning).
+	if p.prog != nil {
+		return p.prog.run(p, rows, opts)
 	}
 	// Subqueries in expression position resolve the base tables through
 	// the catalog, so rebind them to the same live rows.

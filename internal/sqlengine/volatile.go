@@ -1,0 +1,120 @@
+package sqlengine
+
+import (
+	"gsn/internal/sqlparser"
+	"gsn/internal/stream"
+)
+
+// Volatile reports whether a statement's result can change without any
+// referenced table changing — today that means it calls NOW() anywhere
+// (including subqueries and derived tables). Result caches must not
+// serve such statements from unchanged-table entries: a temporal
+// predicate like "timed >= now() - 5000" drifts as the clock advances
+// even while the windows stand still.
+func Volatile(stmt *sqlparser.SelectStatement) bool {
+	for s := stmt; s != nil; {
+		if volatileCore(s) {
+			return true
+		}
+		if s.Compound == nil {
+			return false
+		}
+		s = s.Compound.Right
+	}
+	return false
+}
+
+func volatileCore(s *sqlparser.SelectStatement) bool {
+	for _, c := range s.Columns {
+		if !c.Star && volatileExpr(c.Expr) {
+			return true
+		}
+	}
+	for _, f := range s.From {
+		if volatileTableRef(f) {
+			return true
+		}
+	}
+	if volatileExpr(s.Where) || volatileExpr(s.Having) ||
+		volatileExpr(s.Limit) || volatileExpr(s.Offset) {
+		return true
+	}
+	for _, g := range s.GroupBy {
+		if volatileExpr(g) {
+			return true
+		}
+	}
+	for _, o := range s.OrderBy {
+		if volatileExpr(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func volatileTableRef(ref sqlparser.TableRef) bool {
+	switch t := ref.(type) {
+	case *sqlparser.SubqueryRef:
+		return Volatile(t.Select)
+	case *sqlparser.JoinRef:
+		return volatileTableRef(t.Left) || volatileTableRef(t.Right) || volatileExpr(t.On)
+	}
+	return false
+}
+
+func volatileExpr(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *sqlparser.FuncCall:
+		if stream.CanonicalName(x.Name) == "NOW" {
+			return true
+		}
+		for _, a := range x.Args {
+			if volatileExpr(a) {
+				return true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		return volatileExpr(x.L) || volatileExpr(x.R)
+	case *sqlparser.UnaryExpr:
+		return volatileExpr(x.X)
+	case *sqlparser.BetweenExpr:
+		return volatileExpr(x.X) || volatileExpr(x.Lo) || volatileExpr(x.Hi)
+	case *sqlparser.LikeExpr:
+		return volatileExpr(x.X) || volatileExpr(x.Pattern)
+	case *sqlparser.IsNullExpr:
+		return volatileExpr(x.X)
+	case *sqlparser.InExpr:
+		if volatileExpr(x.X) {
+			return true
+		}
+		if x.Select != nil && Volatile(x.Select) {
+			return true
+		}
+		for _, it := range x.List {
+			if volatileExpr(it) {
+				return true
+			}
+		}
+	case *sqlparser.CaseExpr:
+		if x.Operand != nil && volatileExpr(x.Operand) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if volatileExpr(w.Cond) || volatileExpr(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return volatileExpr(x.Else)
+		}
+	case *sqlparser.CastExpr:
+		return volatileExpr(x.X)
+	case *sqlparser.Subquery:
+		return Volatile(x.Select)
+	case *sqlparser.ExistsExpr:
+		return Volatile(x.Select)
+	}
+	return false
+}

@@ -100,6 +100,12 @@ type Table struct {
 	log      *Log
 	observer Observer
 
+	// version counts window mutations (insert, evict, truncate, bulk
+	// load). Two equal Version() reads bracket an unchanged window, so
+	// query-result caches can validate entries without rescanning.
+	// Written under mu, read under at least the shared lock.
+	version uint64
+
 	// logErrors is atomic: background WAL flush failures are counted
 	// from the flusher goroutine without the table lock.
 	logErrors  atomic.Uint64
@@ -217,6 +223,7 @@ func (t *Table) InsertBatch(elems []stream.Element) error {
 func (t *Table) insertLocked(e stream.Element) {
 	t.elems = append(t.elems, e)
 	t.inserted++
+	t.version++
 	t.bytes += e.Size()
 	if t.observer != nil {
 		t.observer.OnInsert(e)
@@ -252,6 +259,7 @@ func (t *Table) evictLocked() {
 func (t *Table) liveLenLocked() int { return len(t.elems) - t.head }
 
 func (t *Table) dropHeadLocked() {
+	t.version++
 	t.bytes -= t.elems[t.head].Size()
 	if t.observer != nil {
 		t.observer.OnEvict(t.elems[t.head])
@@ -340,6 +348,16 @@ func (t *Table) WithLock(fn func()) {
 	fn()
 }
 
+// Version returns the window mutation counter, applying any due
+// time-window retention first so a pending expiry can never hide
+// behind an unchanged number. Result caches key on it: two reads
+// returning the same value bracket an identical window.
+func (t *Table) Version() uint64 {
+	var v uint64
+	t.readLocked(func() { v = t.version })
+	return v
+}
+
 // Last returns up to n most recent elements in arrival order.
 func (t *Table) Last(n int) []stream.Element {
 	if n <= 0 {
@@ -399,6 +417,7 @@ func (t *Table) Truncate() error {
 	t.elems = nil
 	t.head = 0
 	t.bytes = 0
+	t.version++
 	if t.observer != nil {
 		t.observer.OnTruncate()
 	}
@@ -454,6 +473,7 @@ func (t *Table) bulkLoad(elems []stream.Element) {
 	for _, e := range elems {
 		t.elems = append(t.elems, e)
 		t.inserted++
+		t.version++
 		t.bytes += e.Size()
 		if t.observer != nil {
 			t.observer.OnInsert(e)

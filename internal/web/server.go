@@ -183,6 +183,10 @@ func (s *Server) handleSensorData(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	// Last(limit) touches only the requested tail — O(limit) per
+	// request regardless of the window size — where a full
+	// RelationOfSource scan would materialise the whole window to
+	// serve its last 20 rows.
 	elems := vs.Output().Last(limit)
 	rel := sqlengine.RelationOfElements(vs.OutputSchema(), elems)
 	writeJSON(w, rowsJSON(rel))
@@ -190,24 +194,28 @@ func (s *Server) handleSensorData(w http.ResponseWriter, r *http.Request) {
 
 // handleSensorCSV exports a sensor's window as CSV for external
 // plotting tools (the paper's visualization story); byte payloads
-// export as their length.
+// export as their length. The window is materialised once through the
+// zero-copy RelationOfSource scan (no element copy, one critical
+// section) and rows stream through the CSV writer outside any table
+// lock, so a slow client never stalls ingestion.
 func (s *Server) handleSensorCSV(w http.ResponseWriter, r *http.Request) {
 	vs, ok := s.container.Sensor(strings.TrimSuffix(r.PathValue("name"), ".csv"))
 	if !ok {
 		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
 		return
 	}
-	elems := vs.Output().Snapshot()
-	schema := vs.OutputSchema()
+	rel := sqlengine.RelationOfSource(vs.Output())
 	w.Header().Set("Content-Type", "text/csv")
 	cw := csv.NewWriter(w)
-	header := append([]string{"timed"}, schemaNames(schema)...)
+	header := append([]string{"timed"}, schemaNames(vs.OutputSchema())...)
 	cw.Write(header)
-	for _, e := range elems {
-		row := make([]string, 0, schema.Len()+1)
-		row = append(row, strconv.FormatInt(int64(e.Timestamp()), 10))
-		for i := 0; i < e.Len(); i++ {
-			row = append(row, stream.FormatValue(e.Value(i)))
+	timedIdx := len(rel.Cols) - 1 // RelationOfSource appends TIMED last
+	row := make([]string, 0, len(rel.Cols))
+	for _, vals := range rel.Rows {
+		row = row[:0]
+		row = append(row, stream.FormatValue(vals[timedIdx]))
+		for _, v := range vals[:timedIdx] {
+			row = append(row, stream.FormatValue(v))
 		}
 		cw.Write(row)
 	}
@@ -268,7 +276,7 @@ func (s *Server) handleUndeploy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.container.Metrics().Snapshot())
+	writeJSON(w, s.container.MetricsSnapshot())
 }
 
 func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
