@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke ci
+.PHONY: all build vet test race bench benchsmoke examples-smoke ci
 
 all: ci
 
@@ -34,11 +34,21 @@ bench-queries:
 
 # benchsmoke compiles and runs every benchmark once and sweeps the
 # gsn-bench experiments in quick mode, so perf-harness rot is caught on
-# every PR without paying for full measurement runs.
+# every PR without paying for full measurement runs. -cpu 1,4 and the
+# GOMAXPROCS pair exercise the worker-pool multi-core paths alongside
+# the single-core ones.
 benchsmoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
+	$(GO) test -run xxx -bench . -benchtime 1x -cpu 1,4 ./...
+	GOMAXPROCS=1 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
+	GOMAXPROCS=4 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
 	$(GO) run ./cmd/gsn-bench -experiment all -quick -out ""
 
+# examples-smoke runs the self-terminating examples end to end (a
+# deterministic composition pipeline and the real-time quickstart), so
+# the public API surface they exercise cannot rot silently.
+examples-smoke:
+	timeout 120 $(GO) run ./examples/layered
+	timeout 120 $(GO) run ./examples/quickstart
+
 # ci is the tier-1 gate: everything a fresh clone must pass.
-ci: vet build race benchsmoke
+ci: vet build race benchsmoke examples-smoke

@@ -11,6 +11,7 @@
 //	gsn-bench -experiment ablation
 //	gsn-bench -experiment ingest
 //	gsn-bench -experiment queries
+//	gsn-bench -experiment cascade
 //	gsn-bench -experiment all
 package main
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, cascade, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -115,6 +116,23 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.ShapeReport())
 		return writeCSV(*outDir, "queries.csv", res.CSV())
+	})
+
+	run("cascade", func() error {
+		cfg := bench.DefaultCascade()
+		if *quick {
+			cfg.Tiers = []int{1, 2, 4}
+			cfg.Elements = 500
+		}
+		res, err := bench.RunCascade(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		fmt.Println()
+		fmt.Print(res.ShapeReport())
+		return writeCSV(*outDir, "cascade.csv", res.CSV())
 	})
 
 	run("ingest", func() error {

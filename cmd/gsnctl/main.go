@@ -11,7 +11,8 @@
 //	gsnctl data SENSOR [LIMIT]
 //	gsnctl query "select avg(temperature) from temps"
 //	gsnctl deploy descriptor.xml
-//	gsnctl remove SENSOR
+//	gsnctl remove SENSOR [-cascade]
+//	gsnctl graph
 //	gsnctl watch SENSOR
 //	gsnctl directory
 //	gsnctl metrics
@@ -66,7 +67,9 @@ func main() {
 	case "deploy":
 		err = c.deploy(arg(args, 1))
 	case "remove":
-		err = c.remove(arg(args, 1))
+		err = c.remove(arg(args, 1), len(args) > 2 && args[2] == "-cascade")
+	case "graph":
+		err = c.getPretty("/api/graph")
 	case "watch":
 		err = c.watch(arg(args, 1))
 	case "directory":
@@ -92,7 +95,8 @@ func arg(args []string, i int) string {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gsnctl [-server URL] [-apikey KEY] COMMAND [ARG]
 commands: list · info SENSOR · data SENSOR [LIMIT] · query SQL ·
-          deploy FILE · remove SENSOR · watch SENSOR · directory · metrics`)
+          deploy FILE · remove SENSOR [-cascade] · graph · watch SENSOR ·
+          directory · metrics`)
 	os.Exit(2)
 }
 
@@ -225,13 +229,17 @@ func (c *client) deploy(file string) error {
 	return nil
 }
 
-func (c *client) remove(name string) error {
-	resp, err := c.do(http.MethodDelete, "/api/sensors/"+name, nil, "")
+func (c *client) remove(name string, cascade bool) error {
+	path := "/api/sensors/" + name
+	if cascade {
+		path += "?cascade=1"
+	}
+	resp, err := c.do(http.MethodDelete, path, nil, "")
 	if err != nil {
 		return err
 	}
+	io.Copy(os.Stdout, resp.Body)
 	resp.Body.Close()
-	fmt.Println("removed", name)
 	return nil
 }
 

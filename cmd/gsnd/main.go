@@ -117,14 +117,30 @@ func main() {
 }
 
 // watchConfDir polls the descriptor directory and hot-(re|un)deploys on
-// changes — the demonstration scenario of the paper's §6.
+// changes — the demonstration scenario of the paper's §6. Changed files
+// within one tick are parsed together and (re)deployed in topological
+// dependency order, so dropping a multi-file composition graph into the
+// directory brings it up in one pass. A file that fails to parse or
+// deploy is counted on the watcher_errors metric and remembered at its
+// failing mtime: it is logged once and retried only when the file
+// changes again, not on every tick.
 func watchConfDir(node *gsn.Node, dir string, interval time.Duration, logger *log.Logger) {
 	type state struct {
 		modTime time.Time
-		sensor  string
+		sensor  string // deployed sensor name ("" after a failed attempt)
+		failed  bool
 	}
+	watcherErrors := node.Container().Metrics().Counter("watcher_errors")
 	known := map[string]state{}
-	// Seed from the initial deployment.
+	// Seed from the initial deployment — but only record a file as
+	// deployed if its sensor actually is (a failed DeployDir leaves
+	// files undeployed; seeding them at their mtime would skip them
+	// forever). Undeployed files get a zero mtime so the first tick
+	// retries them as one topologically ordered batch.
+	deployedNow := map[string]bool{}
+	for _, name := range node.SensorNames() {
+		deployedNow[strings.ToUpper(name)] = true
+	}
 	if entries, err := os.ReadDir(dir); err == nil {
 		for _, e := range entries {
 			if filepath.Ext(e.Name()) != ".xml" {
@@ -135,7 +151,11 @@ func watchConfDir(node *gsn.Node, dir string, interval time.Duration, logger *lo
 				continue
 			}
 			if d, err := parseDescriptorFile(filepath.Join(dir, e.Name())); err == nil {
-				known[e.Name()] = state{modTime: info.ModTime(), sensor: d.Name}
+				if deployedNow[strings.ToUpper(d.Name)] {
+					known[e.Name()] = state{modTime: info.ModTime(), sensor: d.Name}
+				} else {
+					known[e.Name()] = state{failed: true} // zero mtime: retry on first tick
+				}
 			}
 		}
 	}
@@ -144,6 +164,12 @@ func watchConfDir(node *gsn.Node, dir string, interval time.Duration, logger *lo
 		if err != nil {
 			continue
 		}
+		type changed struct {
+			file    string
+			modTime time.Time
+			desc    *gsn.Descriptor
+		}
+		var batch []changed
 		seen := map[string]bool{}
 		for _, e := range entries {
 			if filepath.Ext(e.Name()) != ".xml" {
@@ -156,29 +182,100 @@ func watchConfDir(node *gsn.Node, dir string, interval time.Duration, logger *lo
 			}
 			prev, ok := known[e.Name()]
 			if ok && !info.ModTime().After(prev.modTime) {
-				continue
+				continue // unchanged since the last (possibly failed) attempt
 			}
 			path := filepath.Join(dir, e.Name())
 			d, err := parseDescriptorFile(path)
 			if err != nil {
-				logger.Printf("gsnd: %s: %v", e.Name(), err)
+				watcherErrors.Inc()
+				logger.Printf("gsnd: %s: %v (will retry when the file changes)", e.Name(), err)
+				known[e.Name()] = state{modTime: info.ModTime(), sensor: prev.sensor, failed: true}
 				continue
 			}
-			if err := node.Redeploy(d); err != nil {
-				logger.Printf("gsnd: redeploy %s: %v", d.Name, err)
-				continue
-			}
-			logger.Printf("gsnd: hot-deployed %s from %s", d.Name, e.Name())
-			known[e.Name()] = state{modTime: info.ModTime(), sensor: d.Name}
+			batch = append(batch, changed{file: e.Name(), modTime: info.ModTime(), desc: d})
 		}
+		// Topologically order this tick's batch so a multi-file graph
+		// deploys upstream-first regardless of directory order. An
+		// unsortable batch (cycle, duplicate name) falls back to the
+		// original file order so its valid members still deploy; the
+		// offending descriptors fail individually below.
+		if descs := make([]*gsn.Descriptor, len(batch)); len(batch) > 0 {
+			for i := range batch {
+				descs[i] = batch[i].desc
+			}
+			if ordered, err := gsn.SortDescriptors(descs); err != nil {
+				watcherErrors.Inc()
+				logger.Printf("gsnd: %v (deploying this tick's files in name order)", err)
+			} else {
+				byName := map[string]changed{}
+				for _, ch := range batch {
+					byName[ch.desc.Name] = ch
+				}
+				batch = batch[:0]
+				for _, d := range ordered {
+					batch = append(batch, byName[d.Name])
+				}
+			}
+		}
+		anyDeployed := false
+		for _, ch := range batch {
+			if err := node.Redeploy(ch.desc); err != nil {
+				watcherErrors.Inc()
+				logger.Printf("gsnd: redeploy %s: %v (will retry when the file changes)", ch.desc.Name, err)
+				prev := known[ch.file]
+				known[ch.file] = state{modTime: ch.modTime, sensor: prev.sensor, failed: true}
+				continue
+			}
+			anyDeployed = true
+			logger.Printf("gsnd: hot-deployed %s from %s", ch.desc.Name, ch.file)
+			known[ch.file] = state{modTime: ch.modTime, sensor: ch.desc.Name}
+		}
+		if anyDeployed {
+			// A successful deploy is exactly the event that can unblock a
+			// previously failed file (e.g. a dangling local dependency
+			// whose upstream just arrived): re-arm failed entries for one
+			// more attempt next tick.
+			for file, st := range known {
+				if st.failed {
+					st.modTime = time.Time{}
+					known[file] = st
+				}
+			}
+		}
+		var removed []string
 		for file, st := range known {
 			if !seen[file] {
-				if err := node.Undeploy(st.sensor); err != nil {
-					logger.Printf("gsnd: undeploy %s: %v", st.sensor, err)
-				} else {
-					logger.Printf("gsnd: undeployed %s (descriptor %s removed)", st.sensor, file)
+				if st.sensor != "" {
+					removed = append(removed, st.sensor)
 				}
 				delete(known, file)
+			}
+		}
+		gone := map[string]bool{}
+		for _, sensor := range removed {
+			if gone[strings.ToUpper(sensor)] {
+				continue // already taken down by an earlier cascade this tick
+			}
+			// Deleting an upstream's file cascades through its local
+			// dependents (they cannot run without it); dependents whose
+			// own descriptor files still exist are re-armed below so the
+			// next tick redeploys them once their upstream returns — or
+			// surfaces their dangling dependency as a watcher error.
+			victims, err := node.UndeployCascade(sensor)
+			if err != nil {
+				watcherErrors.Inc()
+				logger.Printf("gsnd: undeploy %s: %v", sensor, err)
+				continue
+			}
+			logger.Printf("gsnd: undeployed %s (descriptor removed; cascade: %v)", sensor, victims)
+			for _, v := range victims {
+				gone[strings.ToUpper(v)] = true
+				for file, st := range known {
+					if strings.EqualFold(st.sensor, v) {
+						st.modTime = time.Time{} // force a redeploy attempt next tick
+						known[file] = st
+					}
+				}
 			}
 		}
 	}

@@ -74,6 +74,13 @@ func NewManualClock(start Timestamp) *ManualClock { return stream.NewManualClock
 // ParseDescriptor parses and validates descriptor XML.
 func ParseDescriptor(data []byte) (*Descriptor, error) { return vsensor.Parse(data) }
 
+// SortDescriptors topologically orders descriptors by their local
+// composition dependencies (upstream first; ties by priority then
+// input order). A dependency cycle within the batch is an error.
+func SortDescriptors(descs []*Descriptor) ([]*Descriptor, error) {
+	return core.SortDescriptors(descs)
+}
+
 // NodeOptions configures a Node.
 type NodeOptions struct {
 	// Name identifies the node (default "gsn-node").
@@ -166,11 +173,13 @@ func (n *Node) DeployFile(path string) error {
 	return n.container.Deploy(d)
 }
 
-// DeployDir deploys every *.xml descriptor in a directory. Descriptors
-// deploy in priority order (the descriptor's priority attribute,
-// highest first; ties by file name) so high-priority sensors come
-// online before the sensors that may feed off them. It returns the
-// deployed sensor names in deployment order.
+// DeployDir deploys every *.xml descriptor in a directory as one
+// batch: descriptors are topologically ordered by their local
+// composition dependencies (upstream sensors first), with priority
+// (highest first, ties by file name) breaking ties among independent
+// sensors — so a multi-file derivation graph comes up in one pass
+// regardless of file naming. It returns the deployed sensor names in
+// deployment order.
 func (n *Node) DeployDir(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -197,21 +206,51 @@ func (n *Node) DeployDir(dir string) ([]string, error) {
 		}
 		return all[i].file < all[j].file
 	})
+	descs := make([]*Descriptor, len(all))
+	fileOf := make(map[*Descriptor]string, len(all))
+	for i, p := range all {
+		descs[i] = p.desc
+		fileOf[p.desc] = p.file
+	}
+	ordered, err := core.SortDescriptors(descs)
+	if err != nil {
+		return nil, err
+	}
 	var deployed []string
-	for _, p := range all {
-		if err := n.container.Deploy(p.desc); err != nil {
-			return deployed, fmt.Errorf("%s: %w", p.file, err)
+	for _, d := range ordered {
+		if err := n.container.Deploy(d); err != nil {
+			return deployed, fmt.Errorf("%s: %w", fileOf[d], err)
 		}
-		deployed = append(deployed, p.desc.Name)
+		deployed = append(deployed, d.Name)
 	}
 	return deployed, nil
 }
 
-// Redeploy replaces a running sensor's configuration on the fly.
+// DeployAll deploys a batch of descriptors in topological dependency
+// order (see Container.DeployAll).
+func (n *Node) DeployAll(descs []*Descriptor) ([]string, error) {
+	return n.container.DeployAll(descs)
+}
+
+// Redeploy replaces a running sensor's configuration on the fly. When
+// the output schema and storage policy are unchanged the swap preserves
+// state: output rows, registered client queries, subscriptions and
+// downstream local consumers all survive.
 func (n *Node) Redeploy(d *Descriptor) error { return n.container.Redeploy(d) }
 
-// Undeploy removes a virtual sensor.
+// Undeploy removes a virtual sensor. It refuses while other sensors
+// consume its output through local sources (see UndeployCascade).
 func (n *Node) Undeploy(name string) error { return n.container.Undeploy(name) }
+
+// UndeployCascade removes a virtual sensor and every sensor that
+// transitively consumes its output, most-downstream first.
+func (n *Node) UndeployCascade(name string) ([]string, error) {
+	return n.container.UndeployCascade(name)
+}
+
+// Graph returns the local composition dependency graph: each deployed
+// sensor mapped to the upstream sensors its local sources consume.
+func (n *Node) Graph() map[string][]string { return n.container.Graph() }
 
 // SensorNames lists deployed sensors.
 func (n *Node) SensorNames() []string {

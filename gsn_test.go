@@ -309,3 +309,47 @@ func TestNodeDeployDirPriorityOrder(t *testing.T) {
 		t.Errorf("deploy order = %v", deployed)
 	}
 }
+
+// TestNodeDeployDirTopological: a directory whose file names sort the
+// composition graph leaf-first still comes up in one pass — the batch
+// is topologically ordered by local dependencies.
+func TestNodeDeployDirTopological(t *testing.T) {
+	dir := t.TempDir()
+	downstream := `
+<virtual-sensor name="derived">
+  <output-structure><field name="tick" type="integer"/></output-structure>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="local"><predicate key="sensor" val="quick"/></address>
+      <query>select tick + 1 as tick from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`
+	// "a-" sorts before "z-": the dependent's file comes first.
+	os.WriteFile(filepath.Join(dir, "a-derived.xml"), []byte(downstream), 0o644)
+	os.WriteFile(filepath.Join(dir, "z-quick.xml"), []byte(facadeDescriptor), 0o644)
+
+	node := newTestNode(t)
+	deployed, err := node.DeployDir(dir)
+	if err != nil {
+		t.Fatalf("DeployDir: %v", err)
+	}
+	if len(deployed) != 2 || deployed[0] != "quick" || deployed[1] != "derived" {
+		t.Fatalf("deploy order = %v", deployed)
+	}
+	node.Pulse()
+	st, err := node.SensorStats("derived")
+	if err != nil || st.Outputs != 1 {
+		t.Errorf("derived stats = %+v, %v", st, err)
+	}
+	if g := node.Graph(); len(g["DERIVED"]) != 1 || g["DERIVED"][0] != "QUICK" {
+		t.Errorf("graph = %v", g)
+	}
+	if _, err := node.UndeployCascade("quick"); err != nil {
+		t.Fatalf("UndeployCascade: %v", err)
+	}
+	if names := node.SensorNames(); len(names) != 0 {
+		t.Errorf("sensors remain: %v", names)
+	}
+}

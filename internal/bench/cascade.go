@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"gsn/internal/core"
+	"gsn/internal/stream"
+)
+
+// CascadeConfig parameterises the composition experiment: end-to-end
+// propagation latency and throughput through chains of local-composed
+// virtual sensors (the multi-tier derivation graphs of rule-based
+// layered sensing). Tier 0 is a physical (timer) source; every further
+// tier is a local source consuming the previous tier's output, so an
+// element injected at the root crosses N quality chains, N window
+// tables and N trigger evaluations before it reaches the last output.
+type CascadeConfig struct {
+	// Tiers is the x-axis: chain depths to measure (1 = no composition,
+	// just the root sensor).
+	Tiers []int
+	// Elements is the number of root injections timed per depth.
+	Elements int
+	// Batch additionally measures burst propagation with this many
+	// elements per PulseBatch (0 disables the throughput half).
+	Batch int
+}
+
+// DefaultCascade returns the full sweep.
+func DefaultCascade() CascadeConfig {
+	return CascadeConfig{Tiers: []int{1, 2, 4, 8}, Elements: 5_000, Batch: 64}
+}
+
+// CascadePoint is one measured depth.
+type CascadePoint struct {
+	Tiers     int
+	Elements  int
+	MeanUS    float64 // mean end-to-end propagation per element, µs
+	P50US     float64
+	P99US     float64
+	PerSec    float64 // single-element injection rate through the full chain
+	BatchSec  float64 // burst injection rate (Batch elements per pulse)
+	LastValue int64   // sanity: tick + tiers-1 observed at the leaf
+}
+
+// CascadeResult is the full sweep.
+type CascadeResult struct {
+	Elements int
+	Batch    int
+	Points   []CascadePoint
+}
+
+// Table renders the aligned sweep.
+func (r *CascadeResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %12s %14s\n",
+		"tiers", "mean µs", "p50 µs", "p99 µs", "elems/sec", "batch elems/s")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6d %10.1f %10.1f %10.1f %12.0f %14.0f\n",
+			p.Tiers, p.MeanUS, p.P50US, p.P99US, p.PerSec, p.BatchSec)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep for external plotting.
+func (r *CascadeResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("tiers,elements,mean_us,p50_us,p99_us,elems_per_sec,batch_elems_per_sec\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%d,%.2f,%.2f,%.2f,%.0f,%.0f\n",
+			p.Tiers, p.Elements, p.MeanUS, p.P50US, p.P99US, p.PerSec, p.BatchSec)
+	}
+	return b.String()
+}
+
+// ShapeReport asserts the qualitative claims: deeper chains cost more
+// per element (each tier adds real work) but per-tier cost stays
+// bounded — composition scales linearly, not explosively.
+func (r *CascadeResult) ShapeReport() string {
+	var b strings.Builder
+	ok := true
+	if len(r.Points) >= 2 {
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		perTierFirst := first.MeanUS / float64(first.Tiers)
+		perTierLast := last.MeanUS / float64(last.Tiers)
+		linearish := perTierLast < perTierFirst*3
+		if !linearish {
+			ok = false
+		}
+		fmt.Fprintf(&b, "per-tier cost: %.1f µs at depth %d → %.1f µs at depth %d (linear-ish: %v)\n",
+			perTierFirst, first.Tiers, perTierLast, last.Tiers, linearish)
+	}
+	fmt.Fprintf(&b, "shape: %s\n", map[bool]string{true: "OK", false: "DEGENERATE"}[ok])
+	return b.String()
+}
+
+// cascadeRoot is the physical tier: a timer whose tick is the payload,
+// so leaf values prove the element crossed every tier.
+func cascadeRoot(name string) string {
+	return fmt.Sprintf(`
+<virtual-sensor name="%s">
+  <output-structure><field name="value" type="integer"/></output-structure>
+  <storage size="100"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="timer"/>
+      <query>select tick as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, name)
+}
+
+// cascadeTier derives tier n from tier n-1 through a local source
+// (value+1 per hop, so the leaf's value reveals the depth crossed).
+func cascadeTier(name, upstream string) string {
+	return fmt.Sprintf(`
+<virtual-sensor name="%s">
+  <output-structure><field name="value" type="integer"/></output-structure>
+  <storage size="100"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="local"><predicate key="sensor" val="%s"/></address>
+      <query>select value + 1 as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, name, upstream)
+}
+
+// runCascadePoint measures one chain depth.
+func runCascadePoint(cfg CascadeConfig, tiers int) (CascadePoint, error) {
+	point := CascadePoint{Tiers: tiers, Elements: cfg.Elements}
+	c, err := core.New(core.Options{
+		Name:           "bench-cascade",
+		Clock:          stream.NewManualClock(1),
+		SyncProcessing: true, // propagation completes inside Pulse: timing it is the latency
+	})
+	if err != nil {
+		return point, err
+	}
+	defer c.Close()
+
+	names := make([]string, tiers)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	if err := c.DeployXML([]byte(cascadeRoot(names[0]))); err != nil {
+		return point, err
+	}
+	for i := 1; i < tiers; i++ {
+		if err := c.DeployXML([]byte(cascadeTier(names[i], names[i-1]))); err != nil {
+			return point, err
+		}
+	}
+	leaf, _ := c.Sensor(names[tiers-1])
+
+	// Warm the chain (plan caches, table allocations).
+	for i := 0; i < 100; i++ {
+		c.Pulse()
+	}
+
+	lat := make([]time.Duration, 0, cfg.Elements)
+	start := time.Now()
+	for i := 0; i < cfg.Elements; i++ {
+		t0 := time.Now()
+		if c.Pulse() != 1 {
+			return point, fmt.Errorf("cascade: root pulse did not inject")
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	wall := time.Since(start)
+
+	want := uint64(100 + cfg.Elements)
+	if got := leaf.Stats().Outputs; got != want {
+		return point, fmt.Errorf("cascade depth %d: leaf produced %d outputs, want %d", tiers, got, want)
+	}
+	if e, ok := leaf.Output().Latest(); ok {
+		point.LastValue = e.Value(0).(int64)
+		if wantV := int64(100 + cfg.Elements + tiers - 1); point.LastValue != wantV {
+			return point, fmt.Errorf("cascade depth %d: leaf value %d, want %d", tiers, point.LastValue, wantV)
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	point.MeanUS = float64(sum.Microseconds()) / float64(len(lat))
+	point.P50US = float64(lat[len(lat)/2].Nanoseconds()) / 1e3
+	point.P99US = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3
+	point.PerSec = float64(cfg.Elements) / wall.Seconds()
+
+	if cfg.Batch > 0 {
+		rate, err := runCascadeBatch(cfg, tiers)
+		if err != nil {
+			return point, err
+		}
+		point.BatchSec = rate
+	}
+	return point, nil
+}
+
+// cascadeBatchRoot is the burst-capable physical tier: a mote (a
+// BatchProducer), so PulseBatch injects whole packet trains that cross
+// every tier boundary through the batch fan-out path.
+func cascadeBatchRoot(name string) string {
+	return fmt.Sprintf(`
+<virtual-sensor name="%s">
+  <output-structure><field name="value" type="integer"/></output-structure>
+  <storage size="100"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="mote"><predicate key="sensors" val="temperature"/><predicate key="seed" val="11"/></address>
+      <query>select temperature as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, name)
+}
+
+// runCascadeBatch measures burst propagation: Batch-element packet
+// trains injected at a mote root, crossing each downstream tier as one
+// batch (one quality-chain pass, one window lock, one coalesced
+// evaluation per tier).
+func runCascadeBatch(cfg CascadeConfig, tiers int) (float64, error) {
+	c, err := core.New(core.Options{
+		Name:           "bench-cascade-batch",
+		Clock:          stream.NewManualClock(1),
+		SyncProcessing: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.DeployXML([]byte(cascadeBatchRoot("c0"))); err != nil {
+		return 0, err
+	}
+	for i := 1; i < tiers; i++ {
+		if err := c.DeployXML([]byte(cascadeTier(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i-1)))); err != nil {
+			return 0, err
+		}
+	}
+	leaf, _ := c.Sensor(fmt.Sprintf("c%d", tiers-1))
+	for i := 0; i < 10; i++ { // warm
+		c.PulseBatch(cfg.Batch)
+	}
+	pulses := cfg.Elements / cfg.Batch
+	if pulses < 1 {
+		pulses = 1
+	}
+	injected := 0
+	start := time.Now()
+	for i := 0; i < pulses; i++ {
+		injected += c.PulseBatch(cfg.Batch)
+	}
+	wall := time.Since(start)
+	if leaf.Stats().Outputs == 0 {
+		return 0, fmt.Errorf("cascade batch depth %d: leaf produced nothing", tiers)
+	}
+	return float64(injected) / wall.Seconds(), nil
+}
+
+// RunCascade measures end-to-end propagation through 1/2/4/8-tier
+// local compositions: the cost of making derivation graphs the
+// container's native shape.
+func RunCascade(cfg CascadeConfig, w io.Writer) (*CascadeResult, error) {
+	res := &CascadeResult{Elements: cfg.Elements, Batch: cfg.Batch}
+	for _, tiers := range cfg.Tiers {
+		point, err := runCascadePoint(cfg, tiers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, point)
+		if w != nil {
+			fmt.Fprintf(w, "tiers=%d mean=%.1fµs p99=%.1fµs rate=%.0f/s\n",
+				point.Tiers, point.MeanUS, point.P99US, point.PerSec)
+		}
+	}
+	return res, nil
+}

@@ -86,9 +86,25 @@ type Container struct {
 	queries  *QueryRepository
 	results  *resultCache
 
+	// locals is the composition bus: output streams fanning out to the
+	// local sources of downstream sensors (its own lock; never held
+	// while delivering).
+	locals *localFanout
+
+	// lifecycle serialises multi-step sensor lifecycle operations
+	// (deploy, undeploy, redeploy swap, cascade, close) against each
+	// other. The data path never takes it: triggers, queries and
+	// deliveries run under mu/table locks only, so a drain inside a
+	// swap cannot deadlock against it.
+	lifecycle sync.Mutex
+
 	mu      sync.RWMutex
 	sensors map[string]*VirtualSensor
-	closed  bool
+	// deps is the dependency graph: sensor → the upstream sensors its
+	// local sources consume. Maintained by Deploy/Redeploy/Undeploy
+	// under mu; see graph.go.
+	deps   map[string][]string
+	closed bool
 
 	superviseStop chan struct{}
 	superviseDone chan struct{}
@@ -133,6 +149,8 @@ func New(opts Options) (*Container, error) {
 		registry: opts.Registry,
 		queries:  NewQueryRepository(reg),
 		sensors:  make(map[string]*VirtualSensor),
+		deps:     make(map[string][]string),
+		locals:   newLocalFanout(),
 	}
 	c.results = newResultCache(store, reg)
 	if !opts.SyncProcessing {
@@ -154,8 +172,17 @@ func (c *Container) engineOpts() sqlengine.Options {
 
 // Deploy validates a descriptor and brings the virtual sensor online:
 // wrapper instantiation, window tables, worker pool, directory
-// publication. Deployment is atomic — on any error nothing remains.
+// publication. Local sources are recorded as dependency-graph edges;
+// every upstream they name must already be deployed (see DeployAll for
+// batches). Deployment is atomic — on any error nothing remains.
 func (c *Container) Deploy(desc *vsensor.Descriptor) error {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	return c.deploy(desc)
+}
+
+// deploy is Deploy with the lifecycle mutex held.
+func (c *Container) deploy(desc *vsensor.Descriptor) error {
 	if desc == nil {
 		return fmt.Errorf("core: nil descriptor")
 	}
@@ -163,6 +190,7 @@ func (c *Container) Deploy(desc *vsensor.Descriptor) error {
 		return err
 	}
 	name := stream.CanonicalName(desc.Name)
+	deps := desc.LocalDependencies()
 
 	c.mu.Lock()
 	if c.closed {
@@ -173,12 +201,17 @@ func (c *Container) Deploy(desc *vsensor.Descriptor) error {
 		c.mu.Unlock()
 		return fmt.Errorf("core: virtual sensor %s is already deployed", name)
 	}
-	vs, err := newVirtualSensor(c, desc)
+	if err := c.checkDepsLocked(name, deps); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	vs, err := newVirtualSensor(c, desc, nil)
 	if err != nil {
 		c.mu.Unlock()
 		return err
 	}
 	c.sensors[name] = vs
+	c.deps[name] = deps
 	c.mu.Unlock()
 
 	if err := vs.start(); err != nil {
@@ -192,8 +225,9 @@ func (c *Container) Deploy(desc *vsensor.Descriptor) error {
 		}
 	}
 	c.metrics.Counter("deployments").Inc()
-	c.logf("gsn: deployed %s (pool-size %d, %d input stream(s))",
-		name, desc.LifeCycle.PoolSize, len(desc.Streams))
+	c.metrics.Counter("deploys_total").Inc()
+	c.logf("gsn: deployed %s (pool-size %d, %d input stream(s), %d local dep(s))",
+		name, desc.LifeCycle.PoolSize, len(desc.Streams), len(deps))
 	return nil
 }
 
@@ -240,11 +274,27 @@ func (c *Container) attachNotification(sensor string, n vsensor.Notification) er
 
 // Undeploy removes a virtual sensor: wrappers stop, tables drop,
 // subscriptions and client queries for it are cancelled, the directory
-// entry is withdrawn. Running queries finish first (pool drain).
+// entry is withdrawn. Running queries finish first (pool drain). A
+// sensor other sensors consume through local sources refuses to
+// undeploy — remove the dependents first or use UndeployCascade.
 func (c *Container) Undeploy(name string) error {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	return c.undeploy(name)
+}
+
+// undeploy is Undeploy with the lifecycle mutex held.
+func (c *Container) undeploy(name string) error {
 	canonical := stream.CanonicalName(name)
 	c.mu.Lock()
 	vs, ok := c.sensors[canonical]
+	if ok {
+		if deps := c.dependentsLocked(canonical); len(deps) > 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("core: virtual sensor %s has local dependents %v; undeploy them first or use UndeployCascade",
+				canonical, deps)
+		}
+	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
@@ -262,37 +312,224 @@ func (c *Container) removeSensor(name string, vs *VirtualSensor) {
 	vs.stop()
 	c.mu.Lock()
 	delete(c.sensors, name)
+	delete(c.deps, name)
 	c.mu.Unlock()
-	for _, in := range vs.streams {
-		for _, src := range in.sources {
-			if err := c.store.DropTable(src.table.Name()); err != nil {
-				c.logf("gsn: %s: %v", name, err)
-			}
-		}
-	}
+	c.dropSourceTables(vs)
 	if err := c.store.DropTable(name); err != nil {
 		c.logf("gsn: %s: %v", name, err)
 	}
 }
 
-// Redeploy atomically replaces a sensor's configuration: the paper's
-// on-the-fly reconfiguration. The old instance (if any) is removed
-// first; deployment errors leave the sensor undeployed (the old
-// configuration is already torn down, matching GSN's behaviour).
+// dropSourceTables removes a runtime's window tables (not its output).
+func (c *Container) dropSourceTables(vs *VirtualSensor) {
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			if err := c.store.DropTable(src.table.Name()); err != nil {
+				c.logf("gsn: %s: %v", vs.name, err)
+			}
+		}
+	}
+}
+
+// preflight exercises every fallible construction step of a descriptor
+// without touching container state: storage policy, windows, wrapper
+// instantiation (factories are pure constructors — nothing starts).
+// Redeploy runs it before tearing anything down, so a bad replacement
+// descriptor leaves the old sensor serving.
+//
+// Keep in lockstep with newVirtualSensor/buildSource: any fallible
+// step added there must be mirrored here, or a redeploy can pass
+// preflight and then fail mid-swap (newVirtualSensor carries the
+// matching reminder).
+func (c *Container) preflight(desc *vsensor.Descriptor) error {
+	if _, ok := storage.ParseSyncPolicy(desc.Storage.Sync); !ok {
+		return fmt.Errorf("core: %s: unknown storage sync policy %q", desc.Name, desc.Storage.Sync)
+	}
+	if desc.Storage.FlushInterval != "" {
+		if _, err := time.ParseDuration(desc.Storage.FlushInterval); err != nil {
+			return fmt.Errorf("core: %s: storage flush-interval: %w", desc.Name, err)
+		}
+	}
+	if _, err := desc.StorageWindow(); err != nil {
+		return err
+	}
+	for i := range desc.Streams {
+		for j := range desc.Streams[i].Sources {
+			spec := desc.Streams[i].Sources[j]
+			if _, err := stream.ParseWindow(spec.StorageSize); err != nil {
+				return err
+			}
+			if spec.Address.Wrapper == vsensor.LocalWrapperKind {
+				if _, err := newLocalWrapper(c, spec); err != nil {
+					return err
+				}
+				continue
+			}
+			params := wrappers.Params{}
+			for _, p := range spec.Address.Predicates {
+				params[p.Key] = p.Value()
+			}
+			seed, err := params.Int("seed", 0)
+			if err != nil {
+				return err
+			}
+			if _, err := c.registry.New(spec.Address.Wrapper, wrappers.Config{
+				Name:   desc.Name + "/preflight",
+				Params: params,
+				Seed:   int64(seed),
+				Clock:  c.clock,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Redeploy replaces a running sensor's configuration on the fly — the
+// paper's §6 reconfiguration scenario — as a graceful swap, not an
+// undeploy+deploy. The replacement descriptor is preflighted first, so
+// any validation, storage or wrapper error leaves the old sensor
+// serving untouched. When the output schema and storage policy are
+// unchanged, the swap preserves state: the output table (rows and WAL),
+// registered client queries, notification subscriptions and downstream
+// local edges all survive; in-flight triggers drain before the old
+// runtime stops (counted in redeploys_preserved). A schema or storage
+// change falls back to a full replace, which is refused while local
+// dependents exist (their windows are bound to the old schema) and
+// rolls back to the old configuration if the fresh deploy fails.
 func (c *Container) Redeploy(desc *vsensor.Descriptor) error {
 	if desc == nil {
 		return fmt.Errorf("core: nil descriptor")
 	}
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
 	canonical := stream.CanonicalName(desc.Name)
 	c.mu.RLock()
-	_, exists := c.sensors[canonical]
+	old, exists := c.sensors[canonical]
 	c.mu.RUnlock()
-	if exists {
-		if err := c.Undeploy(canonical); err != nil {
+	if !exists {
+		return c.deploy(desc)
+	}
+
+	newSchema, err := desc.OutputSchema()
+	if err != nil {
+		return err
+	}
+	deps := desc.LocalDependencies()
+	preserve := old.outSchema.Equal(newSchema) && old.desc.Storage == desc.Storage
+
+	c.mu.RLock()
+	err = c.checkDepsLocked(canonical, deps)
+	if err == nil && c.wouldCycleLocked(canonical, deps) {
+		err = fmt.Errorf("core: redeploying %s with dependencies %v would create a cycle", canonical, deps)
+	}
+	var dependents []string
+	if err == nil && !preserve {
+		dependents = c.dependentsLocked(canonical)
+	}
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if len(dependents) > 0 {
+		return fmt.Errorf("core: redeploying %s would change its output schema or storage, but %v consume it; undeploy them first",
+			canonical, dependents)
+	}
+	if err := c.preflight(desc); err != nil {
+		return fmt.Errorf("core: redeploy %s rejected (old configuration still serving): %w", canonical, err)
+	}
+
+	if preserve {
+		return c.swapPreserving(canonical, old, desc, deps)
+	}
+
+	// Full replace: classic undeploy+deploy, now with rollback — a
+	// failed deploy restores the old configuration instead of leaving
+	// the sensor gone.
+	oldDesc := old.desc
+	if err := c.undeploy(canonical); err != nil {
+		return err
+	}
+	if err := c.deploy(desc); err != nil {
+		if rbErr := c.deploy(oldDesc); rbErr != nil {
+			return fmt.Errorf("core: redeploy %s failed (%w) and rollback failed too: %v", canonical, err, rbErr)
+		}
+		return fmt.Errorf("core: redeploy %s failed (old configuration restored): %w", canonical, err)
+	}
+	return nil
+}
+
+// swapPreserving is the state-preserving half of Redeploy: the output
+// table, client queries, notification subscriptions and downstream
+// local subscriptions stay in place while the runtime underneath them
+// is replaced. Commit order: drain the old runtime, drop its source
+// windows, build and start the replacement against the preserved
+// output table. Any failure after the drain rebuilds the old runtime
+// from its descriptor (its wrappers were running moments ago), so the
+// sensor keeps serving either way.
+func (c *Container) swapPreserving(name string, old *VirtualSensor, desc *vsensor.Descriptor, deps []string) error {
+	// Drain: stop wrappers, let queued triggers finish against the old
+	// windows, then retire them. Downstream subscribers keep receiving
+	// through the drain (the fanout is keyed by name, not runtime).
+	old.stop()
+	c.dropSourceTables(old)
+
+	install := func(d *vsensor.Descriptor, dependsOn []string) error {
+		vs, err := newVirtualSensor(c, d, old.outTable)
+		if err != nil {
 			return err
 		}
+		if err := vs.start(); err != nil {
+			c.dropSourceTables(vs)
+			return err
+		}
+		c.mu.Lock()
+		c.sensors[name] = vs
+		c.deps[name] = dependsOn
+		c.mu.Unlock()
+		return nil
 	}
-	return c.Deploy(desc)
+
+	if err := install(desc, deps); err != nil {
+		oldDesc := old.desc
+		if rbErr := install(oldDesc, oldDesc.LocalDependencies()); rbErr != nil {
+			// Rollback failed too: tear the whole subtree down — the
+			// sensor and its local dependents — so no half-wired runtime
+			// or dangling dependency edge lingers.
+			c.mu.RLock()
+			victims := c.transitiveDependentsLocked(name)
+			c.mu.RUnlock()
+			for _, v := range victims {
+				if uErr := c.undeploy(v); uErr != nil {
+					c.logf("gsn: %s: tearing down dependent %s: %v", name, v, uErr)
+				}
+				c.metrics.Counter("cascade_undeploys").Inc()
+			}
+			c.mu.Lock()
+			delete(c.sensors, name)
+			delete(c.deps, name)
+			c.mu.Unlock()
+			c.notifier.UnsubscribeSensor(name)
+			c.queries.UnregisterSensor(name)
+			c.dir.Unpublish(name, c.opts.NodeAddress)
+			if dropErr := c.store.DropTable(name); dropErr != nil {
+				c.logf("gsn: %s: %v", name, dropErr)
+			}
+			return fmt.Errorf("core: redeploy %s failed (%w) and rollback failed too: %v", name, err, rbErr)
+		}
+		return fmt.Errorf("core: redeploy %s failed (old configuration restored): %w", name, err)
+	}
+
+	c.dir.Publish(name, c.opts.NodeAddress, desc.MetadataMap(), c.opts.DirectoryTTL)
+	c.metrics.Counter("deploys_total").Inc()
+	c.metrics.Counter("redeploys_preserved").Inc()
+	c.logf("gsn: redeployed %s preserving output table, %d client quer(y|ies) and downstream edges",
+		name, c.queries.GroupCount(name))
+	return nil
 }
 
 // Sensor looks up a deployed virtual sensor.
@@ -465,14 +702,30 @@ func (c *Container) NodeAddress() string { return c.opts.NodeAddress }
 
 // Close undeploys every sensor and releases resources.
 func (c *Container) Close() error {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	// Tear down most-downstream first so no step severs a live local
+	// edge while its consumer still runs: every sensor's transitive
+	// dependents (already leaf-first) precede it.
 	names := make([]string, 0, len(c.sensors))
+	seen := make(map[string]bool, len(c.sensors))
 	for name := range c.sensors {
+		if seen[name] {
+			continue
+		}
+		for _, d := range c.transitiveDependentsLocked(name) {
+			if !seen[d] {
+				seen[d] = true
+				names = append(names, d)
+			}
+		}
+		seen[name] = true
 		names = append(names, name)
 	}
 	c.mu.Unlock()

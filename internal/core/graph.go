@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsn/internal/stream"
+	"gsn/internal/vsensor"
+)
+
+// The container maintains an explicit dependency graph over its
+// deployed sensors: an edge A → B means A has a local source consuming
+// B's output stream. Deploy records edges and rejects dangling
+// dependencies, Redeploy rejects swaps that would close a cycle,
+// Undeploy refuses (or cascades) when dependents exist, and batch
+// deployment topologically orders descriptors so a multi-file
+// composition graph comes up in one pass regardless of file order.
+
+// GraphEdge is one dependency edge: Sensor consumes Upstream's output.
+type GraphEdge struct {
+	Sensor   string `json:"sensor"`
+	Upstream string `json:"upstream"`
+}
+
+// Graph returns the dependency adjacency: every deployed sensor mapped
+// to the sorted list of sensors its local sources consume (empty slice
+// for sensors without local inputs).
+func (c *Container) Graph() map[string][]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]string, len(c.sensors))
+	for name := range c.sensors {
+		out[name] = append([]string(nil), c.deps[name]...)
+	}
+	return out
+}
+
+// Dependents lists the sensors whose local sources consume name's
+// output, sorted.
+func (c *Container) Dependents(name string) []string {
+	canonical := stream.CanonicalName(name)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dependentsLocked(canonical)
+}
+
+func (c *Container) dependentsLocked(name string) []string {
+	var out []string
+	for sensor, ups := range c.deps {
+		for _, up := range ups {
+			if up == name {
+				out = append(out, sensor)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// transitiveDependentsLocked returns every sensor that directly or
+// transitively consumes name, in reverse topological order (leaves
+// first) so callers can tear them down without ever breaking an edge.
+func (c *Container) transitiveDependentsLocked(name string) []string {
+	seen := map[string]bool{name: true}
+	var order []string
+	var visit func(string)
+	visit = func(n string) {
+		for _, dep := range c.dependentsLocked(n) {
+			if !seen[dep] {
+				seen[dep] = true
+				visit(dep)
+				order = append(order, dep)
+			}
+		}
+	}
+	visit(name)
+	// Post-order appends a sensor only after everything consuming it:
+	// the most downstream sensors come first.
+	return order
+}
+
+// wouldCycleLocked reports whether giving name the dependency set deps
+// (replacing its current edges, as a redeploy does) would close a
+// cycle: some dep reaches name through the rest of the graph.
+func (c *Container) wouldCycleLocked(name string, deps []string) bool {
+	seen := map[string]bool{}
+	var reaches func(from string) bool
+	reaches = func(from string) bool {
+		if from == name {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, up := range c.deps[from] {
+			if reaches(up) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range deps {
+		if reaches(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDepsLocked validates a dependency set against the running
+// graph: every upstream must be deployed (dangling edges are rejected
+// at deploy time, not discovered at first trigger).
+func (c *Container) checkDepsLocked(name string, deps []string) error {
+	for _, dep := range deps {
+		if dep == name {
+			return fmt.Errorf("core: %s: local source cannot depend on its own sensor", name)
+		}
+		if _, ok := c.sensors[dep]; !ok {
+			return fmt.Errorf("core: %s: local source depends on %s, which is not deployed (deploy it first, or deploy both in one batch)",
+				name, dep)
+		}
+	}
+	return nil
+}
+
+// SortDescriptors topologically orders descriptors by their local
+// dependencies (upstream first) so a batch containing a composition
+// graph deploys in one pass regardless of input order. Dependencies
+// outside the batch are assumed deployed (Deploy verifies). Ties keep
+// priority order (higher first), then the caller's order, so the
+// pre-existing priority contract still breaks ties. A dependency cycle
+// within the batch is an error naming its members.
+func SortDescriptors(descs []*vsensor.Descriptor) ([]*vsensor.Descriptor, error) {
+	n := len(descs)
+	byName := make(map[string]int, n)
+	for i, d := range descs {
+		name := stream.CanonicalName(d.Name)
+		if prev, dup := byName[name]; dup {
+			return nil, fmt.Errorf("core: duplicate descriptor for %s (positions %d and %d)", name, prev, i)
+		}
+		byName[name] = i
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, d := range descs {
+		for _, dep := range d.LocalDependencies() {
+			if j, inBatch := byName[dep]; inBatch {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+	// Kahn's algorithm; the ready set stays ordered by (priority desc,
+	// original position) for deterministic output.
+	ready := make([]int, 0, n)
+	for i := range descs {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	less := func(a, b int) bool {
+		if descs[a].Priority != descs[b].Priority {
+			return descs[a].Priority > descs[b].Priority
+		}
+		return a < b
+	}
+	sort.Slice(ready, func(x, y int) bool { return less(ready[x], ready[y]) })
+	out := make([]*vsensor.Descriptor, 0, n)
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		out = append(out, descs[i])
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				at := sort.Search(len(ready), func(k int) bool { return less(j, ready[k]) })
+				ready = append(ready, 0)
+				copy(ready[at+1:], ready[at:])
+				ready[at] = j
+			}
+		}
+	}
+	if len(out) != n {
+		var cyclic []string
+		for i, d := range descs {
+			if indeg[i] > 0 {
+				cyclic = append(cyclic, stream.CanonicalName(d.Name))
+			}
+		}
+		sort.Strings(cyclic)
+		return nil, fmt.Errorf("core: dependency cycle among virtual sensors: %s", strings.Join(cyclic, ", "))
+	}
+	return out, nil
+}
+
+// DeployAll deploys a batch of descriptors in topological dependency
+// order, so a multi-file composition graph comes up in one pass. It
+// returns the names deployed so far (in order) and the first error;
+// earlier deployments are left running on error, matching DeployDir's
+// contract.
+func (c *Container) DeployAll(descs []*vsensor.Descriptor) ([]string, error) {
+	ordered, err := SortDescriptors(descs)
+	if err != nil {
+		return nil, err
+	}
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	var deployed []string
+	for _, d := range ordered {
+		if err := c.deploy(d); err != nil {
+			return deployed, err
+		}
+		deployed = append(deployed, d.Name)
+	}
+	return deployed, nil
+}
+
+// UndeployCascade removes a virtual sensor together with every sensor
+// that transitively consumes its output, most-downstream first, so no
+// teardown step ever leaves a dangling edge. It returns the removed
+// names in teardown order. Each cascaded removal (beyond the named
+// sensor itself) is counted on cascade_undeploys.
+func (c *Container) UndeployCascade(name string) ([]string, error) {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	canonical := stream.CanonicalName(name)
+	c.mu.RLock()
+	_, ok := c.sensors[canonical]
+	victims := c.transitiveDependentsLocked(canonical)
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
+	}
+	removed := make([]string, 0, len(victims)+1)
+	for _, v := range victims {
+		if err := c.undeploy(v); err != nil {
+			return removed, err
+		}
+		c.metrics.Counter("cascade_undeploys").Inc()
+		removed = append(removed, v)
+	}
+	if err := c.undeploy(canonical); err != nil {
+		return removed, err
+	}
+	return append(removed, canonical), nil
+}

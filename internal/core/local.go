@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gsn/internal/stream"
+	"gsn/internal/vsensor"
+	"gsn/internal/wrappers"
+)
+
+// Local composition: a stream source with wrapper="local" subscribes to
+// another deployed sensor's output stream in-process. Delivery is
+// push-based and zero-copy — the upstream trigger pipeline hands its
+// freshly inserted output elements straight to every subscriber's
+// quality chain (fanoutLocal), with no polling wrapper and no table
+// rescan. In synchronous mode the whole downstream cascade runs inline
+// on the producing goroutine, which keeps multi-tier pipelines
+// deterministic for tests and the cascade benchmark; in asynchronous
+// mode each tier hands off to its own worker pool.
+
+// localSub is one downstream subscription on a sensor's output stream.
+type localSub struct {
+	id        int64
+	emit      wrappers.EmitFunc
+	emitBatch wrappers.BatchEmitFunc
+}
+
+// localFanout is the container's composition bus: upstream sensor name →
+// live downstream subscriptions. It has its own lock (never held while
+// delivering) so lifecycle operations and the trigger hot path cannot
+// deadlock through it.
+type localFanout struct {
+	mu     sync.RWMutex
+	nextID int64
+	subs   map[string]map[int64]*localSub
+}
+
+func newLocalFanout() *localFanout {
+	return &localFanout{subs: make(map[string]map[int64]*localSub)}
+}
+
+// subscribe registers a downstream delivery pair for a sensor's output.
+func (f *localFanout) subscribe(sensor string, emit wrappers.EmitFunc, emitBatch wrappers.BatchEmitFunc) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	m := f.subs[sensor]
+	if m == nil {
+		m = make(map[int64]*localSub)
+		f.subs[sensor] = m
+	}
+	m[f.nextID] = &localSub{id: f.nextID, emit: emit, emitBatch: emitBatch}
+	return f.nextID
+}
+
+// unsubscribe removes a subscription; unknown ids are a no-op (Stop is
+// idempotent).
+func (f *localFanout) unsubscribe(sensor string, id int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m := f.subs[sensor]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(f.subs, sensor)
+		}
+	}
+}
+
+// deliver pushes a burst of output elements to every subscriber of the
+// sensor. The subscription snapshot is taken under the lock but
+// delivery runs outside it: a subscriber's chain inserts into its own
+// window table and may cascade further tiers, and none of that may
+// serialise against lifecycle changes here. Each subscriber gets its
+// own slice (batch sinks take ownership and stamp arrival in place);
+// the element payloads themselves are shared, never copied.
+func (f *localFanout) deliver(sensor string, elems []stream.Element) {
+	f.mu.RLock()
+	m := f.subs[sensor]
+	if len(m) == 0 {
+		f.mu.RUnlock()
+		return
+	}
+	list := make([]*localSub, 0, len(m))
+	for _, s := range m {
+		list = append(list, s)
+	}
+	f.mu.RUnlock()
+	for _, s := range list {
+		if len(elems) == 1 {
+			s.emit(elems[0])
+			continue
+		}
+		batch := make([]stream.Element, len(elems))
+		copy(batch, elems)
+		s.emitBatch(batch)
+	}
+}
+
+// localWrapper adapts an upstream virtual sensor's output stream to the
+// wrapper contract, so a local source rides the exact machinery a
+// platform wrapper does — quality chain, window table, compiled source
+// plans, gap supervision. It is constructed by the container (not the
+// wrapper registry) because it needs the composition bus.
+type localWrapper struct {
+	c      *Container
+	target string // canonical upstream sensor name
+	schema *stream.Schema
+
+	mu    sync.Mutex
+	subID int64 // 0 when not started
+}
+
+// newLocalWrapper resolves the upstream sensor's output table and binds
+// to its schema. The container checks deployment-order dependencies
+// before construction, so a missing table here means a programming
+// error upstream of us — still reported cleanly.
+func newLocalWrapper(c *Container, spec vsensor.StreamSource) (*localWrapper, error) {
+	target := spec.Address.LocalTarget()
+	if target == "" {
+		return nil, fmt.Errorf("core: local source %s needs a sensor predicate", spec.Alias)
+	}
+	tab, ok := c.store.Table(target)
+	if !ok {
+		return nil, fmt.Errorf("core: local source %s: virtual sensor %s is not deployed", spec.Alias, target)
+	}
+	// Binding to the table's own schema pointer keeps the identity
+	// fast path in Table.checkSchema for every delivered element.
+	return &localWrapper{c: c, target: target, schema: tab.Schema()}, nil
+}
+
+// Kind implements wrappers.Wrapper.
+func (w *localWrapper) Kind() string { return vsensor.LocalWrapperKind }
+
+// Schema implements wrappers.Wrapper: the upstream sensor's output
+// structure.
+func (w *localWrapper) Schema() *stream.Schema { return w.schema }
+
+// Start implements wrappers.Wrapper by subscribing to the upstream
+// output stream.
+func (w *localWrapper) Start(emit wrappers.EmitFunc) error {
+	return w.StartBatch(emit, func(batch []stream.Element) {
+		for _, e := range batch {
+			emit(e)
+		}
+	})
+}
+
+// StartBatch implements wrappers.BatchEmitter: upstream bursts cross
+// the downstream quality chain and window table as one batch.
+func (w *localWrapper) StartBatch(emit wrappers.EmitFunc, emitBatch wrappers.BatchEmitFunc) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.subID != 0 {
+		return fmt.Errorf("core: local source of %s already started", w.target)
+	}
+	w.subID = w.c.locals.subscribe(w.target, emit, emitBatch)
+	return nil
+}
+
+// Stop implements wrappers.Wrapper; it is idempotent.
+func (w *localWrapper) Stop() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.subID != 0 {
+		w.c.locals.unsubscribe(w.target, w.subID)
+		w.subID = 0
+	}
+	return nil
+}

@@ -30,6 +30,14 @@ type VirtualSensor struct {
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 
+	// lifeMu guards the trigger channel's lifecycle: enqueue sends only
+	// under the read lock with stopping false, and stop closes the
+	// channel under the write lock after setting stopping — so a
+	// lifecycle operation (undeploy, redeploy swap) racing a producer
+	// can never send on a closed channel.
+	lifeMu   sync.RWMutex
+	stopping bool
+
 	statTriggers  atomic.Uint64
 	statOutputs   atomic.Uint64
 	statErrors    atomic.Uint64
@@ -120,8 +128,15 @@ type SourceStats struct {
 
 // newVirtualSensor wires a validated descriptor into runtime state.
 // Nothing starts until start() is called, so a failed construction
-// leaves no goroutines behind.
-func newVirtualSensor(c *Container, desc *vsensor.Descriptor) (*VirtualSensor, error) {
+// leaves no goroutines behind. A non-nil reuseOut is the preserved
+// output table of a state-preserving redeploy (its schema is known
+// Equal to the descriptor's): the runtime binds to it instead of
+// creating a fresh table, and construction failures never drop it.
+//
+// Any fallible step added here or in buildSource must be mirrored in
+// Container.preflight, which promises Redeploy that this construction
+// will succeed before the old runtime is torn down.
+func newVirtualSensor(c *Container, desc *vsensor.Descriptor, reuseOut *storage.Table) (*VirtualSensor, error) {
 	outSchema, err := desc.OutputSchema()
 	if err != nil {
 		return nil, err
@@ -140,27 +155,35 @@ func newVirtualSensor(c *Container, desc *vsensor.Descriptor) (*VirtualSensor, e
 	}
 	vs.statLastError.Store("")
 
-	syncPolicy, ok := storage.ParseSyncPolicy(desc.Storage.Sync)
-	if !ok {
-		return nil, fmt.Errorf("core: %s: unknown storage sync policy %q", name, desc.Storage.Sync)
-	}
-	var flushInterval time.Duration
-	if desc.Storage.FlushInterval != "" {
-		flushInterval, err = time.ParseDuration(desc.Storage.FlushInterval)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: storage flush-interval: %w", name, err)
+	if reuseOut != nil {
+		// Adopt the table's schema pointer so output elements keep the
+		// identity fast path in Table.checkSchema (the schemas are Equal,
+		// but equality is checked per insert; identity is free).
+		vs.outSchema = reuseOut.Schema()
+		vs.outTable = reuseOut
+	} else {
+		syncPolicy, ok := storage.ParseSyncPolicy(desc.Storage.Sync)
+		if !ok {
+			return nil, fmt.Errorf("core: %s: unknown storage sync policy %q", name, desc.Storage.Sync)
 		}
+		var flushInterval time.Duration
+		if desc.Storage.FlushInterval != "" {
+			flushInterval, err = time.ParseDuration(desc.Storage.FlushInterval)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: storage flush-interval: %w", name, err)
+			}
+		}
+		outTable, err := c.store.CreateTable(name, outSchema, storage.TableOptions{
+			Window:        window,
+			Permanent:     desc.Storage.Permanent,
+			Sync:          syncPolicy,
+			FlushInterval: flushInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vs.outTable = outTable
 	}
-	outTable, err := c.store.CreateTable(name, outSchema, storage.TableOptions{
-		Window:        window,
-		Permanent:     desc.Storage.Permanent,
-		Sync:          syncPolicy,
-		FlushInterval: flushInterval,
-	})
-	if err != nil {
-		return nil, err
-	}
-	vs.outTable = outTable
 
 	cleanup := func() {
 		for _, in := range vs.streams {
@@ -168,7 +191,9 @@ func newVirtualSensor(c *Container, desc *vsensor.Descriptor) (*VirtualSensor, e
 				c.store.DropTable(src.table.Name())
 			}
 		}
-		c.store.DropTable(name)
+		if reuseOut == nil {
+			c.store.DropTable(name)
+		}
 	}
 
 	for i := range desc.Streams {
@@ -235,13 +260,22 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 	if err != nil {
 		return nil, err
 	}
-	wrapperName := vs.name + "/" + in.spec.Name + "/" + spec.Alias
-	w, err := c.registry.New(spec.Address.Wrapper, wrappers.Config{
-		Name:   wrapperName,
-		Params: params,
-		Seed:   int64(seed),
-		Clock:  c.clock,
-	})
+	var w wrappers.Wrapper
+	if spec.Address.Wrapper == vsensor.LocalWrapperKind {
+		// In-process composition: the source is another deployed
+		// sensor's output stream, not a platform wrapper. Constructed
+		// here (not via the registry) because it binds to this
+		// container's composition bus.
+		w, err = newLocalWrapper(c, spec)
+	} else {
+		wrapperName := vs.name + "/" + in.spec.Name + "/" + spec.Alias
+		w, err = c.registry.New(spec.Address.Wrapper, wrappers.Config{
+			Name:   wrapperName,
+			Params: params,
+			Seed:   int64(seed),
+			Clock:  c.clock,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +437,16 @@ func (vs *VirtualSensor) enqueue(tr trigger) {
 	vs.statTriggers.Add(1)
 	tr.enqueued = time.Now()
 	if vs.container.opts.SyncProcessing {
+		// Best-effort stop check (no lock held across the inline
+		// evaluation): a producer racing a lifecycle swap sheds its
+		// trigger instead of processing on a retired runtime.
+		vs.lifeMu.RLock()
+		stopped := vs.stopping
+		vs.lifeMu.RUnlock()
+		if stopped {
+			vs.statDropped.Add(1)
+			return
+		}
 		vs.process(tr)
 		return
 	}
@@ -411,12 +455,23 @@ func (vs *VirtualSensor) enqueue(tr trigger) {
 		vs.container.metrics.Counter("triggers_coalesced").Inc()
 		return
 	}
+	// The read lock brackets the send against stop()'s close: a
+	// lifecycle swap racing a producer drops the trigger instead of
+	// panicking on a closed channel.
+	vs.lifeMu.RLock()
+	if vs.stopping {
+		vs.lifeMu.RUnlock()
+		tr.stream.queued.Store(false)
+		vs.statDropped.Add(1)
+		return
+	}
 	select {
 	case vs.triggers <- tr:
 	default:
 		tr.stream.queued.Store(false)
 		vs.statDropped.Add(1)
 	}
+	vs.lifeMu.RUnlock()
 }
 
 // enqueueCoalesced accounts n slide crossings from one burst. In
@@ -431,6 +486,15 @@ func (vs *VirtualSensor) enqueueCoalesced(tr trigger, n int) {
 	}
 	if vs.container.opts.SyncProcessing && n > 1 {
 		vs.statTriggers.Add(uint64(n))
+		// Same best-effort stop shed as enqueue's sync path: a burst
+		// racing a lifecycle swap must not process on a retired runtime.
+		vs.lifeMu.RLock()
+		stopped := vs.stopping
+		vs.lifeMu.RUnlock()
+		if stopped {
+			vs.statDropped.Add(uint64(n))
+			return
+		}
 		vs.statCoalesced.Add(uint64(n - 1))
 		vs.container.metrics.Counter("triggers_coalesced").Add(uint64(n - 1))
 		tr.enqueued = time.Now()
@@ -534,13 +598,29 @@ func (vs *VirtualSensor) process(tr trigger) {
 		vs.recordError(err)
 		return
 	}
+	inserted := 0
+	var insertErr error
 	for _, e := range elems {
 		if err := vs.outTable.Insert(e); err != nil {
 			vs.recordError(err)
-			return
+			insertErr = err
+			break
 		}
+		inserted++
 		vs.statOutputs.Add(1)
 		c.notifier.Publish(vs.name, e)
+	}
+	// Only the successfully inserted prefix reaches downstream — and
+	// all of it does, even when a later insert failed: delivery is
+	// push-based with no rescan, so skipping published elements would
+	// permanently diverge downstream windows from this output table.
+	elems = elems[:inserted]
+	// Local composition fan-out: downstream sensors whose local sources
+	// subscribe to this output receive the burst push-based, outside
+	// any table lock (their chains insert into their own windows and
+	// may cascade further tiers).
+	if len(elems) > 0 {
+		c.locals.deliver(vs.name, elems)
 	}
 	// The client-query sweep (repository layer) observes its own wall
 	// time into client_query_time. Async mode schedules it on the
@@ -552,6 +632,9 @@ func (vs *VirtualSensor) process(tr trigger) {
 		} else {
 			c.queries.ScheduleSweep(vs.name, c.Catalog(), c.engineOpts())
 		}
+	}
+	if insertErr != nil {
+		return
 	}
 
 	c.metrics.Histogram("processing_time").Observe(time.Since(start))
@@ -594,8 +677,9 @@ func (vs *VirtualSensor) evalSource(src *sourceRuntime) (*sqlengine.Relation, er
 	return sqlengine.Execute(src.stmt, cat, c.engineOpts())
 }
 
-// stop halts wrappers, drains the pool and drops no tables (the
-// container owns table lifecycle).
+// stop halts wrappers, drains in-flight triggers and drops no tables
+// (the container owns table lifecycle). Queued triggers finish before
+// stop returns — the drain a graceful redeploy swap relies on.
 func (vs *VirtualSensor) stop() {
 	vs.stopOnce.Do(func() {
 		for _, in := range vs.streams {
@@ -605,7 +689,10 @@ func (vs *VirtualSensor) stop() {
 				}
 			}
 		}
+		vs.lifeMu.Lock()
+		vs.stopping = true
 		close(vs.triggers)
+		vs.lifeMu.Unlock()
 		vs.wg.Wait()
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -292,6 +293,17 @@ func (d *Descriptor) Validate() error {
 			if strings.TrimSpace(src.Address.Wrapper) == "" {
 				return fmt.Errorf("vsensor: %s/%s/%s: address has no wrapper", d.Name, in.Name, src.Alias)
 			}
+			if src.Address.Wrapper == LocalWrapperKind {
+				target := src.Address.LocalTarget()
+				if target == "" {
+					return fmt.Errorf("vsensor: %s/%s/%s: local source needs a <predicate key=\"sensor\"> naming the upstream virtual sensor",
+						d.Name, in.Name, src.Alias)
+				}
+				if target == stream.CanonicalName(d.Name) {
+					return fmt.Errorf("vsensor: %s/%s/%s: local source cannot depend on its own sensor",
+						d.Name, in.Name, src.Alias)
+				}
+			}
 			if strings.TrimSpace(src.Query) == "" {
 				return fmt.Errorf("vsensor: %s/%s/%s: missing source query", d.Name, in.Name, src.Alias)
 			}
@@ -340,6 +352,46 @@ const wrapperTable = "WRAPPER"
 
 // WrapperTable exposes the reserved name to the container.
 func WrapperTable() string { return wrapperTable }
+
+// LocalWrapperKind is the reserved wrapper kind for in-process virtual
+// sensor composition (paper Figures 1–2: a virtual sensor's input
+// stream can be another virtual sensor). A local source subscribes to
+// the output stream of the sensor named by its "sensor" predicate:
+//
+//	<address wrapper="local"><predicate key="sensor" val="per-room-avg"/></address>
+const LocalWrapperKind = "local"
+
+// LocalTarget returns the canonical upstream sensor name of a local
+// address ("" when absent or when the address is not local).
+func (a Address) LocalTarget() string {
+	if a.Wrapper != LocalWrapperKind {
+		return ""
+	}
+	for _, p := range a.Predicates {
+		if strings.EqualFold(strings.TrimSpace(p.Key), "sensor") {
+			return stream.CanonicalName(p.Value())
+		}
+	}
+	return ""
+}
+
+// LocalDependencies lists the canonical names of the virtual sensors
+// this descriptor's local sources subscribe to, deduplicated and
+// sorted. The container records them as dependency-graph edges.
+func (d *Descriptor) LocalDependencies() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range d.Streams {
+		for j := range d.Streams[i].Sources {
+			if t := d.Streams[i].Sources[j].Address.LocalTarget(); t != "" && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // OutputSchema converts the output-structure into a stream schema.
 func (d *Descriptor) OutputSchema() (*stream.Schema, error) {

@@ -28,13 +28,14 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 </head>
 <body>
 <h1>GSN container: {{.Node}}</h1>
-<p>{{len .Sensors}} virtual sensor(s) deployed · <a href="/api/metrics">metrics</a> · <a href="/api/directory">directory</a></p>
+<p>{{len .Sensors}} virtual sensor(s) deployed · <a href="/api/metrics">metrics</a> · <a href="/api/directory">directory</a> · <a href="/api/graph">graph</a></p>
 <table>
-<tr><th>Virtual sensor</th><th>Fields</th><th class="num">Triggers</th><th class="num">Outputs</th><th class="num">Errors</th><th class="num">Window</th><th>Plot</th></tr>
+<tr><th>Virtual sensor</th><th>Fields</th><th>Consumes</th><th class="num">Triggers</th><th class="num">Outputs</th><th class="num">Errors</th><th class="num">Window</th><th>Plot</th></tr>
 {{range .Sensors}}
 <tr>
   <td><a href="/api/sensors/{{.Name}}">{{.Name}}</a></td>
   <td>{{.FieldList}}</td>
+  <td>{{if .Upstreams}}{{.Upstreams}}{{else}}&mdash;{{end}}</td>
   <td class="num">{{.Stats.Triggers}}</td>
   <td class="num">{{.Stats.Outputs}}</td>
   <td class="num">{{.Stats.Errors}}</td>
@@ -50,6 +51,7 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 type dashboardSensor struct {
 	Name      string
 	FieldList string
+	Upstreams string // local composition inputs (dependency graph)
 	PlotField string
 	Stats     struct {
 		Triggers, Outputs, Errors uint64
@@ -63,9 +65,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Sensors []dashboardSensor
 	}
 	view.Node = s.container.Name()
+	graph := s.container.Graph()
 	for _, vs := range s.container.Sensors() {
 		var ds dashboardSensor
 		ds.Name = vs.Name()
+		ds.Upstreams = strings.Join(graph[vs.Name()], ", ")
 		var fields []string
 		for _, f := range vs.OutputSchema().Fields() {
 			fields = append(fields, f.Name)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -60,6 +61,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/query", s.guard(access.RoleRead, s.handleQuery))
 	s.mux.HandleFunc("POST /api/deploy", s.guard(access.RoleDeploy, s.handleDeploy))
 	s.mux.HandleFunc("DELETE /api/sensors/{name}", s.guard(access.RoleDeploy, s.handleUndeploy))
+	s.mux.HandleFunc("GET /api/graph", s.guard(access.RoleRead, s.handleGraph))
 	s.mux.HandleFunc("GET /api/metrics", s.guard(access.RoleRead, s.handleMetrics))
 	s.mux.HandleFunc("GET /api/directory", s.guard(access.RoleRead, s.handleDirectory))
 	s.mux.HandleFunc("GET /api/events", s.guard(access.RoleRead, s.handleEvents))
@@ -267,12 +269,52 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "deployed")
 }
 
+// handleUndeploy removes a sensor. ?cascade=1 also removes every
+// sensor that transitively consumes it through local sources; without
+// it, a sensor with dependents is refused (409).
 func (s *Server) handleUndeploy(w http.ResponseWriter, r *http.Request) {
-	if err := s.container.Undeploy(r.PathValue("name")); err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	name := r.PathValue("name")
+	if c, _ := strconv.ParseBool(r.URL.Query().Get("cascade")); c {
+		removed, err := s.container.UndeployCascade(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "undeployed %s\n", strings.Join(removed, ", "))
+		return
+	}
+	if err := s.container.Undeploy(name); err != nil {
+		status := http.StatusNotFound
+		if len(s.container.Dependents(name)) > 0 {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	fmt.Fprintln(w, "undeployed")
+}
+
+// GraphResponse is the JSON shape of GET /api/graph: the dependency
+// graph over deployed sensors (edges point from a consumer to the
+// upstream sensor its local sources read).
+type GraphResponse struct {
+	Sensors []string         `json:"sensors"`
+	Edges   []core.GraphEdge `json:"edges"`
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	adj := s.container.Graph()
+	resp := GraphResponse{Sensors: make([]string, 0, len(adj)), Edges: []core.GraphEdge{}}
+	for name := range adj {
+		resp.Sensors = append(resp.Sensors, name)
+	}
+	sort.Strings(resp.Sensors)
+	for _, name := range resp.Sensors {
+		for _, up := range adj[name] {
+			resp.Edges = append(resp.Edges, core.GraphEdge{Sensor: name, Upstream: up})
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -371,3 +371,66 @@ func TestSensorCSVExport(t *testing.T) {
 		t.Errorf("missing sensor csv = %d", resp2.StatusCode)
 	}
 }
+
+// downstreamDescriptor consumes the ticks sensor through a local
+// source (composition graph fixture).
+const downstreamDescriptor = `
+<virtual-sensor name="doubled">
+  <output-structure><field name="tick" type="integer"/></output-structure>
+  <storage size="100"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="local"><predicate key="sensor" val="ticks"/></address>
+      <query>select tick * 2 as tick from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`
+
+// TestGraphEndpointAndCascadeDelete: /api/graph exposes the dependency
+// graph; DELETE refuses an upstream with dependents (409) and removes
+// the subtree with ?cascade=1.
+func TestGraphEndpointAndCascadeDelete(t *testing.T) {
+	c, srv := webFixture(t)
+	if err := c.DeployXML([]byte(downstreamDescriptor)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, srv.URL+"/api/graph")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph status = %d", resp.StatusCode)
+	}
+	var graph GraphResponse
+	if err := json.Unmarshal([]byte(body), &graph); err != nil {
+		t.Fatalf("graph json: %v", err)
+	}
+	if len(graph.Sensors) != 2 || len(graph.Edges) != 1 {
+		t.Fatalf("graph = %+v", graph)
+	}
+	if graph.Edges[0].Sensor != "DOUBLED" || graph.Edges[0].Upstream != "TICKS" {
+		t.Errorf("edge = %+v", graph.Edges[0])
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/sensors/ticks", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete with dependents status = %d, want 409", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/api/sensors/ticks?cascade=1", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cascade delete status = %d", resp.StatusCode)
+	}
+	if got := len(c.Sensors()); got != 0 {
+		t.Errorf("%d sensors remain after cascade", got)
+	}
+}
