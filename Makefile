@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke examples-smoke ci
+.PHONY: all build vet test race bench benchsmoke examples-smoke docs-check ci
 
 all: ci
 
@@ -28,9 +28,15 @@ bench-ingest:
 
 # The client-query acceptance benchmark: the compiled/shared/parallel
 # repository must beat the serial interpreted sweep at 1000 registered
-# queries.
+# queries (BenchmarkClientQueriesGrouped covers the GROUP BY rollups).
 bench-queries:
 	$(GO) test -run xxx -bench 'BenchmarkClientQueries' -benchmem .
+
+# docs-check keeps the documentation honest: relative markdown links
+# must resolve, and every ```sql example in docs/sql-dialect.md must
+# execute against the fixture catalog.
+docs-check:
+	$(GO) run ./cmd/docs-check
 
 # benchsmoke compiles and runs every benchmark once and sweeps the
 # gsn-bench experiments in quick mode, so perf-harness rot is caught on
@@ -51,4 +57,4 @@ examples-smoke:
 	timeout 120 $(GO) run ./examples/quickstart
 
 # ci is the tier-1 gate: everything a fresh clone must pass.
-ci: vet build race benchsmoke examples-smoke
+ci: vet build race benchsmoke examples-smoke docs-check

@@ -460,6 +460,81 @@ func BenchmarkClientQueries(b *testing.B) {
 	})
 }
 
+// BenchmarkClientQueriesGrouped extends the acceptance benchmark to
+// grouped rollups (the PR 5 tentpole): 1,000 registered GROUP BY
+// client queries (mixed unique/duplicate, ~100 live groups) against a
+// count-1000 window with a round-robin room key. The compiled grouped
+// bound-program tier plus the GroupedAggMaintainer must beat the
+// serial interpreted strategy by >=5x.
+func BenchmarkClientQueriesGrouped(b *testing.B) {
+	const window = 1000
+	const clients = 1000
+	node, err := gsn.NewNode(gsn.NodeOptions{Name: "bench-cqg", SyncProcessing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	desc := fmt.Sprintf(`
+<virtual-sensor name="g">
+  <output-structure>
+    <field name="room" type="integer"/>
+    <field name="value" type="integer"/>
+  </output-structure>
+  <storage size="%d"/>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="1">
+      <address wrapper="timer"/>
+      <query>select tick %% 100 as room, tick %% 101 as value from WRAPPER</query>
+    </stream-source>
+    <query>select * from s</query>
+  </input-stream>
+</virtual-sensor>`, window)
+	if err := node.DeployXML([]byte(desc)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < window; i++ {
+		node.Pulse()
+	}
+	duplicates := []string{
+		"select room, count(*) as n, avg(value) as a from g group by room",
+		"select room, min(value) as lo, max(value) as hi from g group by room",
+		"select room, count(*) as n from g group by room having count(*) > 2",
+		"select room, avg(value) as a from g where value > 50 group by room",
+		"select room % 10 as shard, count(*) as n from g group by room % 10",
+	}
+	for i := 0; i < clients; i++ {
+		sql := duplicates[i%len(duplicates)]
+		if i%2 == 1 {
+			// Unique half: the upper bound exceeds the value domain, so
+			// it only makes the SQL text (the evaluation group) unique.
+			sql = fmt.Sprintf("select room, count(*) as n from g where value > %d and value <= %d group by room",
+				i%97, 101+i)
+		}
+		if _, err := node.RegisterQuery("g", sql, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := node.Container()
+	repo := c.QueryRepositoryRef()
+	cat := c.Catalog()
+	opts := sqlengine.Options{Clock: c.Clock()}
+
+	b.Run("serial-interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := repo.EvaluateForSerial("g", cat, opts); n != clients {
+				b.Fatalf("evaluated %d of %d", n, clients)
+			}
+		}
+	})
+	b.Run("compiled-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := repo.EvaluateFor("g", cat, opts); n != clients {
+				b.Fatalf("evaluated %d of %d", n, clients)
+			}
+		}
+	})
+}
+
 // triggerPipelineTable builds a 1000-element count window for the
 // trigger pipeline benchmark.
 func triggerPipelineTable(b *testing.B) *storage.Table {

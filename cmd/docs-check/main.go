@@ -1,0 +1,179 @@
+// Command docs-check keeps the documentation honest:
+//
+//   - Markdown link check: every relative link in README.md,
+//     ROADMAP.md, CHANGES.md and docs/*.md must resolve to a file or
+//     directory in the repository (external http(s)/mailto links and
+//     pure #anchors are skipped).
+//   - Dialect smoke: every ```sql fenced block in docs/sql-dialect.md
+//     is parsed and executed against the fixture catalog below, so the
+//     documented SQL surface cannot rot ahead of (or behind) the
+//     engine. Full-line "-- comment" lines are stripped; statements
+//     split on trailing semicolons.
+//
+// Run by `make docs-check` (wired into `make ci` and the GitHub
+// workflow). Exit status is non-zero when anything is broken.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/stream"
+)
+
+func main() {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err == nil {
+		sort.Strings(docs)
+		files = append(files, docs...)
+	}
+	for _, f := range files {
+		checkLinks(f, report)
+	}
+	checkDialectExamples(filepath.Join("docs", "sql-dialect.md"), report)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docs-check:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docs-check: ok")
+}
+
+// linkPattern matches markdown inline links [text](target). Images
+// ![alt](target) match too via the optional bang.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkLinks verifies every relative link target in one markdown file.
+func checkLinks(path string, report func(string, ...any)) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		report("%s: %v", path, err)
+		return
+	}
+	dir := filepath.Dir(path)
+	for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"),
+			strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"),
+			strings.HasPrefix(target, "#"):
+			continue
+		}
+		// Strip an anchor or query suffix from a file link.
+		if i := strings.IndexAny(target, "#?"); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+			report("%s: broken link %q", path, m[1])
+		}
+	}
+}
+
+// fixtureCatalog builds the tables the dialect examples run against.
+// docs/sql-dialect.md documents this fixture in its own "fixture"
+// section; keep the two in sync.
+func fixtureCatalog() (sqlengine.Catalog, error) {
+	readings := stream.MustSchema(
+		stream.Field{Name: "room", Type: stream.TypeString},
+		stream.Field{Name: "value", Type: stream.TypeFloat},
+	)
+	alarms := stream.MustSchema(
+		stream.Field{Name: "room", Type: stream.TypeString},
+		stream.Field{Name: "level", Type: stream.TypeInt},
+	)
+	var relErr error
+	mk := func(schema *stream.Schema, rows [][]stream.Value) *sqlengine.Relation {
+		var elems []stream.Element
+		for i, r := range rows {
+			e, err := stream.NewElement(schema, stream.Timestamp(1000*(i+1)), r...)
+			if err != nil && relErr == nil {
+				relErr = err
+			}
+			elems = append(elems, e)
+		}
+		return sqlengine.RelationOfElements(schema, elems)
+	}
+	cat := sqlengine.MapCatalog{
+		"READINGS": mk(readings, [][]stream.Value{
+			{"kitchen", 21.5},
+			{"kitchen", 23.0},
+			{"lab", 19.0},
+			{"lab", nil},
+			{"office", 27.5},
+		}),
+		"ALARMS": mk(alarms, [][]stream.Value{
+			{"lab", int64(2)},
+			{"office", int64(1)},
+		}),
+	}
+	return cat, relErr
+}
+
+// sqlBlockPattern captures ```sql fenced blocks.
+var sqlBlockPattern = regexp.MustCompile("(?s)```sql\n(.*?)```")
+
+// checkDialectExamples executes every SQL example in the dialect doc.
+func checkDialectExamples(path string, report func(string, ...any)) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		report("%s: %v", path, err)
+		return
+	}
+	cat, err := fixtureCatalog()
+	if err != nil {
+		report("fixture: %v", err)
+		return
+	}
+	blocks := sqlBlockPattern.FindAllStringSubmatch(string(data), -1)
+	if len(blocks) == 0 {
+		report("%s: no ```sql blocks found (smoke has nothing to check)", path)
+		return
+	}
+	executed := 0
+	for _, b := range blocks {
+		for _, stmt := range splitStatements(b[1]) {
+			if _, err := sqlengine.ExecuteSQL(stmt, cat, sqlengine.Options{}); err != nil {
+				report("%s: example failed: %q: %v", path, stmt, err)
+				continue
+			}
+			executed++
+		}
+	}
+	fmt.Printf("docs-check: executed %d dialect examples from %s\n", executed, path)
+}
+
+// splitStatements strips full-line comments and splits a block on
+// trailing semicolons; a block without semicolons is one statement.
+func splitStatements(block string) []string {
+	var kept []string
+	for _, line := range strings.Split(block, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "--") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	var out []string
+	for _, stmt := range strings.Split(strings.Join(kept, "\n"), ";") {
+		if stmt = strings.TrimSpace(stmt); stmt != "" {
+			out = append(out, stmt)
+		}
+	}
+	return out
+}

@@ -11,6 +11,7 @@
 //	gsn-bench -experiment ablation
 //	gsn-bench -experiment ingest
 //	gsn-bench -experiment queries
+//	gsn-bench -experiment grouped
 //	gsn-bench -experiment cascade
 //	gsn-bench -experiment all
 package main
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, cascade, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, grouped, cascade, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -116,6 +117,25 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.ShapeReport())
 		return writeCSV(*outDir, "queries.csv", res.CSV())
+	})
+
+	run("grouped", func() error {
+		cfg := bench.DefaultGrouped()
+		if *quick {
+			cfg.Cardinalities = []int{1, 100}
+			cfg.Queries = 200
+			cfg.Sweeps = 3
+			cfg.MaxSerialSweepQueries = 10_000
+		}
+		res, err := bench.RunGrouped(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		fmt.Println()
+		fmt.Print(res.ShapeReport())
+		return writeCSV(*outDir, "grouped.csv", res.CSV())
 	})
 
 	run("cascade", func() error {

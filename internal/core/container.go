@@ -1,10 +1,12 @@
 // Package core implements the GSN container (paper §4, Figure 2): the
 // virtual sensor manager with its life-cycle manager and input stream
 // manager, the storage layer binding, the query manager (query
-// processor + query repository + notification manager) and the
-// supervision loop. A container hosts and manages any number of virtual
-// sensors concurrently and supports adding, removing and reconfiguring
-// them while running.
+// processor + query repository + notification manager), the local
+// composition bus and dependency graph, and the supervision loop. A
+// container hosts and manages any number of virtual sensors
+// concurrently and supports adding, removing and reconfiguring them
+// while running. docs/architecture.md walks the full data path from
+// wrapper arrival to client query through this package.
 package core
 
 import (

@@ -88,12 +88,58 @@ type queryGroup struct {
 	// schema at Register time; nil when the shape needs the full
 	// engine (joins, subqueries, other tables).
 	plan *sqlengine.Plan
-	// agg incrementally maintains an aggregate-only plan via the
+	// agg incrementally maintains an aggregate-only plan — ungrouped
+	// (AggMaintainer) or grouped (GroupedAggMaintainer) — via the
 	// output table's observer hook; nil unless the shape and the
 	// window qualify.
-	agg *sqlengine.AggMaintainer
+	agg incMaintainer
 
 	subs map[int64]*ClientQuery
+}
+
+// incMaintainer is the common surface of the incremental serving tier:
+// a table observer whose Result materialises the maintained relation
+// in O(output), or nil when poisoned. *sqlengine.AggMaintainer and
+// *sqlengine.GroupedAggMaintainer implement it.
+type incMaintainer interface {
+	storage.Observer
+	Result() *sqlengine.Relation
+	NeedsResync() bool
+}
+
+// newIncMaintainer builds the incremental maintainer matching the
+// plan's shape — ungrouped or grouped aggregate-only — or nil. Only
+// count windows qualify: time-window eviction is clock-driven and the
+// observer hooks fire on access, so the maintained state could lag the
+// queried instant. schema is the window table's element schema.
+func newIncMaintainer(plan *sqlengine.Plan, window stream.Window, schema *stream.Schema) incMaintainer {
+	if window.Kind != stream.CountWindow {
+		return nil
+	}
+	if inc := plan.Incremental(); inc != nil {
+		return sqlengine.NewAggMaintainer(inc)
+	}
+	if ginc := plan.IncrementalGrouped(); ginc != nil && !groupedKeysApproximate(ginc, schema) {
+		return sqlengine.NewGroupedAggMaintainer(ginc)
+	}
+	return nil
+}
+
+// groupedKeysApproximate reports whether any group key is a float
+// column. Distinct float representations can compare equal (-0.0 vs
+// +0.0), and the maintainer projects the key values captured at group
+// creation while a window scan projects the oldest live row's — so a
+// float-keyed rollup could diverge byte-wise after eviction. Such
+// shapes stay on the compiled tier, which rescans. (The implicit TIMED
+// key, index == schema length, is an int.)
+func groupedKeysApproximate(prog *sqlengine.GroupedIncProgram, schema *stream.Schema) bool {
+	fields := schema.Fields()
+	for _, col := range prog.Keys {
+		if col < len(fields) && fields[col].Type == stream.TypeFloat {
+			return true
+		}
+	}
+	return false
 }
 
 // sensorQueries indexes the groups watching one sensor.
@@ -281,9 +327,7 @@ func (r *QueryRepository) Register(sensor, sql string, sampling float64,
 			if plan, err := sqlengine.Compile(stmt,
 				sqlengine.ColumnsOfSchema(sq.out.Schema()), canonical); err == nil {
 				g.plan = plan
-				if inc := plan.Incremental(); inc != nil && sq.out.Window().Kind == stream.CountWindow {
-					g.agg = sqlengine.NewAggMaintainer(inc)
-				}
+				g.agg = newIncMaintainer(plan, sq.out.Window(), sq.out.Schema())
 			}
 		}
 		sq.groups[sql] = g
@@ -328,6 +372,20 @@ func (r *QueryRepository) resetObserverLocked(sq *sensorQueries) {
 		sq.out.SetObserver(obs[0])
 	default:
 		sq.out.SetObserver(&fanoutObserver{obs: obs})
+	}
+}
+
+// resyncSensor rebuilds every maintainer watching the sensor from the
+// live window (SetObserver truncate+replays through the fanout), so
+// subtract-on-evict float drift cannot accumulate past the resync
+// bound on the client-query path either. Reinstalling the whole set
+// keeps the single-observer contract simple; a spurious concurrent
+// resync just replays twice, each time to a consistent state.
+func (r *QueryRepository) resyncSensor(sensor string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sq := r.bySensor[sensor]; sq != nil {
+		r.resetObserverLocked(sq)
 	}
 }
 
@@ -587,6 +645,13 @@ func (r *QueryRepository) evalGroup(w groupWork, shared *sharedWindow,
 	var err error
 	switch {
 	case g.agg != nil:
+		if g.agg.NeedsResync() {
+			// Bounded float drift: reinstall the sensor's observer set,
+			// which truncate+replays the live window into every
+			// maintainer (mirrors the sensor-source resync path).
+			r.resyncSensor(g.sensor)
+			r.metrics.Counter("client_query_resyncs").Inc()
+		}
 		// Read under the table lock so the aggregates reflect exactly
 		// the live window. A poisoned maintainer (nil result) falls
 		// through to the compiled plan, which surfaces the type error.

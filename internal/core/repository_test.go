@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"gsn/internal/metrics"
 	"gsn/internal/sqlengine"
+	"gsn/internal/storage"
 	"gsn/internal/stream"
 )
 
@@ -54,19 +56,26 @@ func deployVals(t testing.TB, c *Container, rows int) {
 }
 
 // clientQueryShapes covers every evaluation tier the repository
-// serves: incremental aggregates, compiled plans with WHERE /
-// ORDER BY / LIMIT, and full-engine fallbacks (subquery).
+// serves: incremental aggregates (ungrouped and grouped), compiled
+// plans with WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, and
+// full-engine fallbacks (subquery).
 var clientQueryShapes = []string{
-	"select count(*), avg(value) from vals",                                 // incremental
-	"select count(*) as n, min(value) as lo, max(value) as hi from vals",    // incremental
-	"select value from vals where value > 5",                                // compiled filter
-	"select value, timed from vals where value <= 20 order by value desc",   // compiled sort
-	"select avg(value) from vals where timed > 0",                           // compiled agg+filter
-	"select value from vals order by timed desc limit 3",                    // compiled limit
-	"select value from vals where value > (select avg(value) from vals)",    // fallback subquery
-	"select count(*) from vals where value between -1000 and 1000",          // compiled between
-	"select value * 2 as dbl from vals where value >= -1e12 limit 5",        // compiled expr
-	"select distinct value from vals where value > -1000000 order by value", // compiled distinct
+	"select count(*), avg(value) from vals",                                                   // incremental
+	"select count(*) as n, min(value) as lo, max(value) as hi from vals",                      // incremental
+	"select value from vals where value > 5",                                                  // compiled filter
+	"select value, timed from vals where value <= 20 order by value desc",                     // compiled sort
+	"select avg(value) from vals where timed > 0",                                             // compiled agg+filter
+	"select value from vals order by timed desc limit 3",                                      // compiled limit
+	"select value from vals where value > (select avg(value) from vals)",                      // fallback subquery
+	"select count(*) from vals where value between -1000 and 1000",                            // compiled between
+	"select value * 2 as dbl from vals where value >= -1e12 limit 5",                          // compiled expr
+	"select distinct value from vals where value > -1000000 order by value",                   // compiled distinct
+	"select value, count(*) as n from vals group by value",                                    // incremental grouped
+	"select value % 7 as bucket, count(*) as n, avg(value) as a from vals group by value % 7", // compiled grouped (expr key)
+	"select value, count(*) as n from vals group by value having count(*) > 1",                // compiled grouped + HAVING
+	"select value, count(*) as n from vals group by value having count(*) > 1000",             // HAVING filters all groups
+	"select value, count(*) as n from vals where value > 100000 group by value",               // empty group set
+	"select value % 5 as b, max(value) as m from vals group by value % 5 order by m desc, b",  // grouped + ORDER BY
 }
 
 // TestGroupedEvaluationMatchesSerial is the equivalence property test:
@@ -351,6 +360,130 @@ func TestAggregateGroupUsesMaintainer(t *testing.T) {
 	if c.Metrics().Counter("client_query_incremental").Value() != before+20 {
 		t.Errorf("incremental tier served %d of 20 evaluations",
 			c.Metrics().Counter("client_query_incremental").Value()-before)
+	}
+}
+
+// TestGroupedAggregateGroupUsesMaintainer confirms grouped rollup
+// client queries are served by the O(output) grouped incremental tier
+// (the counter moves) and track the sliding window exactly, group
+// appearance and disappearance included.
+func TestGroupedAggregateGroupUsesMaintainer(t *testing.T) {
+	c := testContainer(t)
+	deployVals(t, c, 200) // values cycle (i*37)%101 over a count-100 window
+	var last atomic.Value
+	if _, err := c.RegisterQuery("vals", "select value, count(*) as n from vals group by value", 1,
+		func(rel *sqlengine.Relation) { last.Store(rel.String()) }); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Metrics().Counter("client_query_incremental").Value()
+	shadow := NewQueryRepository(nil)
+	var want atomic.Value
+	if _, err := shadow.Register("vals", "select value, count(*) as n from vals group by value", 1,
+		func(rel *sqlengine.Relation) { want.Store(rel.String()) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 150; i++ {
+		c.Pulse()
+		shadow.EvaluateForSerial("vals", c.Catalog(), sqlengine.Options{Clock: c.Clock()})
+		if g, s := last.Load(), want.Load(); g != s {
+			t.Fatalf("pulse %d:\ngrouped incremental:\n%v\nserial:\n%v", i, g, s)
+		}
+	}
+	if got := c.Metrics().Counter("client_query_incremental").Value() - before; got != 150 {
+		t.Errorf("grouped incremental tier served %d of 150 evaluations", got)
+	}
+}
+
+// TestRepositoryMaintainerResync: after enough evicted float inputs
+// the maintainer requests a rebuild, and the next sweep performs it on
+// the client-query path (counter moves, results stay identical to the
+// interpreted execution).
+func TestRepositoryMaintainerResync(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "k", Type: stream.TypeInt},
+		stream.Field{Name: "f", Type: stream.TypeFloat},
+	)
+	table, err := storage.NewTable("t", schema,
+		stream.Window{Kind: stream.CountWindow, Count: 8}, stream.NewManualClock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	repo := NewQueryRepository(reg)
+	defer repo.Close()
+	const sql = "select k, avg(f) as a from t group by k"
+	var got atomic.Value
+	if _, err := repo.Register("t", sql, 1, func(rel *sqlengine.Relation) {
+		got.Store(rel.String())
+	}, table); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push well past the float-drift resync bound (65536 evicted float
+	// inputs) on a tiny window.
+	for i := 0; i < 66_000; i++ {
+		e, err := stream.NewElement(schema, stream.Timestamp(i+1), int64(i%3), float64(i)/7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := table.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := sqlengine.Options{Clock: stream.NewManualClock(1)}
+	cat := sqlengine.MapCatalog{"T": sqlengine.RelationOfSource(table)}
+	if n := repo.EvaluateFor("t", cat, opts); n != 1 {
+		t.Fatalf("evaluated %d of 1", n)
+	}
+	if v := reg.Counter("client_query_resyncs").Value(); v == 0 {
+		t.Error("client-query sweep did not resync a drift-bound maintainer")
+	}
+	want, err := sqlengine.ExecuteSQL(sql, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.Load(); g != want.String() {
+		t.Errorf("post-resync result diverged:\nmaintained:\n%v\ninterpreted:\n%s", g, want)
+	}
+	if reg.Counter("client_query_incremental").Value() == 0 {
+		t.Error("grouped rollup was not served by the incremental tier")
+	}
+}
+
+// TestFloatGroupKeysStayCompiled: float group keys are excluded from
+// the grouped incremental tier (distinct representations like -0.0 and
+// +0.0 compare equal, so the maintainer's captured key values could
+// diverge byte-wise from a window rescan after eviction); integer keys
+// qualify.
+func TestFloatGroupKeysStayCompiled(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "fk", Type: stream.TypeFloat},
+		stream.Field{Name: "ik", Type: stream.TypeInt},
+	)
+	window := stream.Window{Kind: stream.CountWindow, Count: 10}
+	compile := func(sql string) *sqlengine.Plan {
+		t.Helper()
+		stmt, err := sqlengine.ParseCached(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(schema), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	if m := newIncMaintainer(compile("select fk, count(*) as n from t group by fk"), window, schema); m != nil {
+		t.Error("float group key must stay on the compiled tier")
+	}
+	if m := newIncMaintainer(compile("select ik, fk, count(*) as n from t group by ik, fk"), window, schema); m != nil {
+		t.Error("mixed keys with a float column must stay on the compiled tier")
+	}
+	if m := newIncMaintainer(compile("select ik, avg(fk) as a from t group by ik"), window, schema); m == nil {
+		t.Error("integer group key (float only as aggregate input) should qualify")
+	}
+	if m := newIncMaintainer(compile("select ik, timed, count(*) as n from t group by ik, timed"), window, schema); m == nil {
+		t.Error("TIMED group key is an int and should qualify")
 	}
 }
 

@@ -69,6 +69,8 @@ func TestResultCacheInvalidation(t *testing.T) {
 		"select * from t",
 		"select count(*) as n, sum(v) as s from t",
 		"select v from t where v > 2 order by v desc",
+		"select v, count(*) as n from t group by v",
+		"select v % 2 as b, sum(v) as s from t group by v % 2 having count(*) > 0",
 	}
 	check := func(step string) {
 		t.Helper()
@@ -165,6 +167,21 @@ func TestResultCacheSkipsVolatile(t *testing.T) {
 	}
 	if n := rel.Rows[0][0]; n != int64(0) {
 		t.Errorf("aged-out count = %v, want 0", n)
+	}
+
+	// Volatility hides anywhere in a grouped statement too: a NOW() in
+	// HAVING must bypass the cache the same way.
+	const grouped = `select timed % 2 as b, count(*) as n from "avg-temp" ` +
+		`group by timed % 2 having max(timed) >= now() - 60000`
+	if _, err := c.Query(grouped); err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ = cacheCounters(c)
+	if _, err := c.Query(grouped); err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _ := cacheCounters(c); hits1 != hits0 {
+		t.Error("volatile grouped statement served from cache")
 	}
 }
 

@@ -74,9 +74,10 @@ type sourceRuntime struct {
 	// plan is the source query compiled against the wrapper schema at
 	// deploy time; nil when the statement shape needs the full engine.
 	plan *sqlengine.Plan
-	// agg incrementally maintains an aggregate-only source query over
-	// the count window; nil when the query or window does not qualify.
-	agg *sqlengine.AggMaintainer
+	// agg incrementally maintains an aggregate-only source query —
+	// ungrouped or grouped (GROUP BY rollup) — over the count window;
+	// nil when the query or window does not qualify.
+	agg incMaintainer
 
 	sampler *quality.Sampler
 	repair  *quality.Repairer
@@ -311,8 +312,7 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 	if plan, err := sqlengine.Compile(stmt, sqlengine.ColumnsOfSchema(w.Schema()),
 		vsensor.WrapperTable(), spec.Alias); err == nil {
 		src.plan = plan
-		if inc := plan.Incremental(); inc != nil && window.Kind == stream.CountWindow {
-			src.agg = sqlengine.NewAggMaintainer(inc)
+		if src.agg = newIncMaintainer(plan, window, w.Schema()); src.agg != nil {
 			table.SetObserver(src.agg)
 		}
 	}

@@ -36,9 +36,17 @@ func errTooManyRows(max int) error {
 // interpreter uses, so results are byte-identical; the repository's
 // equivalence property test pins that.
 //
+// Grouped aggregation compiles too: GROUP BY key expressions bind to
+// row-context closures evaluated once per input row, groups hash on the
+// encoded key vector into per-group accumulator slots, and HAVING binds
+// as a post-aggregation predicate evaluated over each group's aggregate
+// slots and representative row — so the multi-key rollups composition
+// tiers generate (per-room averages, per-type alarm counts) run on the
+// bound path instead of the interpreter.
+//
 // Statement shapes the binder does not cover (subqueries, EXISTS,
-// IN (SELECT), GROUP BY, HAVING, unknown functions) leave Plan.prog nil
-// and fall back to the interpreted path.
+// IN (SELECT), unknown functions) leave Plan.prog nil and fall back to
+// the interpreted path.
 
 // boundExpr evaluates one compiled expression over a row.
 type boundExpr func(row []stream.Value, ctx *boundCtx) (stream.Value, error)
@@ -71,12 +79,15 @@ type boundOrder struct {
 }
 
 // boundProgram is a fully bound single-pass execution plan for one
-// SELECT core: filter, (single-group) aggregate, project, sort keys.
+// SELECT core: filter, group keys, aggregate slots, HAVING, project,
+// sort keys.
 type boundProgram struct {
 	where   boundExpr
 	proj    []boundProj
 	aggs    []boundAgg
 	order   []boundOrder
+	groupBy []boundExpr // GROUP BY key expressions, row context
+	having  boundExpr   // post-aggregation predicate (agg slots + rep row)
 	grouped bool
 }
 
@@ -84,13 +95,26 @@ type boundProgram struct {
 // of the statement is outside the compiled subset.
 func newBoundProgram(sp *simplePlan, cols []Column) *boundProgram {
 	stmt := sp.stmt
-	if len(stmt.GroupBy) > 0 || stmt.Having != nil {
-		return nil
-	}
 	b := &binder{cols: cols, aggs: sp.aggs}
 	prog := &boundProgram{grouped: sp.grouped}
 	if stmt.Where != nil {
 		if prog.where = b.bind(stmt.Where); prog.where == nil {
+			return nil
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		// Key expressions evaluate in plain row context (aggregates are
+		// illegal there; an aggregate call falls back to the interpreter,
+		// which reports it).
+		keyBinder := &binder{cols: cols}
+		fn := keyBinder.bind(g)
+		if fn == nil {
+			return nil
+		}
+		prog.groupBy = append(prog.groupBy, fn)
+	}
+	if stmt.Having != nil {
+		if prog.having = b.bind(stmt.Having); prog.having == nil {
 			return nil
 		}
 	}
@@ -655,54 +679,8 @@ func (prog *boundProgram) run(p *Plan, rows [][]stream.Value, opts Options) (*Re
 				return nil, err
 			}
 		}
-	} else {
-		states := make([]*aggState, len(prog.aggs))
-		for i, a := range prog.aggs {
-			states[i] = newAggState(a.kind, a.distinct)
-		}
-		var rep []stream.Value
-		for _, row := range rows {
-			if prog.where != nil {
-				v, err := prog.where(row, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if t, known := truth(v); !known || !t {
-					continue
-				}
-			}
-			if rep == nil {
-				rep = row
-			}
-			for i := range prog.aggs {
-				a := &prog.aggs[i]
-				if a.countStar {
-					if err := states[i].add(int64(1)); err != nil {
-						return nil, err
-					}
-					continue
-				}
-				v, err := a.arg(row, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if err := states[i].add(v); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// Aggregates over an empty input still produce one row
-		// (COUNT(*) = 0), projected over an all-NULL representative.
-		if rep == nil {
-			rep = make([]stream.Value, len(p.inCols))
-		}
-		ctx.agg = make([]stream.Value, len(states))
-		for i, st := range states {
-			ctx.agg[i] = st.result()
-		}
-		if err := project(rep); err != nil {
-			return nil, err
-		}
+	} else if err := prog.runGrouped(p, rows, ctx, project); err != nil {
+		return nil, err
 	}
 
 	if sp.stmt.Distinct {
@@ -715,4 +693,119 @@ func (prog *boundProgram) run(p *Plan, rows [][]stream.Value, opts Options) (*Re
 		return nil, err
 	}
 	return out, nil
+}
+
+// boundGroup is one hash bucket of the grouped compiled path: the
+// group's representative row (the first WHERE-surviving row, exactly
+// the interpreter's choice) and one accumulator per aggregate slot
+// (flat, one allocation per group).
+type boundGroup struct {
+	rep    []stream.Value
+	states []aggState
+}
+
+// runGrouped executes the aggregation half of the bound program:
+// groups hash on the encoded GROUP BY key vector (one key evaluation
+// per row, resolved to row indices at bind time; the encoded key is
+// looked up allocation-free and materialised only on first sight),
+// aggregates fold into per-group slots, and each surviving group
+// projects over its representative row with the group's aggregate
+// results installed in the context. Output order is first-seen order,
+// matching execGrouped.
+func (prog *boundProgram) runGrouped(p *Plan, rows [][]stream.Value,
+	ctx *boundCtx, project func([]stream.Value) error) error {
+
+	groups := make(map[string]*boundGroup)
+	var order []*boundGroup
+	newGroup := func(rep []stream.Value) *boundGroup {
+		g := &boundGroup{rep: rep, states: make([]aggState, len(prog.aggs))}
+		for i, a := range prog.aggs {
+			g.states[i] = aggState{kind: a.kind, distinct: a.distinct, intOnly: true}
+		}
+		order = append(order, g)
+		return g
+	}
+
+	var keyVals []stream.Value
+	var keyBuf []byte
+	if len(prog.groupBy) > 0 {
+		keyVals = make([]stream.Value, len(prog.groupBy))
+	}
+	var single *boundGroup // the one group of a GROUP BY-less aggregation
+	for _, row := range rows {
+		if prog.where != nil {
+			v, err := prog.where(row, ctx)
+			if err != nil {
+				return err
+			}
+			if t, known := truth(v); !known || !t {
+				continue
+			}
+		}
+		var g *boundGroup
+		if len(prog.groupBy) > 0 {
+			for i, fn := range prog.groupBy {
+				v, err := fn(row, ctx)
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
+			}
+			keyBuf = appendRowKey(keyBuf[:0], keyVals)
+			// map[string([]byte)] lookups compile without a string
+			// allocation; the key is materialised only on a miss.
+			if g = groups[string(keyBuf)]; g == nil {
+				g = newGroup(row)
+				groups[string(keyBuf)] = g
+			}
+		} else {
+			if single == nil {
+				single = newGroup(row)
+			}
+			g = single
+		}
+		for i := range prog.aggs {
+			a := &prog.aggs[i]
+			if a.countStar {
+				if err := g.states[i].add(int64(1)); err != nil {
+					return err
+				}
+				continue
+			}
+			v, err := a.arg(row, ctx)
+			if err != nil {
+				return err
+			}
+			if err := g.states[i].add(v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Aggregates without GROUP BY over an empty input still produce one
+	// row (COUNT(*) = 0), projected over an all-NULL representative;
+	// with GROUP BY an empty input produces no groups at all.
+	if len(order) == 0 && len(prog.groupBy) == 0 {
+		newGroup(make([]stream.Value, len(p.inCols)))
+	}
+
+	ctx.agg = make([]stream.Value, len(prog.aggs))
+	for _, g := range order {
+		for i := range g.states {
+			ctx.agg[i] = g.states[i].result()
+		}
+		if prog.having != nil {
+			v, err := prog.having(g.rep, ctx)
+			if err != nil {
+				return err
+			}
+			if t, known := truth(v); !known || !t {
+				continue
+			}
+		}
+		if err := project(g.rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"sort"
 	"sync"
 
 	"gsn/internal/stream"
@@ -59,6 +60,119 @@ type incState struct {
 	deque  []seqValue // MIN/MAX monotonic deque, or LAST FIFO
 }
 
+// insert folds one arriving input value into the state. v is the
+// aggregate argument (nil for SQL NULL; ignored except by COUNT(*),
+// which passes spec.Col < 0 and no value). seq is the element's arrival
+// sequence. It returns false when the value poisons the state (the
+// owner falls back to full plan execution, which reports the error).
+func (st *incState) insert(spec *IncAggSpec, v stream.Value, seq uint64) bool {
+	if spec.Col < 0 { // COUNT(*)
+		st.count++
+		return true
+	}
+	if v == nil {
+		return true // SQL aggregates ignore NULLs
+	}
+	st.count++
+	switch spec.Kind {
+	case IncSum, IncAvg:
+		switch x := v.(type) {
+		case int64:
+			st.intSum += x
+		case float64:
+			st.fSum += x
+			st.nFloat++
+		default:
+			return false
+		}
+	case IncMin, IncMax:
+		want := -1 // MIN keeps an increasing deque: pop backs >= v
+		if spec.Kind == IncMax {
+			want = 1 // MAX keeps a decreasing deque: pop backs <= v
+		}
+		for len(st.deque) > 0 {
+			c, known, err := compare(st.deque[len(st.deque)-1].v, v)
+			if err != nil || !known {
+				return false
+			}
+			if c*want > 0 {
+				break
+			}
+			st.deque = st.deque[:len(st.deque)-1]
+		}
+		st.deque = append(st.deque, seqValue{seq: seq, v: v})
+	case IncLast:
+		st.deque = append(st.deque, seqValue{seq: seq, v: v})
+	}
+	return true
+}
+
+// evict subtracts one evicted input value. seq is the arrival sequence
+// the value carried on insert; floatEvicts is bumped for evicted float
+// SUM/AVG inputs so the owner can bound rounding drift (NeedsResync).
+// It returns false when the value poisons the state.
+func (st *incState) evict(spec *IncAggSpec, v stream.Value, seq uint64, floatEvicts *uint64) bool {
+	if spec.Col < 0 {
+		st.count--
+		return true
+	}
+	if v == nil {
+		return true
+	}
+	st.count--
+	switch spec.Kind {
+	case IncSum, IncAvg:
+		switch x := v.(type) {
+		case int64:
+			st.intSum -= x
+		case float64:
+			st.fSum -= x
+			st.nFloat--
+			*floatEvicts++
+		default:
+			return false
+		}
+	case IncMin, IncMax, IncLast:
+		if len(st.deque) > 0 && st.deque[0].seq == seq {
+			st.deque = st.deque[1:]
+		}
+	}
+	return true
+}
+
+// result finalises the aggregate value. Empty-state semantics match
+// aggState: COUNT is 0, the rest are NULL.
+func (st *incState) result(kind IncAggKind) stream.Value {
+	switch kind {
+	case IncCount:
+		return st.count
+	case IncSum:
+		if st.count == 0 {
+			return nil
+		}
+		if st.nFloat == 0 {
+			return st.intSum
+		}
+		return float64(st.intSum) + st.fSum
+	case IncAvg:
+		if st.count == 0 {
+			return nil
+		}
+		return (float64(st.intSum) + st.fSum) / float64(st.count)
+	case IncMin, IncMax:
+		if len(st.deque) > 0 {
+			return st.deque[0].v
+		}
+		return nil
+	case IncLast:
+		if len(st.deque) > 0 {
+			return st.deque[len(st.deque)-1].v
+		}
+		return nil
+	}
+	return nil
+}
+
 // NewAggMaintainer builds a maintainer for a plan's incremental program
 // (Plan.Incremental).
 func NewAggMaintainer(specs []IncAggSpec) *AggMaintainer {
@@ -80,47 +194,13 @@ func (m *AggMaintainer) OnInsert(e stream.Element) {
 	m.seq++
 	for i := range m.specs {
 		spec := &m.specs[i]
-		st := &m.states[i]
-		if spec.Col < 0 { // COUNT(*)
-			st.count++
-			continue
+		var v stream.Value
+		if spec.Col >= 0 {
+			v = inputValue(e, spec.Col)
 		}
-		v := inputValue(e, spec.Col)
-		if v == nil {
-			continue // SQL aggregates ignore NULLs
-		}
-		st.count++
-		switch spec.Kind {
-		case IncSum, IncAvg:
-			switch x := v.(type) {
-			case int64:
-				st.intSum += x
-			case float64:
-				st.fSum += x
-				st.nFloat++
-			default:
-				m.broken = true
-				return
-			}
-		case IncMin, IncMax:
-			want := -1 // MIN keeps an increasing deque: pop backs >= v
-			if spec.Kind == IncMax {
-				want = 1 // MAX keeps a decreasing deque: pop backs <= v
-			}
-			for len(st.deque) > 0 {
-				c, known, err := compare(st.deque[len(st.deque)-1].v, v)
-				if err != nil || !known {
-					m.broken = true
-					return
-				}
-				if c*want > 0 {
-					break
-				}
-				st.deque = st.deque[:len(st.deque)-1]
-			}
-			st.deque = append(st.deque, seqValue{seq: seq, v: v})
-		case IncLast:
-			st.deque = append(st.deque, seqValue{seq: seq, v: v})
+		if !m.states[i].insert(spec, v, seq) {
+			m.broken = true
+			return
 		}
 	}
 }
@@ -138,33 +218,13 @@ func (m *AggMaintainer) OnEvict(e stream.Element) {
 	m.headSq++
 	for i := range m.specs {
 		spec := &m.specs[i]
-		st := &m.states[i]
-		if spec.Col < 0 {
-			st.count--
-			continue
+		var v stream.Value
+		if spec.Col >= 0 {
+			v = inputValue(e, spec.Col)
 		}
-		v := inputValue(e, spec.Col)
-		if v == nil {
-			continue
-		}
-		st.count--
-		switch spec.Kind {
-		case IncSum, IncAvg:
-			switch x := v.(type) {
-			case int64:
-				st.intSum -= x
-			case float64:
-				st.fSum -= x
-				st.nFloat--
-				m.floatEvicts++
-			default:
-				m.broken = true
-				return
-			}
-		case IncMin, IncMax, IncLast:
-			if len(st.deque) > 0 && st.deque[0].seq == seq {
-				st.deque = st.deque[1:]
-			}
+		if !m.states[i].evict(spec, v, seq, &m.floatEvicts) {
+			m.broken = true
+			return
 		}
 	}
 }
@@ -214,34 +274,188 @@ func (m *AggMaintainer) Result() *Relation {
 	}
 	row := make([]stream.Value, len(m.specs))
 	for i := range m.specs {
-		spec := &m.specs[i]
-		st := &m.states[i]
-		switch spec.Kind {
-		case IncCount:
-			row[i] = st.count
-		case IncSum:
-			if st.count == 0 {
-				row[i] = nil
-			} else if st.nFloat == 0 {
-				row[i] = st.intSum
-			} else {
-				row[i] = float64(st.intSum) + st.fSum
-			}
-		case IncAvg:
-			if st.count == 0 {
-				row[i] = nil
-			} else {
-				row[i] = (float64(st.intSum) + st.fSum) / float64(st.count)
-			}
-		case IncMin, IncMax:
-			if len(st.deque) > 0 {
-				row[i] = st.deque[0].v
-			}
-		case IncLast:
-			if len(st.deque) > 0 {
-				row[i] = st.deque[len(st.deque)-1].v
-			}
-		}
+		row[i] = m.states[i].result(m.specs[i].Kind)
 	}
 	return &Relation{Cols: m.cols, Rows: [][]stream.Value{row}}
+}
+
+// GroupedAggMaintainer incrementally maintains a grouped aggregate-only
+// plan (SELECT key..., agg(col)... FROM w GROUP BY key...) over a
+// sliding count window: one hash bucket per live group-key vector, each
+// holding the same incState machinery AggMaintainer uses per aggregate,
+// plus a FIFO of the group's live row sequences so group membership —
+// and the first-seen output order the interpreter produces — survives
+// eviction exactly. Insert and evict are O(group keys + aggregates);
+// Result is O(output), independent of the window size.
+//
+// It implements storage.Observer with the same contract as
+// AggMaintainer: table callbacks arrive under the table lock in arrival
+// (FIFO) order, Result carries its own mutex, and an input the
+// aggregates cannot digest poisons the maintainer (Result returns nil,
+// the caller falls back to full plan execution which reports the
+// error).
+//
+// Result projects each group's key values as captured when the group
+// was first seen, while a window rescan projects the oldest live
+// row's. The two can differ only when distinct key representations
+// compare equal — float -0.0 vs +0.0 — so callers wanting byte
+// identity with the scanning tiers must not attach this maintainer to
+// plans whose group keys are float columns (the container's
+// newIncMaintainer enforces that).
+type GroupedAggMaintainer struct {
+	prog *GroupedIncProgram
+
+	mu      sync.Mutex
+	groups  map[string]*incGroup
+	broken  bool
+	seq     uint64         // next insert sequence number
+	keysBuf []stream.Value // scratch key vector, guarded by mu
+	keyBuf  []byte         // scratch encoded key, guarded by mu
+
+	floatEvicts uint64 // see AggMaintainer.floatEvicts
+}
+
+// incGroup is the live state of one group-key vector.
+type incGroup struct {
+	keys   []stream.Value // the group's key values, in GROUP BY order
+	seqs   []uint64       // arrival sequences of the group's live rows (FIFO)
+	states []incState
+}
+
+// NewGroupedAggMaintainer builds a maintainer for a plan's grouped
+// incremental program (Plan.IncrementalGrouped).
+func NewGroupedAggMaintainer(prog *GroupedIncProgram) *GroupedAggMaintainer {
+	return &GroupedAggMaintainer{
+		prog:    prog,
+		groups:  make(map[string]*incGroup),
+		keysBuf: make([]stream.Value, len(prog.Keys)),
+	}
+}
+
+// encodeGroupKey fills the scratch key vector from the element and
+// encodes it into the scratch byte buffer (callers hold mu). Lookups
+// via groups[string(m.keyBuf)] compile without a string allocation —
+// these run per element on the ingest path, under the table lock — so
+// the key string is materialised only on first sight of a group.
+func (m *GroupedAggMaintainer) encodeGroupKey(e stream.Element) {
+	for i, col := range m.prog.Keys {
+		m.keysBuf[i] = inputValue(e, col)
+	}
+	m.keyBuf = appendRowKey(m.keyBuf[:0], m.keysBuf)
+}
+
+// OnInsert implements storage.Observer.
+func (m *GroupedAggMaintainer) OnInsert(e stream.Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return
+	}
+	seq := m.seq
+	m.seq++
+	m.encodeGroupKey(e)
+	g := m.groups[string(m.keyBuf)]
+	if g == nil {
+		g = &incGroup{
+			keys:   append([]stream.Value(nil), m.keysBuf...),
+			states: make([]incState, len(m.prog.Aggs)),
+		}
+		m.groups[string(m.keyBuf)] = g
+	}
+	g.seqs = append(g.seqs, seq)
+	for i := range m.prog.Aggs {
+		spec := &m.prog.Aggs[i]
+		var v stream.Value
+		if spec.Col >= 0 {
+			v = inputValue(e, spec.Col)
+		}
+		if !g.states[i].insert(spec, v, seq) {
+			m.broken = true
+			return
+		}
+	}
+}
+
+// OnEvict implements storage.Observer. The table evicts in arrival
+// order, so the evicted element is always its group's oldest live row.
+func (m *GroupedAggMaintainer) OnEvict(e stream.Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return
+	}
+	m.encodeGroupKey(e)
+	g := m.groups[string(m.keyBuf)]
+	if g == nil || len(g.seqs) == 0 {
+		// An eviction we never saw inserted: the observer was attached
+		// mid-window without a replay. Poison rather than drift.
+		m.broken = true
+		return
+	}
+	seq := g.seqs[0]
+	g.seqs = g.seqs[1:]
+	for i := range m.prog.Aggs {
+		spec := &m.prog.Aggs[i]
+		var v stream.Value
+		if spec.Col >= 0 {
+			v = inputValue(e, spec.Col)
+		}
+		if !g.states[i].evict(spec, v, seq, &m.floatEvicts) {
+			m.broken = true
+			return
+		}
+	}
+	if len(g.seqs) == 0 {
+		delete(m.groups, string(m.keyBuf))
+	}
+}
+
+// OnTruncate implements storage.Observer: the window was cleared, so
+// every group restarts empty.
+func (m *GroupedAggMaintainer) OnTruncate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groups = make(map[string]*incGroup)
+	m.seq = 0
+	m.broken = false
+	m.floatEvicts = 0
+}
+
+// NeedsResync mirrors AggMaintainer.NeedsResync: enough float inputs
+// have been subtracted out that the owner should rebuild the state from
+// the live window.
+func (m *GroupedAggMaintainer) NeedsResync() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.floatEvicts >= resyncFloatEvery
+}
+
+// Result builds the grouped aggregate relation — one row per live
+// group, ordered by each group's oldest live row (exactly the
+// first-seen order a window scan produces) — or nil when the maintainer
+// is poisoned. A GROUP BY over an empty window yields no rows, per SQL.
+func (m *GroupedAggMaintainer) Result() *Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken {
+		return nil
+	}
+	ordered := make([]*incGroup, 0, len(m.groups))
+	for _, g := range m.groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seqs[0] < ordered[j].seqs[0] })
+	rows := make([][]stream.Value, len(ordered))
+	for r, g := range ordered {
+		row := make([]stream.Value, len(m.prog.Proj))
+		for i, slot := range m.prog.Proj {
+			if slot.Key {
+				row[i] = g.keys[slot.Idx]
+			} else {
+				row[i] = g.states[slot.Idx].result(m.prog.Aggs[slot.Idx].Kind)
+			}
+		}
+		rows[r] = row
+	}
+	return &Relation{Cols: m.prog.Cols, Rows: rows}
 }

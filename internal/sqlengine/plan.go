@@ -27,6 +27,11 @@ type Plan struct {
 	// aggregate-only projection; nil otherwise.
 	inc []IncAggSpec
 
+	// ginc is the grouped incremental program when the statement is a
+	// grouped aggregate-only projection over plain column keys; nil
+	// otherwise. inc and ginc are mutually exclusive.
+	ginc *GroupedIncProgram
+
 	// prog is the bound (column-index-resolved) execution program when
 	// the statement is inside the compiled subset; nil falls back to
 	// the interpreted evaluator. See compiled.go.
@@ -112,8 +117,57 @@ func Compile(stmt *sqlparser.SelectStatement, cols []Column, tables ...string) (
 	}
 	p := &Plan{sp: sp, inCols: inCols, bareCols: cols, names: canonical}
 	p.inc = incrementalProgram(sp, inCols)
+	if p.inc == nil {
+		p.ginc = groupedIncrementalProgram(sp, inCols)
+	}
 	p.prog = newBoundProgram(sp, inCols)
 	return p, nil
+}
+
+// resolveColRef resolves a plain column reference against the input
+// layout, returning -1 when the name is unknown or ambiguous.
+func resolveColRef(ref *sqlparser.ColumnRef, inCols []Column) int {
+	idx := -1
+	for j, c := range inCols {
+		if c.Name != stream.CanonicalName(ref.Name) {
+			continue
+		}
+		if ref.Table != "" && c.Table != stream.CanonicalName(ref.Table) {
+			continue
+		}
+		if idx >= 0 {
+			return -1 // ambiguous
+		}
+		idx = j
+	}
+	return idx
+}
+
+// incAggSpec recognises one incrementally maintainable aggregate call
+// (COUNT/SUM/AVG/MIN/MAX/LAST over a plain column or COUNT(*)), or nil.
+func incAggSpec(fc *sqlparser.FuncCall, inCols []Column, out Column) *IncAggSpec {
+	if fc.Distinct {
+		return nil
+	}
+	kind, ok := incKinds[fc.Name]
+	if !ok {
+		return nil
+	}
+	spec := &IncAggSpec{Kind: kind, Col: -1, Out: out}
+	if fc.CountStar {
+		return spec
+	}
+	if len(fc.Args) != 1 {
+		return nil
+	}
+	ref, ok := fc.Args[0].(*sqlparser.ColumnRef)
+	if !ok {
+		return nil
+	}
+	if spec.Col = resolveColRef(ref, inCols); spec.Col < 0 {
+		return nil
+	}
+	return spec
 }
 
 // incrementalProgram recognises the dominant source-query shape —
@@ -132,43 +186,14 @@ func incrementalProgram(sp *simplePlan, inCols []Column) []IncAggSpec {
 			return nil
 		}
 		fc, ok := item.expr.(*sqlparser.FuncCall)
-		if !ok || fc.Distinct {
-			return nil
-		}
-		kind, ok := incKinds[fc.Name]
 		if !ok {
 			return nil
 		}
-		spec := IncAggSpec{Kind: kind, Col: -1, Out: sp.outCols[i]}
-		if fc.CountStar {
-			specs = append(specs, spec)
-			continue
-		}
-		if len(fc.Args) != 1 {
+		spec := incAggSpec(fc, inCols, sp.outCols[i])
+		if spec == nil {
 			return nil
 		}
-		ref, ok := fc.Args[0].(*sqlparser.ColumnRef)
-		if !ok {
-			return nil
-		}
-		idx := -1
-		for j, c := range inCols {
-			if c.Name != stream.CanonicalName(ref.Name) {
-				continue
-			}
-			if ref.Table != "" && c.Table != stream.CanonicalName(ref.Table) {
-				continue
-			}
-			if idx >= 0 {
-				return nil // ambiguous
-			}
-			idx = j
-		}
-		if idx < 0 {
-			return nil
-		}
-		spec.Col = idx
-		specs = append(specs, spec)
+		specs = append(specs, *spec)
 	}
 	if len(specs) == 0 {
 		return nil
@@ -176,10 +201,97 @@ func incrementalProgram(sp *simplePlan, inCols []Column) []IncAggSpec {
 	return specs
 }
 
+// GroupedProjSlot maps one output column of a grouped incremental
+// program to its source: a GROUP BY key (Idx into Keys) or an
+// aggregate (Idx into Aggs).
+type GroupedProjSlot struct {
+	Key bool
+	Idx int
+}
+
+// GroupedIncProgram is the compiled form of a grouped aggregate-only
+// statement the GroupedAggMaintainer can keep under sliding
+// count-window eviction: plain-column group keys, incrementally
+// maintainable aggregates, and a projection drawing only from those.
+type GroupedIncProgram struct {
+	// Keys are the input column indices of the GROUP BY keys, in
+	// clause order.
+	Keys []int
+	// Aggs are the aggregate slots, in projection order.
+	Aggs []IncAggSpec
+	// Proj maps each output column to a key or aggregate slot.
+	Proj []GroupedProjSlot
+	// Cols is the output column layout.
+	Cols []Column
+}
+
+// groupedIncrementalProgram recognises the grouped rollup shape —
+// SELECT key..., agg(col)... FROM w GROUP BY key... with no WHERE/
+// HAVING/ORDER BY/DISTINCT/LIMIT, every key a plain column reference
+// and every projected column either a key or a maintainable aggregate
+// — or returns nil. Shapes outside it (HAVING, expression keys,
+// filtered rollups) still compile into the bound-program tier.
+func groupedIncrementalProgram(sp *simplePlan, inCols []Column) *GroupedIncProgram {
+	stmt := sp.stmt
+	if len(stmt.GroupBy) == 0 || stmt.Where != nil || stmt.Having != nil ||
+		stmt.Distinct || len(stmt.OrderBy) > 0 || stmt.Limit != nil || stmt.Offset != nil {
+		return nil
+	}
+	prog := &GroupedIncProgram{Keys: make([]int, len(stmt.GroupBy)), Cols: sp.outCols}
+	for i, g := range stmt.GroupBy {
+		ref, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil
+		}
+		if prog.Keys[i] = resolveColRef(ref, inCols); prog.Keys[i] < 0 {
+			return nil
+		}
+	}
+	for i, item := range sp.proj {
+		if item.star {
+			return nil
+		}
+		switch x := item.expr.(type) {
+		case *sqlparser.ColumnRef:
+			idx := resolveColRef(x, inCols)
+			if idx < 0 {
+				return nil
+			}
+			slot := -1
+			for j, k := range prog.Keys {
+				if k == idx {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				return nil // projects a non-key column: rep-row semantics need the scan
+			}
+			prog.Proj = append(prog.Proj, GroupedProjSlot{Key: true, Idx: slot})
+		case *sqlparser.FuncCall:
+			spec := incAggSpec(x, inCols, sp.outCols[i])
+			if spec == nil {
+				return nil
+			}
+			prog.Proj = append(prog.Proj, GroupedProjSlot{Idx: len(prog.Aggs)})
+			prog.Aggs = append(prog.Aggs, *spec)
+		default:
+			return nil
+		}
+	}
+	return prog
+}
+
 // Incremental returns the plan's aggregate program, or nil when the
 // statement is not aggregate-only. The container pairs it with an
 // AggMaintainer observing the source's window table.
 func (p *Plan) Incremental() []IncAggSpec { return p.inc }
+
+// IncrementalGrouped returns the plan's grouped incremental program,
+// or nil when the statement is not a maintainable grouped rollup. The
+// container pairs it with a GroupedAggMaintainer observing the window
+// table.
+func (p *Plan) IncrementalGrouped() *GroupedIncProgram { return p.ginc }
 
 // OutputColumns returns the plan's projected column layout.
 func (p *Plan) OutputColumns() []Column { return p.sp.outCols }

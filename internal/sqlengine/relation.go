@@ -2,11 +2,19 @@
 // in-memory window relations. It implements the query processor of the
 // GSN query manager (paper §4): joins (nested-loop and hash), scalar and
 // quantified subqueries, grouping with aggregates, ordering, set
-// operations and a scalar function library.
+// operations and a scalar function library. The full dialect is
+// specified (with executable examples) in docs/sql-dialect.md.
 //
 // GSN triggers a query execution for every arriving stream element, so
 // the engine is optimised for many small executions over window-sized
-// relations rather than for large analytical scans.
+// relations rather than for large analytical scans. Three tiers serve
+// a statement, picked automatically at Compile and byte-identical in
+// results: incremental maintainers (AggMaintainer and, for GROUP BY
+// rollups, GroupedAggMaintainer) answer aggregate-only shapes over
+// count windows in O(output) per trigger; bound programs (compiled.go)
+// run single-table SELECT cores — WHERE, GROUP BY, HAVING, ORDER BY —
+// with column references resolved to row indices at bind time; and the
+// interpreting evaluator (eval.go, exec.go) covers everything else.
 package sqlengine
 
 import (

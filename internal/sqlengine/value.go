@@ -241,9 +241,16 @@ func encodeKey(buf []byte, v stream.Value) []byte {
 
 // encodeRowKey encodes a whole row.
 func encodeRowKey(row []stream.Value) string {
-	var buf []byte
+	return string(appendRowKey(nil, row))
+}
+
+// appendRowKey encodes a whole row into buf (the allocation-free form
+// for hot grouping loops: look up with map[string(buf)], which the
+// compiler compiles without a string allocation, and materialise the
+// string only on first sight of a group).
+func appendRowKey(buf []byte, row []stream.Value) []byte {
 	for _, v := range row {
 		buf = encodeKey(buf, v)
 	}
-	return string(buf)
+	return buf
 }

@@ -150,11 +150,22 @@ func (s *Server) handleDescriptor(w http.ResponseWriter, r *http.Request) {
 }
 
 // rowsJSON converts a relation for JSON output, summarising byte
-// payloads.
+// payloads. Column headers are the bare output names (group keys,
+// aliases, expression texts); when two columns share a bare name —
+// same-named keys from different tables in a join rollup — the
+// qualified form disambiguates them.
 func rowsJSON(rel *sqlengine.Relation) map[string]any {
+	seen := make(map[string]int, len(rel.Cols))
+	for _, c := range rel.Cols {
+		seen[c.Name]++
+	}
 	cols := make([]string, len(rel.Cols))
 	for i, c := range rel.Cols {
-		cols[i] = c.Name
+		if seen[c.Name] > 1 && c.Table != "" {
+			cols[i] = c.String()
+		} else {
+			cols[i] = c.Name
+		}
 	}
 	rows := make([][]any, len(rel.Rows))
 	for i, row := range rel.Rows {

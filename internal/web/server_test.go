@@ -158,6 +158,65 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryEndpointGroupedHeaders pins grouped ad-hoc rendering: group
+// keys (plain and expression) and aggregate aliases come back as
+// column headers in projection order, and same-named key columns from
+// a self-join disambiguate with their qualifier.
+func TestQueryEndpointGroupedHeaders(t *testing.T) {
+	c, srv := webFixture(t)
+	for i := 0; i < 6; i++ {
+		c.Pulse()
+	}
+	post := func(sql string) (columns []string, rows [][]any) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", sql, resp.StatusCode)
+		}
+		var out struct {
+			Columns []string `json:"columns"`
+			Rows    [][]any  `json:"rows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Columns, out.Rows
+	}
+
+	// Plain key + aggregate alias; one row per parity group, each with
+	// a positive count.
+	cols, rows := post("select tick % 2 as parity, count(*) as n from ticks group by tick % 2 order by parity")
+	if len(cols) != 2 || cols[0] != "PARITY" || cols[1] != "N" {
+		t.Errorf("grouped columns = %v", cols)
+	}
+	if len(rows) == 0 || len(rows) > 2 {
+		t.Errorf("grouped rows = %v", rows)
+	}
+	for _, r := range rows {
+		if len(r) != 2 || r[1].(float64) < 1 {
+			t.Errorf("grouped row = %v", r)
+		}
+	}
+
+	// Unaliased expression key renders its expression text.
+	cols, _ = post("select tick % 2, count(*) from ticks group by tick % 2")
+	if len(cols) != 2 || cols[0] != "(TICK % 2)" || cols[1] != "COUNT(*)" {
+		t.Errorf("expression-key columns = %v", cols)
+	}
+
+	// Same-named keys from two tables disambiguate with qualifiers.
+	cols, _ = post("select a.tick, b.tick, count(*) as n from ticks a, ticks b " +
+		"where a.tick = b.tick group by a.tick, b.tick")
+	if len(cols) != 3 || cols[0] != "A.TICK" || cols[1] != "B.TICK" || cols[2] != "N" {
+		t.Errorf("join rollup columns = %v", cols)
+	}
+}
+
 func TestDeployAndUndeployOverHTTP(t *testing.T) {
 	_, srv := webFixture(t)
 	second := strings.Replace(tickDescriptor, `name="ticks"`, `name="ticks2"`, 1)
