@@ -13,6 +13,7 @@
 //	gsn-bench -experiment queries
 //	gsn-bench -experiment grouped
 //	gsn-bench -experiment cascade
+//	gsn-bench -experiment history
 //	gsn-bench -experiment all
 package main
 
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, grouped, cascade, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, grouped, cascade, history, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -153,6 +154,22 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.ShapeReport())
 		return writeCSV(*outDir, "cascade.csv", res.CSV())
+	})
+
+	run("history", func() error {
+		cfg := bench.DefaultHistory()
+		if *quick {
+			cfg.Retentions = []int{2_000, 20_000}
+			cfg.HotWindow = 200
+			cfg.ScanRows = 400
+		}
+		res, err := bench.RunHistory(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		return writeCSV(*outDir, "history.csv", res.CSV())
 	})
 
 	run("ingest", func() error {

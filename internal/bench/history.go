@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+// HistoryConfig parameterises the tiered-storage experiment: for each
+// retention size it ingests through a small hot window into the on-disk
+// history tier, then measures what the checkpointed WAL buys — restart
+// time replaying only the un-checkpointed tail — and what the B+tree
+// time index buys — cold and warm TIMED-range scans over rows the hot
+// window evicted long ago.
+type HistoryConfig struct {
+	// Retentions are the total row counts ingested per cell.
+	Retentions []int
+	// HotWindow is the in-RAM count window; everything beyond it lives
+	// in the disk tier.
+	HotWindow int
+	// Batch is the ingest burst size.
+	Batch int
+	// ScanRows is the width (in rows) of the timed-range scans.
+	ScanRows int
+	// Tail is the number of rows ingested after the last checkpoint —
+	// the WAL tail a restart must replay (0 means HotWindow×2).
+	Tail int
+}
+
+// DefaultHistory sweeps the retention sizes from the issue brief. The
+// 10M cell writes a few hundred MB of pages; -quick scales it away.
+func DefaultHistory() HistoryConfig {
+	return HistoryConfig{
+		Retentions: []int{10_000, 1_000_000, 10_000_000},
+		HotWindow:  1_000,
+		Batch:      256,
+		ScanRows:   2_000,
+	}
+}
+
+// HistoryPoint is one measured retention cell.
+type HistoryPoint struct {
+	Retention    int
+	IngestPerSec float64
+	CheckpointMS float64
+	RestartMS    float64
+	Replayed     int // WAL records replayed on restart (the tail, not the retention)
+	ColdScanMS   float64
+	ColdPages    uint64 // pages faulted from disk by the cold scan
+	WarmScanMS   float64
+	ScanRows     int
+}
+
+// HistoryResult is the full sweep.
+type HistoryResult struct {
+	Points []HistoryPoint
+}
+
+// Table renders an aligned comparison. The headline claim is in the
+// replayed column: restart cost tracks the tail, not the retention.
+func (r *HistoryResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %9s %9s %9s %10s %10s %8s\n",
+		"retention", "ingest/sec", "ckpt ms", "restart", "replayed", "cold ms", "warm ms", "pages")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %12.0f %9.1f %8.1fms %9d %10.2f %10.2f %8d\n",
+			p.Retention, p.IngestPerSec, p.CheckpointMS, p.RestartMS, p.Replayed,
+			p.ColdScanMS, p.WarmScanMS, p.ColdPages)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep for external plotting.
+func (r *HistoryResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("retention,ingest_elems_per_sec,checkpoint_ms,restart_ms,replayed_rows,scan_rows,cold_scan_ms,cold_pages_read,warm_scan_ms\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%.0f,%.3f,%.3f,%d,%d,%.3f,%d,%.3f\n",
+			p.Retention, p.IngestPerSec, p.CheckpointMS, p.RestartMS, p.Replayed,
+			p.ScanRows, p.ColdScanMS, p.ColdPages, p.WarmScanMS)
+	}
+	return b.String()
+}
+
+// historyTableOptions is the shared cell configuration: tiny hot
+// window, WAL without per-insert syscalls, disk history with automatic
+// checkpoints.
+func historyTableOptions(hotWindow int) storage.TableOptions {
+	return storage.TableOptions{
+		Window:    stream.Window{Kind: stream.CountWindow, Count: hotWindow},
+		Permanent: true,
+		Sync:      storage.SyncNone,
+		History:   true,
+	}
+}
+
+// runHistoryCell measures one retention size end to end, simulating the
+// crash by abandoning the first store without Close (a clean Close
+// would checkpoint and leave nothing to replay).
+func runHistoryCell(cfg HistoryConfig, n int) (HistoryPoint, error) {
+	point := HistoryPoint{Retention: n, ScanRows: cfg.ScanRows}
+	schema, err := stream.NewSchema(
+		stream.Field{Name: "node_id", Type: stream.TypeInt},
+		stream.Field{Name: "temperature", Type: stream.TypeFloat},
+	)
+	if err != nil {
+		return point, err
+	}
+	dir, err := os.MkdirTemp("", "gsn-history-*")
+	if err != nil {
+		return point, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := storage.NewStore(stream.NewManualClock(0), dir)
+	if err != nil {
+		return point, err
+	}
+	table, err := store.CreateTable("hist", schema, historyTableOptions(cfg.HotWindow))
+	if err != nil {
+		return point, err
+	}
+
+	// Phase 1: ingest the retention. Timestamps are 1..n, so row i is
+	// addressable as TIMED = i+1. Automatic checkpoints fire throughout,
+	// keeping the WAL bounded.
+	batch := make([]stream.Element, 0, cfg.Batch)
+	start := time.Now()
+	for i := 0; i < n; {
+		batch = batch[:0]
+		for ; i < n && len(batch) < cfg.Batch; i++ {
+			e, err := stream.NewElement(schema, stream.Timestamp(i+1), int64(i%32), float64(i%97)+0.5)
+			if err != nil {
+				return point, err
+			}
+			batch = append(batch, e)
+		}
+		if err := table.InsertBatch(batch); err != nil {
+			return point, err
+		}
+	}
+	point.IngestPerSec = float64(n) / time.Since(start).Seconds()
+
+	// Phase 2: one explicit checkpoint, timed, then a tail of records
+	// the next open must replay.
+	start = time.Now()
+	if err := table.Checkpoint(); err != nil {
+		return point, err
+	}
+	point.CheckpointMS = float64(time.Since(start).Microseconds()) / 1000
+	tail := cfg.Tail
+	if tail <= 0 {
+		tail = 2 * cfg.HotWindow
+	}
+	for i := n; i < n+tail; i += cfg.Batch {
+		batch = batch[:0]
+		for j := i; j < i+cfg.Batch && j < n+tail; j++ {
+			e, err := stream.NewElement(schema, stream.Timestamp(j+1), int64(j%32), float64(j%97)+0.5)
+			if err != nil {
+				return point, err
+			}
+			batch = append(batch, e)
+		}
+		if err := table.InsertBatch(batch); err != nil {
+			return point, err
+		}
+	}
+	if err := table.Flush(); err != nil {
+		return point, err
+	}
+	if st := table.Stats(); st.HistoryErrors > 0 || st.LogErrors > 0 {
+		return point, fmt.Errorf("bench: history cell hit %d history / %d log errors",
+			st.HistoryErrors, st.LogErrors)
+	}
+	// Crash: abandon the store. SyncNone has no background flusher, so
+	// the files now hold exactly the committed state a crash would leave.
+
+	// Phase 3: restart. Replay work must track the tail, not n.
+	store2, err := storage.NewStore(stream.NewManualClock(0), dir)
+	if err != nil {
+		return point, err
+	}
+	defer store2.Close()
+	start = time.Now()
+	table2, err := store2.CreateTable("hist", schema, historyTableOptions(cfg.HotWindow))
+	if err != nil {
+		return point, err
+	}
+	point.RestartMS = float64(time.Since(start).Microseconds()) / 1000
+	point.Replayed = table2.Stats().Replayed
+
+	// Phase 4: cold then warm timed-range scan over long-evicted rows.
+	scan := cfg.ScanRows
+	if scan > n/2 {
+		scan = n / 2
+	}
+	point.ScanRows = scan
+	lo := stream.Timestamp(n/4 + 1)
+	hi := lo + stream.Timestamp(scan) - 1
+	before := table2.Stats().History
+	start = time.Now()
+	rows, err := table2.TimedRange(lo, hi)
+	if err != nil {
+		return point, err
+	}
+	point.ColdScanMS = float64(time.Since(start).Microseconds()) / 1000
+	if len(rows) != scan {
+		return point, fmt.Errorf("bench: cold scan returned %d rows, want %d", len(rows), scan)
+	}
+	after := table2.Stats().History
+	if before != nil && after != nil {
+		point.ColdPages = after.PoolMisses - before.PoolMisses
+	}
+	start = time.Now()
+	rows, err = table2.TimedRange(lo, hi)
+	if err != nil {
+		return point, err
+	}
+	point.WarmScanMS = float64(time.Since(start).Microseconds()) / 1000
+	if len(rows) != scan {
+		return point, fmt.Errorf("bench: warm scan returned %d rows, want %d", len(rows), scan)
+	}
+	return point, nil
+}
+
+// RunHistory executes the retention sweep, streaming progress to w.
+func RunHistory(cfg HistoryConfig, w io.Writer) (*HistoryResult, error) {
+	if len(cfg.Retentions) == 0 {
+		cfg = DefaultHistory()
+	}
+	if cfg.HotWindow <= 0 {
+		cfg.HotWindow = 1_000
+	}
+	if cfg.Batch <= 1 {
+		cfg.Batch = 256
+	}
+	if cfg.ScanRows <= 0 {
+		cfg.ScanRows = 2_000
+	}
+	res := &HistoryResult{}
+	for _, n := range cfg.Retentions {
+		p, err := runHistoryCell(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  retention %-10d restart %.1fms replaying %d rows, cold scan %.2fms (%d pages)\n",
+			p.Retention, p.RestartMS, p.Replayed, p.ColdScanMS, p.ColdPages)
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}

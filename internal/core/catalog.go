@@ -27,6 +27,23 @@ func (c storeCatalog) Relation(name string) (*sqlengine.Relation, error) {
 	return sqlengine.RelationOfSource(tab), nil
 }
 
+// RelationRange implements sqlengine.RangeCatalog: a query whose WHERE
+// clause pins TIMED to an interval is served by the table's tiered
+// range scan — a B+tree index walk over the on-disk history merged
+// with the hot window — instead of a full window materialisation. For
+// tables without a history tier this degrades to a filtered hot scan.
+func (c storeCatalog) RelationRange(name string, lo, hi int64) (*sqlengine.Relation, error) {
+	tab, ok := c.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", name)
+	}
+	elems, err := tab.TimedRange(stream.Timestamp(lo), stream.Timestamp(hi))
+	if err != nil {
+		return nil, err
+	}
+	return sqlengine.RelationOfElements(tab.Schema(), elems), nil
+}
+
 // Catalog exposes the container's stored streams (virtual sensor
 // outputs and source windows) to ad-hoc queries.
 func (c *Container) Catalog() sqlengine.Catalog {

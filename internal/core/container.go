@@ -134,6 +134,15 @@ func New(opts Options) (*Container, error) {
 	// WAL append/flush failures — including asynchronous group-commit
 	// losses — surface on this counter.
 	store.SetLogErrorCounter(reg.Counter("storage_log_errors"))
+	// History-tier (disk storage) activity: page and buffer-pool traffic
+	// plus checkpoint count, aggregated over every history table.
+	store.SetHistoryMetrics(&storage.HistoryMetrics{
+		PagesRead:     reg.Counter("pages_read"),
+		PagesWritten:  reg.Counter("pages_written"),
+		PoolHits:      reg.Counter("pool_hits"),
+		PoolEvictions: reg.Counter("pool_evictions"),
+		Checkpoints:   reg.Counter("checkpoints_total"),
+	})
 	dir := opts.Directory
 	if dir == nil {
 		dir = directory.NewRegistry(opts.Clock, opts.DirectoryTTL)
@@ -217,7 +226,7 @@ func (c *Container) deploy(desc *vsensor.Descriptor) error {
 	c.mu.Unlock()
 
 	if err := vs.start(); err != nil {
-		c.removeSensor(name, vs)
+		c.removeSensor(name, vs, false)
 		return err
 	}
 	c.dir.Publish(name, c.opts.NodeAddress, desc.MetadataMap(), c.opts.DirectoryTTL)
@@ -301,7 +310,7 @@ func (c *Container) undeploy(name string) error {
 	if !ok {
 		return fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
 	}
-	c.removeSensor(canonical, vs)
+	c.removeSensor(canonical, vs, true)
 	c.notifier.UnsubscribeSensor(canonical)
 	c.queries.UnregisterSensor(canonical)
 	c.dir.Unpublish(canonical, c.opts.NodeAddress)
@@ -310,14 +319,23 @@ func (c *Container) undeploy(name string) error {
 	return nil
 }
 
-func (c *Container) removeSensor(name string, vs *VirtualSensor) {
+// removeSensor tears a runtime down. destroyState additionally deletes
+// the output table's on-disk history state (pages, index, WAL) — set
+// on explicit undeploy, where keeping files for a sensor that no
+// longer exists would orphan them; container shutdown and deploy
+// rollback keep the files for the next open.
+func (c *Container) removeSensor(name string, vs *VirtualSensor, destroyState bool) {
 	vs.stop()
 	c.mu.Lock()
 	delete(c.sensors, name)
 	delete(c.deps, name)
 	c.mu.Unlock()
 	c.dropSourceTables(vs)
-	if err := c.store.DropTable(name); err != nil {
+	drop := c.store.DropTable
+	if destroyState {
+		drop = c.store.DestroyTable
+	}
+	if err := drop(name); err != nil {
 		c.logf("gsn: %s: %v", name, err)
 	}
 }
@@ -741,7 +759,7 @@ func (c *Container) Close() error {
 		vs := c.sensors[name]
 		c.mu.RUnlock()
 		if vs != nil {
-			c.removeSensor(name, vs)
+			c.removeSensor(name, vs, false)
 			c.dir.Unpublish(name, c.opts.NodeAddress)
 		}
 	}

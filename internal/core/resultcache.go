@@ -6,6 +6,7 @@ import (
 	"gsn/internal/metrics"
 	"gsn/internal/sqlengine"
 	"gsn/internal/storage"
+	"gsn/internal/stream"
 )
 
 // resultCache memoises ad-hoc query results keyed by (SQL text, the
@@ -79,6 +80,24 @@ func (rc *recordingCatalog) Relation(name string) (*sqlengine.Relation, error) {
 	return rel, nil
 }
 
+// RelationRange implements sqlengine.RangeCatalog with the same
+// dependency recording: the disk tier only changes when the hot window
+// does (evictions migrate rows and bump the version), so the version
+// pin validates tiered results exactly like hot-only ones.
+func (rc *recordingCatalog) RelationRange(name string, lo, hi int64) (*sqlengine.Relation, error) {
+	tab, ok := rc.store.Table(name)
+	if !ok {
+		return nil, &unknownStreamError{name: name}
+	}
+	version := tab.Version()
+	elems, err := tab.TimedRange(stream.Timestamp(lo), stream.Timestamp(hi))
+	if err != nil {
+		return nil, err
+	}
+	rc.deps = append(rc.deps, resultDep{name: tab.Name(), table: tab, version: version})
+	return sqlengine.RelationOfElements(tab.Schema(), elems), nil
+}
+
 // unknownStreamError mirrors storeCatalog's error text.
 type unknownStreamError struct{ name string }
 
@@ -148,5 +167,5 @@ func (c *resultCache) Len() int {
 	return len(c.entries)
 }
 
-// interface check: recordingCatalog is a sqlengine.Catalog.
-var _ sqlengine.Catalog = (*recordingCatalog)(nil)
+// interface check: recordingCatalog serves TIMED-range pushdown too.
+var _ sqlengine.RangeCatalog = (*recordingCatalog)(nil)

@@ -179,6 +179,7 @@ func newVirtualSensor(c *Container, desc *vsensor.Descriptor, reuseOut *storage.
 			Permanent:     desc.Storage.Permanent,
 			Sync:          syncPolicy,
 			FlushInterval: flushInterval,
+			History:       desc.Storage.History == "disk",
 		})
 		if err != nil {
 			return nil, err

@@ -225,7 +225,7 @@ func analyzeSimple(stmt *sqlparser.SelectStatement, srcCols []Column) (*simplePl
 // projected relation and, when the statement has ORDER BY and no
 // compound, per-row sort keys evaluated in row context.
 func (ev *evaluator) execSimple(stmt *sqlparser.SelectStatement, outer *scope) (*Relation, [][]stream.Value, error) {
-	src, err := ev.buildFrom(stmt.From, outer)
+	src, err := ev.buildFromPushdown(stmt, outer)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -31,6 +31,37 @@ func (ev *evaluator) buildFrom(items []sqlparser.TableRef, outer *scope) (*Relat
 	return rel, nil
 }
 
+// buildFromPushdown is buildFrom with TIMED-range pushdown: when the
+// statement scans a single base table, the catalog can serve ranges
+// (RangeCatalog) and the WHERE clause pins TIMED to an interval, the
+// scan is routed through RelationRange — the storage layer's index
+// range scan over disk history merged with the hot window. The result
+// may be a superset of the final rows; runSimple re-applies the full
+// WHERE clause either way, so the routing is invisible in results.
+func (ev *evaluator) buildFromPushdown(stmt *sqlparser.SelectStatement, outer *scope) (*Relation, error) {
+	if len(stmt.From) == 1 && stmt.Where != nil {
+		if tn, ok := stmt.From[0].(*sqlparser.TableName); ok {
+			if rc, ok := ev.cat.(RangeCatalog); ok {
+				qual := tn.Alias
+				if qual == "" {
+					qual = tn.Name
+				}
+				if lo, hi, ok := TimeBounds(stmt.Where, qual); ok {
+					rel, err := rc.RelationRange(tn.Name, lo, hi)
+					if err == nil {
+						return rel.requalify(qual), nil
+					}
+					// On error (unknown table in this catalog layer,
+					// broken tier) fall back to the ordinary resolution
+					// path, which produces its own error if the table
+					// really is unknown.
+				}
+			}
+		}
+	}
+	return ev.buildFrom(stmt.From, outer)
+}
+
 func (ev *evaluator) resolveTableRef(ref sqlparser.TableRef, outer *scope) (*Relation, error) {
 	switch t := ref.(type) {
 	case *sqlparser.TableName:

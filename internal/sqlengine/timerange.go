@@ -1,0 +1,182 @@
+package sqlengine
+
+import (
+	"math"
+
+	"gsn/internal/sqlparser"
+	"gsn/internal/stream"
+)
+
+// RangeCatalog is the optional Catalog extension for catalogs that can
+// serve a table restricted to a TIMED interval more cheaply than a full
+// scan — the storage layer answers it with a B+tree index range scan
+// over the on-disk history tier merged with the hot window, so a query
+// like
+//
+//	SELECT * FROM readings WHERE timed BETWEEN 0 AND 999
+//
+// reaches rows the retention window evicted long ago without the
+// catalog materialising the whole table.
+type RangeCatalog interface {
+	Catalog
+	// RelationRange returns the rows of name whose TIMED value lies in
+	// [lo, hi] (inclusive). The result may be a superset of what the
+	// full WHERE clause keeps — the evaluator re-applies it — but must
+	// contain every row in the interval.
+	RelationRange(name string, lo, hi int64) (*Relation, error)
+}
+
+// TimeBounds extracts a conservative interval [lo, hi] that the
+// implicit TIMED column of the qualified table is constrained to by the
+// WHERE expression. Only top-level AND conjuncts constrain the
+// interval:
+//
+//	timed BETWEEN l AND h
+//	timed >= l, timed > l, timed <= h, timed < h, timed = v
+//
+// (and the flipped literal-first spellings), with integer literal
+// bounds. Conjuncts that do not match — including anything under OR or
+// NOT — are ignored, which only widens the interval: the caller always
+// re-applies the full predicate, so a superset is safe, a subset never
+// happens. ok reports whether at least one bound was found; an
+// unconstrained side stays at the int64 extreme.
+func TimeBounds(where sqlparser.Expr, qual string) (lo, hi int64, ok bool) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	qual = stream.CanonicalName(qual)
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		switch x := e.(type) {
+		case *sqlparser.BinaryExpr:
+			if x.Op == sqlparser.OpAnd {
+				walk(x.L)
+				walk(x.R)
+				return
+			}
+			v, op, found := timedComparison(x, qual)
+			if !found {
+				return
+			}
+			switch op {
+			case sqlparser.OpEq:
+				lo, ok = maxBound(lo, v), true
+				hi = minBound(hi, v)
+			case sqlparser.OpGe:
+				lo, ok = maxBound(lo, v), true
+			case sqlparser.OpGt:
+				// timed > MaxInt64 is unsatisfiable; saturating keeps
+				// the interval a superset (it is then empty-ish, and
+				// the re-applied WHERE drops everything anyway).
+				if v < math.MaxInt64 {
+					v++
+				}
+				lo, ok = maxBound(lo, v), true
+			case sqlparser.OpLe:
+				hi, ok = minBound(hi, v), true
+			case sqlparser.OpLt:
+				if v > math.MinInt64 {
+					v--
+				}
+				hi, ok = minBound(hi, v), true
+			}
+		case *sqlparser.BetweenExpr:
+			if x.Not || !isTimedRef(x.X, qual) {
+				return
+			}
+			l, okL := intLiteral(x.Lo)
+			h, okH := intLiteral(x.Hi)
+			if !okL || !okH {
+				return
+			}
+			lo, hi, ok = maxBound(lo, l), minBound(hi, h), true
+		}
+	}
+	if where != nil {
+		walk(where)
+	}
+	return lo, hi, ok
+}
+
+// timedComparison matches "timed OP literal" or "literal OP timed"
+// (flipping the operator), returning the literal and the normalised
+// operator with TIMED on the left.
+func timedComparison(x *sqlparser.BinaryExpr, qual string) (int64, sqlparser.BinaryOp, bool) {
+	switch x.Op {
+	case sqlparser.OpEq, sqlparser.OpGe, sqlparser.OpGt, sqlparser.OpLe, sqlparser.OpLt:
+	default:
+		return 0, 0, false
+	}
+	if isTimedRef(x.L, qual) {
+		if v, ok := intLiteral(x.R); ok {
+			return v, x.Op, true
+		}
+		return 0, 0, false
+	}
+	if isTimedRef(x.R, qual) {
+		if v, ok := intLiteral(x.L); ok {
+			return v, flipComparison(x.Op), true
+		}
+	}
+	return 0, 0, false
+}
+
+func flipComparison(op sqlparser.BinaryOp) sqlparser.BinaryOp {
+	switch op {
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	}
+	return op
+}
+
+// isTimedRef matches a reference to the TIMED column, unqualified or
+// qualified with the FROM item's effective name.
+func isTimedRef(e sqlparser.Expr, qual string) bool {
+	ref, refOK := e.(*sqlparser.ColumnRef)
+	if !refOK || stream.CanonicalName(ref.Name) != TimedColumn {
+		return false
+	}
+	return ref.Table == "" || stream.CanonicalName(ref.Table) == qual
+}
+
+// intLiteral matches an int64 literal, optionally under unary +/-.
+func intLiteral(e sqlparser.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		v, ok := x.Value.(int64)
+		return v, ok
+	case *sqlparser.UnaryExpr:
+		v, ok := intLiteral(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			if v == math.MinInt64 {
+				return 0, false
+			}
+			return -v, true
+		case "+":
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func maxBound(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minBound(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -16,12 +16,20 @@ import (
 // are length-prefixed full element encodings). New logs are written in
 // version 2 (logMagicV2): compact records with a delta-encoded logical
 // timestamp and no arrival/production stamps, roughly halving the bytes
-// per small sensor tuple. Both versions replay; appends continue the
+// per small sensor tuple. Version 3 (logMagicV3) uses the same compact
+// records but its header additionally carries a base: the absolute
+// sequence number and timestamp the file's records continue from.
+// Checkpoints (RewriteHead) produce v3 files — the log holds only the
+// un-checkpointed tail, records below the base being durable in the
+// table's history tier. All versions replay; appends continue the
 // version the file was created with.
 var logMagic = []byte("GSNLOG1\n")
 
 // logMagicV2 identifies the compact-record format.
 var logMagicV2 = []byte("GSNLOG2\n")
+
+// logMagicV3 identifies the compact-record format with a header base.
+var logMagicV3 = []byte("GSNLOG3\n")
 
 // SyncPolicy selects when staged WAL records are handed to the
 // operating system (a write syscall). None of the policies fsync — the
@@ -97,6 +105,12 @@ type LogOptions struct {
 	// acknowledged to Append but could not be written). May be nil.
 	// Called without internal locks held.
 	OnError func(error)
+	// BaseSeq, when creating a fresh file, is the absolute sequence
+	// number the first record will follow (non-zero when a table's
+	// history tier already holds records but the WAL file is gone).
+	// A non-zero base makes the fresh file v3. Ignored for existing
+	// files, which carry their own base.
+	BaseSeq uint64
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -136,9 +150,10 @@ type LogStats struct {
 // followed by the records.
 type Log struct {
 	f       *os.File
+	path    string
 	schema  *stream.Schema
 	hdrLen  int64 // file offset of the first element record
-	version int   // record format: 1 (full) or 2 (compact)
+	version int   // record format: 1 (full), 2 (compact), 3 (compact+base)
 	opts    LogOptions
 
 	// mu guards the staging state only; it is never held across a
@@ -151,6 +166,16 @@ type Log struct {
 	appends uint64
 	flushes uint64
 	closed  bool
+	// base is the absolute sequence number of the record before the
+	// file's first one (0 except for v3 files); recs and committed
+	// count the records staged/durably committed beyond it, so
+	// base+committed is the durable sequence boundary a checkpoint may
+	// truncate up to. tailBytes tracks the record bytes in file plus
+	// staging, the checkpoint trigger's size estimate.
+	base      uint64
+	recs      uint64
+	committed uint64
+	tailBytes int64
 	// broken poisons the log after a failed commit: the file may end in
 	// a torn group and the v2 delta chain no longer matches what was
 	// staged, so appending anything further would write records that
@@ -196,11 +221,23 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 	}
 	var hdrLen int64
 	var lastTS stream.Timestamp
+	var base, nrecs uint64
 	version := 2
 	if info.Size() == 0 {
-		// Fresh log: write a compact-format header.
-		hdr := append([]byte{}, logMagicV2...)
-		hdr = stream.EncodeSchema(hdr, schema)
+		// Fresh log: write a compact-format header (v3 when it must
+		// carry a non-zero base).
+		var hdr []byte
+		if opts.BaseSeq > 0 {
+			version = 3
+			base = opts.BaseSeq
+			hdr = append([]byte{}, logMagicV3...)
+			hdr = stream.EncodeSchema(hdr, schema)
+			hdr = binary.AppendUvarint(hdr, base)
+			hdr = binary.AppendVarint(hdr, 0) // base timestamp
+		} else {
+			hdr = append([]byte{}, logMagicV2...)
+			hdr = stream.EncodeSchema(hdr, schema)
+		}
 		if _, err := f.Write(hdr); err != nil {
 			f.Close()
 			return nil, err
@@ -220,6 +257,8 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 		}
 		hdrLen = rep.hdrLen
 		version = rep.version
+		base = rep.base
+		nrecs = uint64(len(rep.elems))
 		if rep.clean < info.Size() {
 			// Crash recovery: drop the torn tail so new records extend
 			// the clean prefix (and the v2 delta chain) instead of
@@ -229,6 +268,7 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 				return nil, err
 			}
 		}
+		lastTS = rep.baseTS
 		if len(rep.elems) > 0 {
 			lastTS = rep.elems[len(rep.elems)-1].Timestamp()
 		}
@@ -238,7 +278,9 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, schema: schema, hdrLen: hdrLen, version: version, lastTS: lastTS, off: end, opts: opts}
+	l := &Log{f: f, path: path, schema: schema, hdrLen: hdrLen, version: version,
+		lastTS: lastTS, off: end, opts: opts,
+		base: base, recs: nrecs, committed: nrecs, tailBytes: end - hdrLen}
 	if opts.Sync == SyncInterval {
 		l.kick = make(chan struct{}, 1)
 		l.flusherStop = make(chan struct{})
@@ -289,6 +331,7 @@ func (l *Log) commit() error {
 	}
 	buf := l.buf
 	l.buf = l.shadow[:0]
+	staged := l.recs // records staged so far = records durable if this write lands
 	l.mu.Unlock()
 	if len(buf) == 0 {
 		l.mu.Lock()
@@ -314,6 +357,8 @@ func (l *Log) commit() error {
 	if err != nil {
 		l.broken = fmt.Errorf("storage: log poisoned by failed group commit: %w", err)
 		err = l.broken
+	} else {
+		l.committed = staged
 	}
 	l.mu.Unlock()
 	return err
@@ -321,15 +366,18 @@ func (l *Log) commit() error {
 
 // stageLocked encodes one record into the staging buffer.
 func (l *Log) stageLocked(e stream.Element) {
-	if l.version == 2 {
+	if l.version >= 2 {
 		l.scratch = stream.EncodeElementCompact(l.scratch[:0], e, l.lastTS)
 		l.lastTS = e.Timestamp()
 	} else {
 		l.scratch = stream.EncodeElement(l.scratch[:0], e)
 	}
+	before := len(l.buf)
 	l.buf = binary.AppendUvarint(l.buf, uint64(len(l.scratch)))
 	l.buf = append(l.buf, l.scratch...)
 	l.appends++
+	l.recs++
+	l.tailBytes += int64(len(l.buf) - before)
 }
 
 // Append stages one element record; the sync policy decides whether it
@@ -428,7 +476,21 @@ func (l *Log) Reset() error {
 	if closed {
 		return os.ErrClosed
 	}
-	if err := l.f.Truncate(l.hdrLen); err != nil {
+	if l.version == 3 {
+		// A v3 base would survive a header-keeping truncate; rewrite
+		// the file as a fresh v2 log so the sequence space restarts at
+		// zero alongside the truncated table's.
+		hdr := append([]byte{}, logMagicV2...)
+		hdr = stream.EncodeSchema(hdr, l.schema)
+		if err := l.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := l.f.WriteAt(hdr, 0); err != nil {
+			return err
+		}
+		l.hdrLen = int64(len(hdr))
+		l.version = 2
+	} else if err := l.f.Truncate(l.hdrLen); err != nil {
 		return err
 	}
 	_, err := l.f.Seek(l.hdrLen, io.SeekStart)
@@ -439,9 +501,154 @@ func (l *Log) Reset() error {
 		// restarts and a poisoned log becomes usable again.
 		l.lastTS = 0
 		l.broken = nil
+		l.base = 0
+		l.recs = 0
+		l.committed = 0
+		l.tailBytes = 0
 		l.mu.Unlock()
 	}
 	return err
+}
+
+// CommittedSeq returns the absolute sequence number of the last record
+// durably committed to the file: the boundary a checkpoint may
+// truncate the head up to (staged records beyond it exist only in
+// memory).
+func (l *Log) CommittedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + l.committed
+}
+
+// TailBytes estimates the bytes of record data the log holds (file
+// plus staging) since its base — the un-checkpointed tail size that
+// drives the auto-checkpoint trigger.
+func (l *Log) TailBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailBytes
+}
+
+// RewriteHead drops every committed record with absolute sequence
+// number <= keep by rewriting the file as a v3 log whose header base
+// is the new boundary, atomically (temp file + rename). keep is
+// clamped to the committed boundary: a checkpoint can never truncate
+// past the last durably flushed group, so records staged but not yet
+// committed — and groups a crash may yet tear — always survive in
+// full. The retained suffix is copied byte-for-byte: its first
+// record's timestamp delta is relative to the last dropped record,
+// whose timestamp becomes the header's base timestamp.
+//
+// v1 logs predate base tracking and are left unchanged (a checkpoint
+// then merely bounds replay work by deduplication, not file size).
+func (l *Log) RewriteHead(keep uint64) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return os.ErrClosed
+	}
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return err
+	}
+	base, committed, version := l.base, l.committed, l.version
+	l.mu.Unlock()
+	if version == 1 {
+		return nil
+	}
+	if keep > base+committed {
+		keep = base + committed
+	}
+	if keep <= base {
+		return nil
+	}
+	drop := keep - base
+
+	// Decode the dropped prefix to find where the retained suffix
+	// starts and the timestamp its delta chain continues from.
+	rf, err := os.Open(l.path)
+	if err != nil {
+		return err
+	}
+	hdr, err := readLogHeader(rf)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	r := bufio.NewReader(rf)
+	prev := hdr.baseTS
+	off := hdr.len
+	for i := uint64(0); i < drop; i++ {
+		e, n, err := readRecord(r, l.schema, version, prev)
+		if err != nil {
+			rf.Close()
+			return fmt.Errorf("storage: log %s: decoding record %d for head truncation: %w", l.path, i, err)
+		}
+		prev = e.Timestamp()
+		off += int64(n)
+	}
+
+	tmp := l.path + ".rewrite"
+	w, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		rf.Close()
+		return err
+	}
+	nh := append([]byte{}, logMagicV3...)
+	nh = stream.EncodeSchema(nh, l.schema)
+	nh = binary.AppendUvarint(nh, keep)
+	nh = binary.AppendVarint(nh, int64(prev))
+	_, err = w.Write(nh)
+	if err == nil {
+		if _, err = rf.Seek(off, io.SeekStart); err == nil {
+			_, err = io.Copy(w, rf)
+		}
+	}
+	rf.Close()
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, l.path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	// The rename replaced the inode under the open handle; swap to a
+	// handle on the new file before any further commit.
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	var end int64
+	if err == nil {
+		end, err = nf.Seek(0, io.SeekEnd)
+		if err != nil {
+			nf.Close()
+		}
+	}
+	if err != nil {
+		l.mu.Lock()
+		l.broken = fmt.Errorf("storage: log poisoned by failed head truncation reopen: %w", err)
+		err = l.broken
+		l.mu.Unlock()
+		return err
+	}
+	old := l.f
+	l.f = nf
+	l.off = end
+	old.Close()
+	l.mu.Lock()
+	l.base = keep
+	l.recs -= drop
+	l.committed -= drop
+	l.version = 3
+	l.hdrLen = int64(len(nh))
+	l.tailBytes -= off - hdr.len
+	l.mu.Unlock()
+	return nil
 }
 
 // Stats reports WAL activity counters.
@@ -476,26 +683,40 @@ func (l *Log) Close() error {
 // length prefix.
 const maxRecordLen = 64 << 20
 
-// readLogHeader validates the magic and decodes the schema, leaving the
-// read position at the first record and reporting the file's record
-// format version. It takes an io.ReadSeeker so tests can exercise
+// logHeader is the decoded fixed prefix of a log file.
+type logHeader struct {
+	schema  *stream.Schema
+	len     int64 // file offset of the first record
+	version int
+	// base and baseTS are the absolute sequence number and timestamp of
+	// the (checkpointed, dropped) record immediately before the file's
+	// first one. Zero except for v3 files.
+	base   uint64
+	baseTS stream.Timestamp
+}
+
+// readLogHeader validates the magic and decodes the schema (plus, for
+// v3, the sequence/timestamp base), leaving the read position at the
+// first record. It takes an io.ReadSeeker so tests can exercise
 // short-read behaviour with wrapped readers.
-func readLogHeader(f io.ReadSeeker) (*stream.Schema, int64, int, error) {
+func readLogHeader(f io.ReadSeeker) (logHeader, error) {
+	var h logHeader
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, 0, err
+		return h, err
 	}
 	magic := make([]byte, len(logMagic))
 	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, 0, 0, fmt.Errorf("storage: reading log header: %w", err)
+		return h, fmt.Errorf("storage: reading log header: %w", err)
 	}
-	var version int
 	switch string(magic) {
 	case string(logMagic):
-		version = 1
+		h.version = 1
 	case string(logMagicV2):
-		version = 2
+		h.version = 2
+	case string(logMagicV3):
+		h.version = 3
 	default:
-		return nil, 0, 0, fmt.Errorf("storage: not a GSN log file")
+		return h, fmt.Errorf("storage: not a GSN log file")
 	}
 	// The schema is small; fill a bounded prefix to decode it. A single
 	// Read may legally return fewer bytes than available, so keep
@@ -510,18 +731,33 @@ func readLogHeader(f io.ReadSeeker) (*stream.Schema, int64, int, error) {
 			break
 		}
 		if err != nil {
-			return nil, 0, 0, err
+			return h, err
 		}
 	}
 	schema, consumed, err := stream.DecodeSchema(buf[:n])
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("storage: decoding log schema: %w", err)
+		return h, fmt.Errorf("storage: decoding log schema: %w", err)
 	}
-	off := int64(len(magic) + consumed)
-	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		return nil, 0, 0, err
+	h.schema = schema
+	if h.version == 3 {
+		base, bn := binary.Uvarint(buf[consumed:n])
+		if bn <= 0 {
+			return h, fmt.Errorf("storage: decoding log base sequence")
+		}
+		consumed += bn
+		ts, tn := binary.Varint(buf[consumed:n])
+		if tn <= 0 {
+			return h, fmt.Errorf("storage: decoding log base timestamp")
+		}
+		consumed += tn
+		h.base = base
+		h.baseTS = stream.Timestamp(ts)
 	}
-	return schema, off, version, nil
+	h.len = int64(len(magic) + consumed)
+	if _, err := f.Seek(h.len, io.SeekStart); err != nil {
+		return h, err
+	}
+	return h, nil
 }
 
 // readRecord reads one length-prefixed record in the given format,
@@ -540,7 +776,7 @@ func readRecord(r *bufio.Reader, schema *stream.Schema, version int,
 		return stream.Element{}, 0, err
 	}
 	var e stream.Element
-	if version == 2 {
+	if version >= 2 {
 		e, _, err = stream.DecodeElementCompact(schema, buf, prev)
 	} else {
 		e, _, err = stream.DecodeElement(schema, buf)
@@ -567,6 +803,8 @@ type logReplay struct {
 	hdrLen  int64            // offset of the first record
 	clean   int64            // offset where the clean prefix ends
 	version int              // record format
+	base    uint64           // absolute seq of the record before elems[0]
+	baseTS  stream.Timestamp // timestamp elems[0]'s delta continues from
 }
 
 // replayLogFile decodes the log at path. Corrupt trailing records — a
@@ -579,15 +817,16 @@ func replayLogFile(path string) (*logReplay, error) {
 		return nil, err
 	}
 	defer f.Close()
-	schema, off, version, err := readLogHeader(f)
+	hdr, err := readLogHeader(f)
 	if err != nil {
 		return nil, err
 	}
-	rep := &logReplay{schema: schema, hdrLen: off, clean: off, version: version}
+	rep := &logReplay{schema: hdr.schema, hdrLen: hdr.len, clean: hdr.len,
+		version: hdr.version, base: hdr.base, baseTS: hdr.baseTS}
 	r := bufio.NewReader(f)
-	var prev stream.Timestamp
+	prev := hdr.baseTS
 	for {
-		e, n, err := readRecord(r, schema, version, prev)
+		e, n, err := readRecord(r, hdr.schema, hdr.version, prev)
 		if err != nil {
 			// EOF or torn tail: keep the clean prefix.
 			return rep, nil

@@ -21,6 +21,9 @@ type Store struct {
 	// in any of the store's tables (the container points it at its
 	// storage_log_errors counter).
 	logErrs Incrementer
+	// histMetr, when set, receives page/pool/checkpoint accounting from
+	// every history tier opened after the call (SetHistoryMetrics).
+	histMetr *HistoryMetrics
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -59,6 +62,19 @@ type TableOptions struct {
 	// FlushBytes forces a flush when at least this much is staged (zero
 	// means DefaultFlushBytes).
 	FlushBytes int
+	// History enables the on-disk history tier (descriptor attribute
+	// history="disk"): elements evicted from the retention window are
+	// migrated to paged storage with a B+tree time index instead of
+	// being discarded, and checkpoints truncate the WAL head so restart
+	// replays only the un-checkpointed tail. Requires Permanent.
+	History bool
+	// PoolPages bounds the history buffer pool (zero means
+	// DefaultPoolPages frames).
+	PoolPages int
+	// CheckpointBytes triggers an automatic checkpoint when the WAL
+	// tail exceeds it (zero means DefaultCheckpointBytes; negative
+	// disables automatic checkpoints — tests drive them explicitly).
+	CheckpointBytes int64
 }
 
 // CreateTable registers a new table. It fails if the name is taken.
@@ -80,6 +96,9 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 		return nil, fmt.Errorf("storage: table %s already exists", canonical)
 	}
 
+	if opts.History && !opts.Permanent {
+		return nil, fmt.Errorf("storage: table %s wants disk history but not permanent storage", canonical)
+	}
 	if opts.Permanent {
 		if s.dataDir == "" {
 			return nil, fmt.Errorf("storage: table %s wants permanent storage but the store has no data directory", canonical)
@@ -94,19 +113,53 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			if !rep.schema.Equal(schema) {
 				return nil, fmt.Errorf("storage: log %s schema %s does not match %s", path, rep.schema, schema)
 			}
-			t.bulkLoad(rep.elems)
 		}
-		t.logErrMetr = s.logErrs
-		// openLog reuses the replay, so the file is decoded once.
-		log, err := openLog(path, schema, LogOptions{
+		logOpts := LogOptions{
 			Sync:          opts.Sync,
 			FlushInterval: opts.FlushInterval,
 			FlushBytes:    opts.FlushBytes,
 			// Background group-commit failures happen after Insert has
 			// returned; count them so the loss is observable.
 			OnError: func(error) { t.recordLogError() },
-		}, rep)
+		}
+		if opts.History {
+			// The history tier opens before the replay is loaded: the
+			// table's sequence counter continues from the WAL's base (the
+			// checkpoint boundary), so replayed rows the window evicts
+			// re-migrate with their original sequence numbers and the
+			// tier's dedup drops the ones a checkpoint already covers.
+			h, err := openHistory(filepath.Join(s.dataDir, canonical+".gsnhist"),
+				schema, opts.PoolPages, s.histMetr)
+			if err != nil {
+				return nil, err
+			}
+			t.history = h
+			t.seq = h.DurableSeq()
+			if rep != nil {
+				t.seq = rep.base
+			} else {
+				// WAL file gone but the history holds records: the fresh
+				// log must continue the sequence space, not restart it.
+				logOpts.BaseSeq = h.DurableSeq()
+			}
+			switch {
+			case opts.CheckpointBytes > 0:
+				t.ckptBytes = opts.CheckpointBytes
+			case opts.CheckpointBytes == 0:
+				t.ckptBytes = DefaultCheckpointBytes
+			}
+		}
+		if rep != nil {
+			t.bulkLoad(rep.elems)
+			t.replayed = len(rep.elems)
+		}
+		t.logErrMetr = s.logErrs
+		// openLog reuses the replay, so the file is decoded once.
+		log, err := openLog(path, schema, logOpts, rep)
 		if err != nil {
+			if t.history != nil {
+				t.history.Close()
+			}
 			return nil, err
 		}
 		t.log = log
@@ -136,6 +189,34 @@ func (s *Store) DropTable(name string) error {
 		return fmt.Errorf("storage: table %s does not exist", canonical)
 	}
 	return t.Close()
+}
+
+// DestroyTable removes and closes a table like DropTable and, for a
+// table with a disk history tier, deletes its on-disk state (history
+// and WAL files) so an undeployed sensor leaves no orphaned pages or
+// index nodes behind. Tables without a history tier keep their WAL —
+// the pre-history undeploy semantics, where a redeploy under the same
+// name replays it.
+func (s *Store) DestroyTable(name string) error {
+	canonical := stream.CanonicalName(name)
+	s.mu.Lock()
+	t, ok := s.tables[canonical]
+	delete(s.tables, canonical)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: table %s does not exist", canonical)
+	}
+	hadHistory := t.HasHistory()
+	err := t.Close()
+	if hadHistory && s.dataDir != "" {
+		for _, suffix := range []string{".gsnhist", ".gsnlog", ".gsnlog.rewrite"} {
+			p := filepath.Join(s.dataDir, canonical+suffix)
+			if rerr := os.Remove(p); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+				err = rerr
+			}
+		}
+	}
+	return err
 }
 
 // List returns the table names in sorted order.
@@ -174,4 +255,13 @@ func (s *Store) SetLogErrorCounter(c Incrementer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.logErrs = c
+}
+
+// SetHistoryMetrics points history-tier accounting (page reads/writes,
+// pool hits/evictions, checkpoints) for tables created after this call
+// at external metrics counters.
+func (s *Store) SetHistoryMetrics(m *HistoryMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.histMetr = m
 }

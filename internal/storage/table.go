@@ -58,6 +58,16 @@ type TableStats struct {
 	// LogFlushes counts WAL write syscalls (zero for memory-only
 	// tables); the batched-ingest benchmarks assert on it.
 	LogFlushes uint64
+	// Replayed is the number of elements replayed from the WAL when the
+	// table was opened — for a history table, the un-checkpointed tail.
+	Replayed int
+	// Checkpoints counts checkpoints taken by this table since open.
+	Checkpoints uint64
+	// HistoryErrors counts failed disk-tier operations (evicted elements
+	// that could not be migrated, failed checkpoints).
+	HistoryErrors uint64
+	// History reports disk-tier counters; nil for tables without one.
+	History *HistoryStats
 }
 
 // Observer receives element lifecycle events from a table. Methods are
@@ -100,6 +110,27 @@ type Table struct {
 	log      *Log
 	observer Observer
 
+	// seq is the absolute insert ordinal of the last inserted element:
+	// element i of the live window carries sequence number
+	// seq-(len(elems)-1-i). It survives restarts (CreateTable seeds it
+	// from the WAL base) so the history tier's dedup-by-seq works across
+	// crash/replay cycles. Zero except for history tables.
+	seq uint64
+	// history is the on-disk tier absorbing evicted elements; nil for
+	// ordinary tables. Set once before the table is published.
+	history *history
+	// replayed counts the WAL records loaded at open (TableStats).
+	replayed int
+	// checkpoints counts checkpointLocked successes.
+	checkpoints uint64
+	// ckptBytes triggers an automatic checkpoint when the WAL tail
+	// exceeds it (0 disables); ckptLowWater is the tail size right after
+	// the last attempt, so a checkpoint that could not shrink the tail
+	// (everything still hot or uncommitted) does not retrigger on every
+	// insert.
+	ckptBytes    int64
+	ckptLowWater int64
+
 	// version counts window mutations (insert, evict, truncate, bulk
 	// load). Two equal Version() reads bracket an unchanged window, so
 	// query-result caches can validate entries without rescanning.
@@ -110,7 +141,12 @@ type Table struct {
 	// from the flusher goroutine without the table lock.
 	logErrors  atomic.Uint64
 	logErrMetr Incrementer
+	histErrors atomic.Uint64
 }
+
+// DefaultCheckpointBytes is the WAL tail size that triggers an
+// automatic checkpoint on a history table.
+const DefaultCheckpointBytes = 1 << 20
 
 // NewTable creates a standalone table (the Store is the usual entry
 // point). The window governs retention; clock may be nil for
@@ -184,6 +220,7 @@ func (t *Table) Insert(e stream.Element) error {
 		}
 	}
 	t.insertLocked(e)
+	t.maybeCheckpointLocked()
 	return nil
 }
 
@@ -213,6 +250,7 @@ func (t *Table) InsertBatch(elems []stream.Element) error {
 	for _, e := range elems {
 		t.insertLocked(e)
 	}
+	t.maybeCheckpointLocked()
 	return nil
 }
 
@@ -223,6 +261,7 @@ func (t *Table) InsertBatch(elems []stream.Element) error {
 func (t *Table) insertLocked(e stream.Element) {
 	t.elems = append(t.elems, e)
 	t.inserted++
+	t.seq++
 	t.version++
 	t.bytes += e.Size()
 	if t.observer != nil {
@@ -261,6 +300,16 @@ func (t *Table) liveLenLocked() int { return len(t.elems) - t.head }
 func (t *Table) dropHeadLocked() {
 	t.version++
 	t.bytes -= t.elems[t.head].Size()
+	if t.history != nil {
+		// Migrate the evicted element into the disk tier before it
+		// leaves the window. Its absolute sequence number follows from
+		// its position relative to the newest element; replayed rows
+		// re-offered here are deduplicated by that number.
+		seq := t.seq - uint64(len(t.elems)-1-t.head)
+		if err := t.history.Append(t.elems[t.head], seq); err != nil {
+			t.histErrors.Add(1)
+		}
+	}
 	if t.observer != nil {
 		t.observer.OnEvict(t.elems[t.head])
 	}
@@ -409,7 +458,10 @@ func (t *Table) Latest() (stream.Element, bool) {
 // Truncate discards all live elements (used on redeploy). A permanent
 // table's log is reset too — including any records still staged in the
 // WAL buffer — so a later CreateTable replay cannot resurrect the
-// truncated rows.
+// truncated rows. A history table's disk tier is reinitialised to an
+// empty file in the same critical section: no pages or index nodes of
+// the truncated rows survive, and the sequence space restarts at zero
+// alongside the WAL's.
 func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -418,8 +470,15 @@ func (t *Table) Truncate() error {
 	t.head = 0
 	t.bytes = 0
 	t.version++
+	t.seq = 0
+	t.ckptLowWater = 0
 	if t.observer != nil {
 		t.observer.OnTruncate()
+	}
+	if t.history != nil {
+		if err := t.history.Reset(); err != nil {
+			return fmt.Errorf("storage: resetting history of %s: %w", t.name, err)
+		}
 	}
 	if t.log != nil {
 		if err := t.log.Reset(); err != nil {
@@ -443,6 +502,125 @@ func (t *Table) Flush() error {
 		return fmt.Errorf("storage: flushing %s: %w", t.name, err)
 	}
 	return nil
+}
+
+// HasHistory reports whether the table has an on-disk history tier.
+func (t *Table) HasHistory() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.history != nil
+}
+
+// Checkpoint makes the history tier durable and truncates the WAL head
+// to the un-checkpointed tail, so the next open replays O(tail) records
+// instead of the whole retention. It happens automatically when the
+// tail outgrows TableOptions.CheckpointBytes; tests and shutdown call
+// it directly.
+func (t *Table) Checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.checkpointLocked()
+}
+
+// maybeCheckpointLocked runs the automatic checkpoint policy after an
+// insert. The low-water mark stops a checkpoint that could not shrink
+// the tail (everything still hot, or not yet group-committed) from
+// retriggering on every subsequent insert: the next attempt waits for
+// another ckptBytes of fresh records.
+func (t *Table) maybeCheckpointLocked() {
+	if t.history == nil || t.log == nil || t.ckptBytes <= 0 {
+		return
+	}
+	tail := t.log.TailBytes()
+	if tail < t.ckptBytes || tail < t.ckptLowWater+t.ckptBytes {
+		return
+	}
+	if err := t.checkpointLocked(); err != nil {
+		t.histErrors.Add(1)
+	}
+	t.ckptLowWater = t.log.TailBytes()
+}
+
+// checkpointLocked is the checkpoint protocol: flush the WAL (so the
+// durable boundary covers everything staged), make the history pages
+// durable, then drop the WAL head up to the oldest record still needed
+// — the minimum of the hot window's start, the history tier's durable
+// coverage and the WAL's own committed boundary. The last clamp is the
+// crash-safety contract with sync="interval": a checkpoint never
+// records progress past the last durably flushed group, so a torn tail
+// can only ever lose records the WAL still holds.
+func (t *Table) checkpointLocked() error {
+	if t.history == nil {
+		return nil
+	}
+	if t.log != nil {
+		if err := t.log.Flush(); err != nil {
+			// Best effort: the pages appended so far can still become
+			// durable; the WAL head is left alone.
+			t.history.Checkpoint()
+			t.recordLogError()
+			return fmt.Errorf("storage: checkpoint %s: %w", t.name, err)
+		}
+	}
+	if err := t.history.Checkpoint(); err != nil {
+		return fmt.Errorf("storage: checkpoint %s: %w", t.name, err)
+	}
+	t.checkpoints++
+	if t.log != nil {
+		keep := t.history.DurableSeq()
+		if hot := t.seq - uint64(t.liveLenLocked()); hot < keep {
+			keep = hot
+		}
+		if c := t.log.CommittedSeq(); c < keep {
+			keep = c
+		}
+		if err := t.log.RewriteHead(keep); err != nil {
+			t.recordLogError()
+			return fmt.Errorf("storage: checkpoint %s: truncating log head: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// TimedRange returns every element with lo <= timed <= hi in arrival
+// order, merging the disk tier with the hot window. Elements the
+// window evicted are read back through the B+tree index and buffer
+// pool; for tables without a history tier the result is just the hot
+// rows. The two tiers are read under their own locks — the hot
+// snapshot fixes the boundary sequence first, and the disk scan
+// excludes anything at or above it, so an element migrating between
+// the two phases is served exactly once.
+func (t *Table) TimedRange(lo, hi stream.Timestamp) ([]stream.Element, error) {
+	if hi < lo {
+		return nil, nil
+	}
+	var hot []stream.Element
+	var hotFirst uint64
+	var h *history
+	t.readLocked(func() {
+		h = t.history
+		hotFirst = t.seq - uint64(t.liveLenLocked()) + 1
+		for i := t.head; i < len(t.elems); i++ {
+			if ts := t.elems[i].Timestamp(); ts >= lo && ts <= hi {
+				hot = append(hot, t.elems[i])
+			}
+		}
+	})
+	if h == nil {
+		return hot, nil
+	}
+	rows, err := h.Range(lo, hi, hotFirst)
+	if err != nil {
+		return nil, fmt.Errorf("storage: range scan of %s history: %w", t.name, err)
+	}
+	if len(rows) == 0 {
+		return hot, nil
+	}
+	out := make([]stream.Element, 0, len(rows)+len(hot))
+	for _, r := range rows {
+		out = append(out, r.e)
+	}
+	return append(out, hot...), nil
 }
 
 // SetObserver installs (or with nil removes) the table's lifecycle
@@ -473,6 +651,7 @@ func (t *Table) bulkLoad(elems []stream.Element) {
 	for _, e := range elems {
 		t.elems = append(t.elems, e)
 		t.inserted++
+		t.seq++
 		t.version++
 		t.bytes += e.Size()
 		if t.observer != nil {
@@ -485,29 +664,51 @@ func (t *Table) bulkLoad(elems []stream.Element) {
 // Stats returns activity counters.
 func (t *Table) Stats() TableStats {
 	var st TableStats
+	var h *history
 	t.readLocked(func() {
+		h = t.history
 		st = TableStats{
-			Inserted: t.inserted,
-			Evicted:  t.evicted,
-			Live:     t.liveLenLocked(),
-			Bytes:    t.bytes,
+			Inserted:    t.inserted,
+			Evicted:     t.evicted,
+			Live:        t.liveLenLocked(),
+			Bytes:       t.bytes,
+			Replayed:    t.replayed,
+			Checkpoints: t.checkpoints,
 		}
 		if t.log != nil {
 			st.LogFlushes = t.log.Stats().Flushes
 		}
 	})
 	st.LogErrors = t.logErrors.Load()
+	st.HistoryErrors = t.histErrors.Load()
+	if h != nil {
+		hs := h.Stats()
+		st.History = &hs
+	}
 	return st
 }
 
-// Close releases the persistence log, if any, flushing its staged tail.
+// Close releases the persistence log and history tier, if any. A
+// history table checkpoints first so a clean shutdown leaves an empty
+// WAL tail — the next open replays nothing.
 func (t *Table) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.log != nil {
-		err := t.log.Close()
-		t.log = nil
-		return err
+	var first error
+	if t.history != nil && t.log != nil {
+		first = t.checkpointLocked()
 	}
-	return nil
+	if t.log != nil {
+		if err := t.log.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.log = nil
+	}
+	if t.history != nil {
+		if err := t.history.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.history = nil
+	}
+	return first
 }

@@ -58,18 +58,18 @@ func TestReadLogHeaderShortReads(t *testing.T) {
 	}
 	defer f.Close()
 	for _, chunk := range []int{1, 3, 7} {
-		got, off, version, err := readLogHeader(&chunkedReader{r: f, chunk: chunk})
+		hdr, err := readLogHeader(&chunkedReader{r: f, chunk: chunk})
 		if err != nil {
 			t.Fatalf("chunk=%d: readLogHeader: %v", chunk, err)
 		}
-		if !got.Equal(schema) {
-			t.Fatalf("chunk=%d: schema = %s, want %s", chunk, got, schema)
+		if !hdr.schema.Equal(schema) {
+			t.Fatalf("chunk=%d: schema = %s, want %s", chunk, hdr.schema, schema)
 		}
-		if off <= int64(len(logMagic)) {
-			t.Fatalf("chunk=%d: implausible header offset %d", chunk, off)
+		if hdr.len <= int64(len(logMagic)) {
+			t.Fatalf("chunk=%d: implausible header offset %d", chunk, hdr.len)
 		}
-		if version != 2 {
-			t.Fatalf("chunk=%d: fresh log version = %d, want 2", chunk, version)
+		if hdr.version != 2 {
+			t.Fatalf("chunk=%d: fresh log version = %d, want 2", chunk, hdr.version)
 		}
 	}
 }

@@ -76,6 +76,11 @@ type StorageSpec struct {
 	// FlushInterval tunes the "interval" group-commit period (a Go
 	// duration such as "5ms"; empty uses the storage default).
 	FlushInterval string `xml:"flush-interval,attr"`
+	// History selects what happens to elements the retention window
+	// evicts: "" (discarded, the default) or "disk" (migrated to the
+	// paged on-disk history tier with a B+tree time index, servable by
+	// TIMED-range queries). "disk" requires permanent-storage.
+	History string `xml:"history,attr"`
 }
 
 // InputStream declares one input with its sources and combining query.
@@ -234,6 +239,16 @@ func (d *Descriptor) Validate() error {
 		if _, err := time.ParseDuration(d.Storage.FlushInterval); err != nil {
 			return fmt.Errorf("vsensor: %s: storage flush-interval: %w", d.Name, err)
 		}
+	}
+	switch d.Storage.History {
+	case "":
+	case "disk":
+		if !d.Storage.Permanent {
+			return fmt.Errorf("vsensor: %s: storage history=\"disk\" requires permanent-storage=\"true\"", d.Name)
+		}
+	default:
+		return fmt.Errorf("vsensor: %s: storage history must be empty or \"disk\" (got %q)",
+			d.Name, d.Storage.History)
 	}
 	if len(d.Streams) == 0 {
 		return fmt.Errorf("vsensor: %s: no input-stream defined", d.Name)

@@ -29,6 +29,7 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 <body>
 <h1>GSN container: {{.Node}}</h1>
 <p>{{len .Sensors}} virtual sensor(s) deployed · <a href="/api/metrics">metrics</a> · <a href="/api/directory">directory</a> · <a href="/api/graph">graph</a></p>
+<p>storage history tier: {{.Storage}}</p>
 <table>
 <tr><th>Virtual sensor</th><th>Fields</th><th>Consumes</th><th class="num">Triggers</th><th class="num">Outputs</th><th class="num">Errors</th><th class="num">Window</th><th>Plot</th></tr>
 {{range .Sensors}}
@@ -62,9 +63,13 @@ type dashboardSensor struct {
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	var view struct {
 		Node    string
+		Storage string
 		Sensors []dashboardSensor
 	}
 	view.Node = s.container.Name()
+	snap := s.container.MetricsSnapshot()
+	view.Storage = fmt.Sprintf("%v pages read · %v pages written · %v pool hits · %v pool evictions · %v checkpoints",
+		snap["pages_read"], snap["pages_written"], snap["pool_hits"], snap["pool_evictions"], snap["checkpoints_total"])
 	graph := s.container.Graph()
 	for _, vs := range s.container.Sensors() {
 		var ds dashboardSensor
