@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke examples-smoke docs-check ci
+.PHONY: all build vet test race bench benchsmoke examples-smoke docs-check chaos ci
 
 all: ci
 
@@ -56,5 +56,14 @@ examples-smoke:
 	timeout 120 $(GO) run ./examples/layered
 	timeout 120 $(GO) run ./examples/quickstart
 
+# chaos runs the fault-injection storm twice under the race detector:
+# a three-tier pipeline with randomized disk faults (TestChaos) plus
+# the WAL fault matrix and self-healing recovery paths. See
+# docs/operations.md for the contract these tests enforce.
+chaos:
+	$(GO) test -race -count=2 -timeout 300s \
+		-run 'TestChaos|TestWALFaultMatrix|TestBackgroundFlush|TestSupervision|TestCheckpointMetaFault|TestHistoryPageWriteFault' \
+		./internal/core ./internal/storage
+
 # ci is the tier-1 gate: everything a fresh clone must pass.
-ci: vet build race benchsmoke examples-smoke docs-check
+ci: vet build race benchsmoke examples-smoke docs-check chaos

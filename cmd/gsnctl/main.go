@@ -16,6 +16,7 @@
 //	gsnctl watch SENSOR
 //	gsnctl directory
 //	gsnctl metrics
+//	gsnctl health
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 )
@@ -76,6 +78,8 @@ func main() {
 		err = c.getPretty("/api/directory")
 	case "metrics":
 		err = c.getPretty("/api/metrics")
+	case "health":
+		err = c.health()
 	default:
 		usage()
 	}
@@ -96,7 +100,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gsnctl [-server URL] [-apikey KEY] COMMAND [ARG]
 commands: list · info SENSOR · data SENSOR [LIMIT] · query SQL ·
           deploy FILE · remove SENSOR [-cascade] · graph · watch SENSOR ·
-          directory · metrics`)
+          directory · metrics · health`)
 	os.Exit(2)
 }
 
@@ -180,6 +184,49 @@ func (c *client) list() error {
 
 func (c *client) info(name string) error {
 	return c.getPretty("/api/sensors/" + name)
+}
+
+// health prints the per-sensor health table and exits nonzero when the
+// node reports any terminally failed sensor (the endpoint answers 503
+// in that case, with the same JSON body), so scripts can gate on it.
+func (c *client) health() error {
+	req, err := http.NewRequest(http.MethodGet, c.server+"/api/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		State   string `json:"state"`
+		Sensors map[string]struct {
+			State  string `json:"state"`
+			Reason string `json:"reason"`
+		} `json:"sensors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	fmt.Printf("node: %s\n", h.State)
+	names := make([]string, 0, len(h.Sensors))
+	for name := range h.Sensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := h.Sensors[name]
+		line := fmt.Sprintf("%-24s%s", name, s.State)
+		if s.Reason != "" {
+			line += "  (" + s.Reason + ")"
+		}
+		fmt.Println(line)
+	}
+	if h.State == "failed" {
+		return fmt.Errorf("node reports failed sensors")
+	}
+	return nil
 }
 
 func (c *client) data(name, limit string) error {

@@ -65,6 +65,15 @@ type Options struct {
 	// SuperviseInterval is the supervision loop period (default 1s;
 	// the loop only runs in asynchronous mode).
 	SuperviseInterval time.Duration
+	// MaxWrapperRestarts bounds consecutive restarts of a silent
+	// source's wrapper before supervision marks the source terminally
+	// failed (default 8; negative = unlimited). Restart attempts pace
+	// themselves with backoff either way.
+	MaxWrapperRestarts int
+	// StorageFS substitutes the filesystem the storage layer opens its
+	// WAL and history files through — the fault-injection seam
+	// (storage.NewFaultFS). Nil means the real filesystem.
+	StorageFS storage.FS
 }
 
 // Logger is the minimal logging contract the container needs;
@@ -130,10 +139,16 @@ func New(opts Options) (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.StorageFS != nil {
+		store.SetFS(opts.StorageFS)
+	}
 	reg := metrics.NewRegistry()
 	// WAL append/flush failures — including asynchronous group-commit
 	// losses — surface on this counter.
 	store.SetLogErrorCounter(reg.Counter("storage_log_errors"))
+	// Every time a degraded table's recovery loop re-arms its WAL and
+	// history tiers, this ticks — the self-healing success signal.
+	store.SetWalReopenCounter(reg.Counter("wal_reopens_total"))
 	// History-tier (disk storage) activity: page and buffer-pool traffic
 	// plus checkpoint count, aggregated over every history table.
 	store.SetHistoryMetrics(&storage.HistoryMetrics{
@@ -633,7 +648,11 @@ func (c *Container) PulseBatch(max int) int {
 
 // supervise is the life-cycle manager's background loop: it restarts
 // wrappers whose sources have gone silent past their gap timeout and
-// refreshes directory publications.
+// refreshes directory publications. Restarts pace themselves through a
+// per-source backoff instead of firing every tick, and a source whose
+// restarts keep not reviving it goes terminally failed (Health reports
+// it; a redeploy resets it) rather than being torn down and restarted
+// forever.
 func (c *Container) supervise() {
 	defer close(c.superviseDone)
 	ticker := time.NewTicker(c.opts.SuperviseInterval)
@@ -653,17 +672,7 @@ func (c *Container) supervise() {
 		for _, vs := range c.Sensors() {
 			for _, in := range vs.streams {
 				for _, src := range in.sources {
-					if src.gap.Check() {
-						c.logf("gsn: %s/%s: source silent beyond gap-timeout, restarting wrapper",
-							vs.name, src.alias)
-						src.restarts.Add(1)
-						c.metrics.Counter("wrapper_restarts").Inc()
-						src.wrapper.Stop()
-						src := src
-						if err := src.wrapper.Start(func(e stream.Element) { vs.ingress(src, e) }); err != nil {
-							vs.recordError(err)
-						}
-					}
+					c.superviseSource(vs, src)
 				}
 			}
 		}
@@ -674,6 +683,49 @@ func (c *Container) supervise() {
 			}
 			c.dir.GC()
 		}
+	}
+}
+
+// superviseSource runs one supervision tick for one stream source.
+func (c *Container) superviseSource(vs *VirtualSensor, src *sourceRuntime) {
+	if !src.gap.Check() {
+		// Flowing again (or no gap timeout configured): settle the
+		// restart escalation so the next outage retries promptly.
+		if src.restartFails.Load() != 0 {
+			src.restartFails.Store(0)
+			src.restartBo.Reset()
+		}
+		return
+	}
+	if src.failed.Load() {
+		return // terminal: operator intervention (redeploy) required
+	}
+	now := time.Now()
+	if now.UnixNano() < src.notBefore.Load() {
+		return // waiting out the restart backoff
+	}
+	limit := c.opts.MaxWrapperRestarts
+	if limit == 0 {
+		limit = 8
+	}
+	if limit > 0 && src.restartFails.Load() >= uint64(limit) {
+		reason := fmt.Sprintf("wrapper restarted %d times without the source recovering", limit)
+		src.failReason.Store(reason)
+		src.failed.Store(true)
+		c.metrics.Counter("wrapper_restarts_failed").Inc()
+		c.logf("gsn: %s/%s: %s; marking source failed", vs.name, src.alias, reason)
+		return
+	}
+	c.logf("gsn: %s/%s: source silent beyond gap-timeout, restarting wrapper",
+		vs.name, src.alias)
+	src.restarts.Add(1)
+	src.restartFails.Add(1)
+	c.metrics.Counter("wrapper_restarts").Inc()
+	src.notBefore.Store(now.Add(src.restartBo.Next()).UnixNano())
+	src.wrapper.Stop()
+	if err := vs.startWrapper(src); err != nil {
+		vs.recordError(err)
+		c.metrics.Counter("wrapper_restarts_failed").Inc()
 	}
 }
 
@@ -699,6 +751,19 @@ func (c *Container) MetricsSnapshot() map[string]any {
 	out["stmt_cache_misses"] = sc.Misses
 	out["stmt_cache_size"] = sc.Size
 	out["result_cache_size"] = c.results.Len()
+	// Health gauges are computed live: they describe the current state,
+	// not an accumulated count.
+	degraded, failed := 0, 0
+	for _, vs := range c.Sensors() {
+		switch vs.Health().State {
+		case Degraded:
+			degraded++
+		case Failed:
+			failed++
+		}
+	}
+	out["degraded_sensors"] = degraded
+	out["failed_sensors"] = failed
 	return out
 }
 

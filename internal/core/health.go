@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// HealthState is a sensor's (or the container's) position in the
+// three-step health ladder. States order by severity so aggregation is
+// a max() over components.
+type HealthState int
+
+const (
+	// Healthy: all durability tiers armed, no failed sources.
+	Healthy HealthState = iota
+	// Degraded: serving and ingesting, but some guarantee is suspended
+	// (a storage tier lost durability, a wrapper is in restart backoff).
+	// The runtime is trying to heal itself.
+	Degraded
+	// Failed: a component gave up (a source exhausted its restart
+	// budget). Operator action — redeploy or fix the device — is needed.
+	Failed
+)
+
+// String returns the state's spelling ("healthy", "degraded", "failed").
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// MarshalText renders the state's spelling into JSON and text output.
+func (s HealthState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state spelling (clients decoding /api/health).
+func (s *HealthState) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "healthy":
+		*s = Healthy
+	case "degraded":
+		*s = Degraded
+	case "failed":
+		*s = Failed
+	default:
+		return fmt.Errorf("core: unknown health state %q", text)
+	}
+	return nil
+}
+
+// HealthReport is one component's health verdict.
+type HealthReport struct {
+	State  HealthState `json:"state"`
+	Reason string      `json:"reason,omitempty"`
+}
+
+// ContainerHealth aggregates per-sensor health into a container
+// verdict: the worst sensor state wins.
+type ContainerHealth struct {
+	State   HealthState             `json:"state"`
+	Sensors map[string]HealthReport `json:"sensors"`
+}
+
+// Health reports the sensor's current health: Failed when any source
+// exhausted its wrapper-restart budget, Degraded when a storage tier
+// is running with durability suspended or a source is waiting out a
+// restart backoff, Healthy otherwise.
+func (vs *VirtualSensor) Health() HealthReport {
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			if src.failed.Load() {
+				reason, _ := src.failReason.Load().(string)
+				return HealthReport{State: Failed,
+					Reason: fmt.Sprintf("source %s: %s", src.alias, reason)}
+			}
+		}
+	}
+	if ok, reason := vs.outTable.Health(); !ok {
+		return HealthReport{State: Degraded, Reason: "output table: " + reason}
+	}
+	for _, in := range vs.streams {
+		for _, src := range in.sources {
+			if ok, reason := src.table.Health(); !ok {
+				return HealthReport{State: Degraded,
+					Reason: fmt.Sprintf("source %s window: %s", src.alias, reason)}
+			}
+			if src.restartFails.Load() > 0 {
+				return HealthReport{State: Degraded,
+					Reason: fmt.Sprintf("source %s: wrapper in restart backoff", src.alias)}
+			}
+		}
+	}
+	return HealthReport{State: Healthy}
+}
+
+// Health reports container health: the worst deployed sensor's state,
+// with every sensor's verdict attached. /api/health serves this as the
+// readiness surface (503 when State is Failed).
+func (c *Container) Health() ContainerHealth {
+	h := ContainerHealth{State: Healthy, Sensors: make(map[string]HealthReport)}
+	for _, vs := range c.Sensors() {
+		r := vs.Health()
+		h.Sensors[vs.name] = r
+		if r.State > h.State {
+			h.State = r.State
+		}
+	}
+	return h
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gsn/internal/quality"
+	"gsn/internal/resilience"
 	"gsn/internal/sqlengine"
 	"gsn/internal/sqlparser"
 	"gsn/internal/storage"
@@ -86,7 +87,17 @@ type sourceRuntime struct {
 
 	slide    int           // trigger every slide-th arrival (≥1)
 	arrivals atomic.Uint64 // accepted arrivals, for slide accounting
-	restarts atomic.Uint64
+
+	// Supervision state: restart attempts escalate through restartBo
+	// (notBefore gates the next attempt) instead of firing every tick,
+	// and a source that exhausts its restart budget without recovering
+	// goes terminally failed — surfaced via Health, reset by redeploy.
+	restarts     atomic.Uint64
+	restartFails atomic.Uint64 // consecutive restarts without recovery
+	failed       atomic.Bool
+	failReason   atomic.Value // string
+	restartBo    *resilience.Backoff
+	notBefore    atomic.Int64 // unix nanos; supervision waits until then
 }
 
 // trigger is one unit of work for the processing pool: an element
@@ -125,6 +136,12 @@ type SourceStats struct {
 	Buffered   int
 	Gaps       uint64
 	Restarts   uint64
+	// RestartFails counts consecutive restarts that have not yet revived
+	// the source (zero once data flows again).
+	RestartFails uint64
+	// Failed marks a source that exhausted its restart budget.
+	Failed     bool
+	FailReason string
 }
 
 // newVirtualSensor wires a validated descriptor into runtime state.
@@ -303,6 +320,12 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 	if src.slide < 1 {
 		src.slide = 1
 	}
+	src.failReason.Store("")
+	// Restart escalation paces itself in supervision ticks: first retry
+	// is immediate, later ones spread out to ~30 ticks so a dead device
+	// stops costing a wrapper teardown per tick.
+	src.restartBo = resilience.NewBackoff(c.opts.SuperviseInterval,
+		30*c.opts.SuperviseInterval, int64(seed)+int64(len(vs.name)))
 
 	// Compile the source query against the wrapper schema once, at
 	// deploy time. Statement shapes the compiler does not cover fall
@@ -517,15 +540,7 @@ func (vs *VirtualSensor) start() error {
 	}
 	for _, in := range vs.streams {
 		for _, src := range in.sources {
-			src := src
-			emit := func(e stream.Element) { vs.ingress(src, e) }
-			var err error
-			if be, ok := src.wrapper.(wrappers.BatchEmitter); ok {
-				err = be.StartBatch(emit, func(batch []stream.Element) { vs.ingressBatch(src, batch) })
-			} else {
-				err = src.wrapper.Start(emit)
-			}
-			if err != nil {
+			if err := vs.startWrapper(src); err != nil {
 				vs.stop()
 				return fmt.Errorf("core: starting wrapper %s for %s: %w",
 					src.spec.Address.Wrapper, vs.name, err)
@@ -533,6 +548,18 @@ func (vs *VirtualSensor) start() error {
 		}
 	}
 	return nil
+}
+
+// startWrapper starts (or restarts) one source's wrapper, preferring
+// the batch emission path when the wrapper supports it. The supervision
+// loop shares this with start so a restarted wrapper keeps its batch
+// ingestion semantics.
+func (vs *VirtualSensor) startWrapper(src *sourceRuntime) error {
+	emit := func(e stream.Element) { vs.ingress(src, e) }
+	if be, ok := src.wrapper.(wrappers.BatchEmitter); ok {
+		return be.StartBatch(emit, func(batch []stream.Element) { vs.ingressBatch(src, batch) })
+	}
+	return src.wrapper.Start(emit)
 }
 
 // worker consumes triggers until the channel closes. A panicking query
@@ -746,6 +773,10 @@ func (vs *VirtualSensor) Stats() SensorStats {
 				Buffered:   src.buffer.Buffered(),
 				Gaps:       src.gap.Gaps(),
 				Restarts:   src.restarts.Load(),
+
+				RestartFails: src.restartFails.Load(),
+				Failed:       src.failed.Load(),
+				FailReason:   src.failReason.Load().(string),
 			})
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gsn/internal/resilience"
 	"gsn/internal/stream"
 )
 
@@ -198,16 +199,16 @@ func (m *Manager) Publish(sensor string, e stream.Element) {
 
 func (m *Manager) deliverLoop(sub *subscription) {
 	defer close(sub.done)
+	policy := resilience.Policy{
+		Base:        m.opts.RetryDelay,
+		Cap:         4 * m.opts.RetryDelay,
+		MaxAttempts: m.opts.Retries,
+		Seed:        sub.id,
+	}
 	for ev := range sub.queue {
-		var err error
-		for attempt := 0; attempt < m.opts.Retries; attempt++ {
-			if err = sub.channel.Deliver(ev); err == nil {
-				break
-			}
-			if attempt+1 < m.opts.Retries {
-				time.Sleep(m.opts.RetryDelay)
-			}
-		}
+		err := resilience.Do(nil, policy, func() error {
+			return sub.channel.Deliver(ev)
+		})
 		if err != nil {
 			sub.failed.Add(1)
 		} else {

@@ -2,12 +2,14 @@ package p2p
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 	"time"
 
 	"gsn/internal/directory"
 	"gsn/internal/integrity"
+	"gsn/internal/resilience"
 	"gsn/internal/stream"
 	"gsn/internal/wrappers"
 )
@@ -154,7 +156,16 @@ func (r *RemoteWrapper) StartBatch(emit wrappers.EmitFunc, emitBatch wrappers.Ba
 func (r *RemoteWrapper) loop(emitBatch wrappers.BatchEmitFunc, stop, done chan struct{}) {
 	defer close(done)
 	var since stream.Timestamp
-	backoff := 100 * time.Millisecond
+	// Decorrelated jitter seeded per wrapper identity: when a node
+	// restart disconnects every remote wrapper watching it at once,
+	// their retries fan back out instead of stampeding in lockstep. The
+	// escalation only settles after a few consecutive healthy fetches,
+	// so a peer flapping once per poll cannot pin the delay to the
+	// floor.
+	seed := fnv.New64a()
+	seed.Write([]byte(r.cfg.Name + "\x00" + r.client.Base + "\x00" + r.vs))
+	backoff := resilience.NewBackoff(100*time.Millisecond, 5*time.Second, int64(seed.Sum64()))
+	backoff.SetSettleAfter(3)
 	for {
 		select {
 		case <-stop:
@@ -169,7 +180,6 @@ func (r *RemoteWrapper) loop(emitBatch wrappers.BatchEmitFunc, stop, done chan s
 			r.connected = false
 		} else {
 			r.connected = true
-			backoff = 100 * time.Millisecond
 		}
 		r.mu.Unlock()
 		if err != nil {
@@ -178,13 +188,11 @@ func (r *RemoteWrapper) loop(emitBatch wrappers.BatchEmitFunc, stop, done chan s
 			select {
 			case <-stop:
 				return
-			case <-time.After(backoff):
-			}
-			if backoff < 5*time.Second {
-				backoff *= 2
+			case <-time.After(backoff.Next()):
 			}
 			continue
 		}
+		backoff.Success()
 		for _, e := range elems {
 			if e.Timestamp() > since {
 				since = e.Timestamp()

@@ -3,7 +3,6 @@ package storage
 import (
 	"container/list"
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -47,7 +46,7 @@ type frame struct {
 // lock) can fault pages in without racing each other; it is never held
 // while caller code runs.
 type bufferPool struct {
-	f     *os.File
+	f     File
 	limit int
 	metr  *HistoryMetrics
 
@@ -61,7 +60,7 @@ type bufferPool struct {
 // DefaultPoolPages is the per-table buffer pool capacity (frames).
 const DefaultPoolPages = 256
 
-func newBufferPool(f *os.File, limit int, metr *HistoryMetrics) *bufferPool {
+func newBufferPool(f File, limit int, metr *HistoryMetrics) *bufferPool {
 	if limit < 8 {
 		limit = 8
 	}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error injected faults return unless the Fault
+// specifies its own.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultOp names an injectable filesystem operation.
+type FaultOp int
+
+const (
+	OpOpen FaultOp = iota
+	OpRead
+	OpReadAt
+	OpWrite
+	OpWriteAt
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+)
+
+// String returns the op's spelling for test output.
+func (op FaultOp) String() string {
+	switch op {
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpReadAt:
+		return "readat"
+	case OpWrite:
+		return "write"
+	case OpWriteAt:
+		return "writeat"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("FaultOp(%d)", int(op))
+}
+
+// Fault is one deterministic injection rule: the Nth matching operation
+// (and the Count-1 after it) fails with Err. Matching is by operation
+// kind, optional path substring and — for offset-addressed ops —
+// optional offset range, which is how tests target, say, the history
+// meta slots (offsets < 2*pageSize) versus data pages.
+type Fault struct {
+	// Op is the operation kind the rule applies to.
+	Op FaultOp
+	// Path, when non-empty, restricts the rule to files whose path
+	// contains it.
+	Path string
+	// Nth arms the rule on the Nth matching operation, 1-based
+	// (0 behaves as 1: fail from the first match).
+	Nth int
+	// Count is how many matching operations fail once armed: 0 means
+	// one, a negative value means every one until Clear.
+	Count int
+	// Err is the error returned; nil means ErrInjected.
+	Err error
+	// Short, for OpWrite/OpWriteAt, is the number of bytes written
+	// through to the file before the error — a torn write. Zero writes
+	// nothing.
+	Short int
+	// OffLow/OffHigh, when OffHigh > OffLow, restrict OpReadAt/OpWriteAt
+	// matches to offsets in [OffLow, OffHigh). Ops without an offset
+	// never match an offset-ranged rule.
+	OffLow, OffHigh int64
+
+	seen  int // matching operations observed
+	fired int // failures delivered
+}
+
+// FaultFS wraps another FS (nil = DefaultFS) and fails operations
+// according to the injected rules. It is safe for concurrent use; rules
+// are evaluated in injection order and the first armed match wins.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	ops    map[FaultOp]uint64
+}
+
+// NewFaultFS wraps inner (nil for the os filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = DefaultFS()
+	}
+	return &FaultFS{inner: inner, ops: make(map[FaultOp]uint64)}
+}
+
+// Inject adds a rule.
+func (f *FaultFS) Inject(fl Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := fl
+	f.faults = append(f.faults, &cp)
+}
+
+// Clear removes every rule — the "disk healed" transition that lets
+// recovery loops succeed.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// OpCount returns how many operations of the given kind have been
+// observed (failed or not).
+func (f *FaultFS) OpCount(op FaultOp) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// check records one operation and returns the error to inject, if any,
+// plus the torn-write byte count. off < 0 means the op has no offset.
+func (f *FaultFS) check(op FaultOp, path string, off int64) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	for _, fl := range f.faults {
+		if fl.Op != op {
+			continue
+		}
+		if fl.Path != "" && !strings.Contains(path, fl.Path) {
+			continue
+		}
+		if fl.OffHigh > fl.OffLow && (off < fl.OffLow || off >= fl.OffHigh) {
+			continue
+		}
+		fl.seen++
+		nth := fl.Nth
+		if nth < 1 {
+			nth = 1
+		}
+		if fl.seen < nth {
+			continue
+		}
+		if fl.Count >= 0 {
+			count := fl.Count
+			if count == 0 {
+				count = 1
+			}
+			if fl.fired >= count {
+				continue
+			}
+		}
+		fl.fired++
+		err := fl.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return fmt.Errorf("%s %s: %w", op, path, err), fl.Short
+	}
+	return nil, 0
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := f.check(OpOpen, name, -1); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err, _ := f.check(OpOpen, name, -1); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, oldpath, -1); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name, -1); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+// faultFile threads per-handle operations back through the rule table.
+type faultFile struct {
+	File
+	fs   *FaultFS
+	path string
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err, _ := f.fs.check(OpRead, f.path, -1); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err, _ := f.fs.check(OpReadAt, f.path, off); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err, short := f.fs.check(OpWrite, f.path, -1); err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.File.Write(p[:short])
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err, short := f.fs.check(OpWriteAt, f.path, off); err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.File.WriteAt(p[:short], off)
+		}
+		return n, err
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	if err, _ := f.fs.check(OpSync, f.path, -1); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err, _ := f.fs.check(OpTruncate, f.path, -1); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func faultTestFile(t *testing.T, ffs *FaultFS) File {
+	t.Helper()
+	f, err := ffs.OpenFile(filepath.Join(t.TempDir(), "probe.bin"),
+		os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFaultFSNthAndCount(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpWrite, Nth: 2, Count: 2})
+	f := faultTestFile(t, ffs)
+
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("1st write: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d after arming: err = %v, want ErrInjected", i+2, err)
+		}
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write after the rule exhausted: %v", err)
+	}
+	if got := ffs.OpCount(OpWrite); got != 4 {
+		t.Errorf("OpCount(write) = %d, want 4", got)
+	}
+}
+
+func TestFaultFSPersistentUntilClear(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpSync, Count: -1})
+	f := faultTestFile(t, ffs)
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: err = %v", i, err)
+		}
+	}
+	ffs.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+}
+
+func TestFaultFSPathSubstring(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpWrite, Path: "target", Count: -1})
+	dir := t.TempDir()
+	hit, err := ffs.OpenFile(filepath.Join(dir, "target.gsnlog"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hit.Close()
+	miss, err := ffs.OpenFile(filepath.Join(dir, "other.gsnlog"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miss.Close()
+	if _, err := hit.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("matching path: err = %v", err)
+	}
+	if _, err := miss.Write([]byte("x")); err != nil {
+		t.Errorf("non-matching path: err = %v", err)
+	}
+}
+
+func TestFaultFSCustomError(t *testing.T) {
+	enospc := errors.New("no space left on device")
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpWrite, Err: enospc})
+	f := faultTestFile(t, ffs)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, enospc) {
+		t.Errorf("err = %v, want the injected ENOSPC", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpWrite, Short: 3})
+	f := faultTestFile(t, ffs)
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 3 {
+		t.Errorf("torn write reported %d bytes, want 3", n)
+	}
+	// The prefix really reached the file.
+	buf := make([]byte, 8)
+	rn, _ := f.ReadAt(buf, 0)
+	if string(buf[:rn]) != "abc" {
+		t.Errorf("file contains %q after torn write, want \"abc\"", buf[:rn])
+	}
+}
+
+func TestFaultFSOffsetRange(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	// Only offsets in [0, 100) fail — the shape tests use to target the
+	// history meta slots but spare the data pages.
+	ffs.Inject(Fault{Op: OpWriteAt, OffLow: 0, OffHigh: 100, Count: -1})
+	f := faultTestFile(t, ffs)
+	if _, err := f.WriteAt([]byte("x"), 50); !errors.Is(err, ErrInjected) {
+		t.Errorf("in-range WriteAt: err = %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 200); err != nil {
+		t.Errorf("out-of-range WriteAt: err = %v", err)
+	}
+	// A plain Write has no offset and must never match a ranged rule.
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Errorf("offset-less Write matched a ranged rule: %v", err)
+	}
+}
+
+func TestFaultFSOpenFault(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.Inject(Fault{Op: OpOpen, Count: -1})
+	if _, err := ffs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrInjected) {
+		t.Errorf("OpenFile: err = %v", err)
+	}
+}

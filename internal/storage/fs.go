@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the storage layer
+// performs, so tests can inject I/O faults (ENOSPC, torn writes, fsync
+// errors) at exactly the syscall boundary the production code crosses.
+// The default implementation (DefaultFS) is a zero-cost shim over the
+// os package; every Log, history tier and Store accepts an FS and
+// falls back to it when given nil.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open is os.Open (read-only).
+	Open(name string) (File, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// Stat is os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the subset of *os.File the storage layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (fs.FileInfo, error)
+}
+
+// osFS is the production FS: direct os calls, no indirection beyond the
+// interface dispatch (which is off every per-record hot path — files
+// are opened at table create and written through long-lived handles).
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+
+// DefaultFS returns the os-backed filesystem.
+func DefaultFS() FS { return osFS{} }

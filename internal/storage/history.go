@@ -40,7 +40,7 @@ import (
 // necessary is harmless.
 type history struct {
 	path   string
-	f      *os.File
+	f      File
 	schema *stream.Schema
 	pool   *bufferPool
 
@@ -96,14 +96,17 @@ type HistoryStats struct {
 // newest valid meta generation becomes the durable root; pages beyond
 // it — allocated during an epoch that never checkpointed — are garbage
 // that later allocations overwrite.
-func openHistory(path string, schema *stream.Schema, poolPages int, metr *HistoryMetrics) (*history, error) {
+func openHistory(fsys FS, path string, schema *stream.Schema, poolPages int, metr *HistoryMetrics) (*history, error) {
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
 	if metr == nil {
 		metr = &HistoryMetrics{}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if fsys == nil {
+		fsys = DefaultFS()
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +146,7 @@ func openHistory(path string, schema *stream.Schema, poolPages int, metr *Histor
 }
 
 // readBestMeta returns the valid meta slot with the highest generation.
-func readBestMeta(f *os.File, path string) (histMeta, error) {
+func readBestMeta(f File, path string) (histMeta, error) {
 	var best histMeta
 	found := false
 	buf := make([]byte, pageSize)
@@ -272,6 +275,15 @@ func (h *history) checkpointLocked() error {
 		h.broken = fmt.Errorf("storage: history tier disabled: %w", err)
 		return h.broken
 	}
+	// Page data must be on the platter before the meta generation that
+	// references it — without this barrier a power loss could persist
+	// the meta but not the pages it points at. The WAL's sync policies
+	// deliberately stay fsync-free ("survives process death"); the
+	// checkpoint is where the history tier promises more.
+	if err := h.f.Sync(); err != nil {
+		h.broken = fmt.Errorf("storage: history tier disabled: %w", err)
+		return h.broken
+	}
 	h.tail = noPage
 	free := append(h.free, h.pendingFree...)
 	if len(free) > maxMetaFree {
@@ -289,6 +301,10 @@ func (h *history) checkpointLocked() error {
 	}
 	encodeMeta(buf, m)
 	if _, err := h.f.WriteAt(buf, int64(m.gen%2)*pageSize); err != nil {
+		h.broken = fmt.Errorf("storage: history tier disabled: %w", err)
+		return h.broken
+	}
+	if err := h.f.Sync(); err != nil {
 		h.broken = fmt.Errorf("storage: history tier disabled: %w", err)
 		return h.broken
 	}
@@ -382,6 +398,53 @@ func (h *history) DurableSeq() uint64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.durableSeq
+}
+
+// Broken returns the poison error, nil for a healthy tier.
+func (h *history) Broken() error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.broken
+}
+
+// LastSeq returns the highest appended sequence number, durable or not.
+func (h *history) LastSeq() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.lastSeq
+}
+
+// Recover re-arms a poisoned tier by falling back to the last durable
+// meta generation — exactly what the next process start would do, minus
+// the restart. Everything above the durable root (the unsealed tail
+// page, un-checkpointed appends, resident frames, free-list churn) is
+// discarded; the copy-on-write rule guarantees the durable generation's
+// pages were never overwritten, so the fallback state is consistent.
+// The WAL still holds every record past durableSeq (checkpoints only
+// truncate up to it), so the caller re-migrates them afterwards.
+func (h *history) Recover() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.broken == nil {
+		return nil
+	}
+	m, err := readBestMeta(h.f, h.path)
+	if err != nil {
+		return fmt.Errorf("storage: recovering history %s: %w", h.path, err)
+	}
+	h.pool.forget()
+	h.gen = m.gen
+	h.root = m.root
+	h.tail = noPage
+	h.npages = m.npages
+	h.lastSeq = m.lastSeq
+	h.durableSeq = m.lastSeq
+	h.count = m.count
+	h.free = m.free
+	h.pendingFree = h.pendingFree[:0]
+	h.epochAlloc = make(map[pageID]struct{})
+	h.broken = nil
+	return nil
 }
 
 // Reset discards every record and reinitialises the file to an empty

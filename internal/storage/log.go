@@ -111,6 +111,9 @@ type LogOptions struct {
 	// A non-zero base makes the fresh file v3. Ignored for existing
 	// files, which carry their own base.
 	BaseSeq uint64
+	// FS is the filesystem the log opens its file through (nil =
+	// DefaultFS). Fault-injection tests swap in a FaultFS here.
+	FS FS
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -149,7 +152,8 @@ type LogStats struct {
 // file starts with a magic header and the binary-encoded schema,
 // followed by the records.
 type Log struct {
-	f       *os.File
+	f       File
+	fs      FS
 	path    string
 	schema  *stream.Schema
 	hdrLen  int64 // file offset of the first element record
@@ -210,7 +214,11 @@ func OpenLog(path string, schema *stream.Schema, opts LogOptions) (*Log, error) 
 // does not pay for a second full scan.
 func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay) (*Log, error) {
 	opts = opts.withDefaults()
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = DefaultFS()
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +253,7 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 		hdrLen = int64(len(hdr))
 	} else {
 		if rep == nil {
-			rep, err = replayLogFile(path)
+			rep, err = replayLogFile(fsys, path)
 			if err != nil {
 				f.Close()
 				return nil, err
@@ -278,7 +286,7 @@ func openLog(path string, schema *stream.Schema, opts LogOptions, rep *logReplay
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, path: path, schema: schema, hdrLen: hdrLen, version: version,
+	l := &Log{f: f, fs: fsys, path: path, schema: schema, hdrLen: hdrLen, version: version,
 		lastTS: lastTS, off: end, opts: opts,
 		base: base, recs: nrecs, committed: nrecs, tailBytes: end - hdrLen}
 	if opts.Sync == SyncInterval {
@@ -569,7 +577,7 @@ func (l *Log) RewriteHead(keep uint64) error {
 
 	// Decode the dropped prefix to find where the retained suffix
 	// starts and the timestamp its delta chain continues from.
-	rf, err := os.Open(l.path)
+	rf, err := l.fs.Open(l.path)
 	if err != nil {
 		return err
 	}
@@ -592,7 +600,7 @@ func (l *Log) RewriteHead(keep uint64) error {
 	}
 
 	tmp := l.path + ".rewrite"
-	w, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	w, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		rf.Close()
 		return err
@@ -612,16 +620,16 @@ func (l *Log) RewriteHead(keep uint64) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, l.path)
+		err = l.fs.Rename(tmp, l.path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return err
 	}
 
 	// The rename replaced the inode under the open handle; swap to a
 	// handle on the new file before any further commit.
-	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	nf, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
 	var end int64
 	if err == nil {
 		end, err = nf.Seek(0, io.SeekEnd)
@@ -677,6 +685,135 @@ func (l *Log) Close() error {
 		flushErr = err
 	}
 	return flushErr
+}
+
+// replayFile decodes the file's current clean contents without touching
+// the log's state (recovery reads the records a fallen-back history
+// tier needs re-migrated). Holding writeMu keeps commits from moving
+// the file under the read.
+func (l *Log) replayFile() (*logReplay, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return replayLogFile(l.fs, l.path)
+}
+
+// Broken returns the poison error, nil for a healthy log.
+func (l *Log) Broken() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// Reopen discards poisoned state by re-reading the file: the clean
+// record prefix is decoded, any torn tail is truncated (the same
+// recovery OpenLog performs after a crash) and a fresh handle replaces
+// the dead one. Records that were staged but never committed are
+// dropped — the caller (Table recovery) re-appends what the window
+// still holds. On success the poison clears and the decoded replay is
+// returned; rep.base + len(rep.elems) is the durable boundary.
+func (l *Log) Reopen() (*logReplay, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, os.ErrClosed
+	}
+	l.mu.Unlock()
+	rep, err := replayLogFile(l.fs, l.path)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.schema.Equal(l.schema) {
+		return nil, fmt.Errorf("storage: log %s changed schema across reopen", l.path)
+	}
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err == nil && rep.clean < info.Size() {
+		err = f.Truncate(rep.clean)
+	}
+	var end int64
+	if err == nil {
+		end, err = f.Seek(0, io.SeekEnd)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	old := l.f
+	l.f = f
+	l.off = end
+	old.Close() // the poisoned handle; its close error is moot
+	l.mu.Lock()
+	l.buf = l.buf[:0]
+	l.lastTS = rep.baseTS
+	if len(rep.elems) > 0 {
+		l.lastTS = rep.elems[len(rep.elems)-1].Timestamp()
+	}
+	l.version = rep.version
+	l.hdrLen = rep.hdrLen
+	l.base = rep.base
+	l.recs = uint64(len(rep.elems))
+	l.committed = l.recs
+	l.tailBytes = end - rep.hdrLen
+	l.broken = nil
+	l.mu.Unlock()
+	return rep, nil
+}
+
+// Recreate replaces the file with a fresh, empty log whose sequence
+// space continues at baseSeq — recovery's fallback when the file is
+// gone or its prefix can no longer be trusted to line up with the
+// table's implicit record numbering. The caller re-appends the live
+// window afterwards.
+func (l *Log) Recreate(baseSeq uint64) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return os.ErrClosed
+	}
+	l.mu.Unlock()
+	f, err := l.fs.OpenFile(l.path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr []byte
+	version := 2
+	if baseSeq > 0 {
+		version = 3
+		hdr = append([]byte{}, logMagicV3...)
+		hdr = stream.EncodeSchema(hdr, l.schema)
+		hdr = binary.AppendUvarint(hdr, baseSeq)
+		hdr = binary.AppendVarint(hdr, 0)
+	} else {
+		hdr = append([]byte{}, logMagicV2...)
+		hdr = stream.EncodeSchema(hdr, l.schema)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	old := l.f
+	l.f = f
+	l.off = int64(len(hdr))
+	old.Close()
+	l.mu.Lock()
+	l.buf = l.buf[:0]
+	l.lastTS = 0
+	l.version = version
+	l.hdrLen = int64(len(hdr))
+	l.base = baseSeq
+	l.recs = 0
+	l.committed = 0
+	l.tailBytes = 0
+	l.broken = nil
+	l.mu.Unlock()
+	return nil
 }
 
 // maxRecordLen bounds decoded record sizes to guard against a corrupt
@@ -811,8 +948,11 @@ type logReplay struct {
 // torn single append or the partial tail of a group commit cut short
 // by a crash — terminate the replay without error, leaving clean at
 // the last decodable offset.
-func replayLogFile(path string) (*logReplay, error) {
-	f, err := os.Open(path)
+func replayLogFile(fsys FS, path string) (*logReplay, error) {
+	if fsys == nil {
+		fsys = DefaultFS()
+	}
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -840,7 +980,7 @@ func replayLogFile(path string) (*logReplay, error) {
 // ReplayLog reads every cleanly-decodable element from the log at path
 // (either record format).
 func ReplayLog(path string) (*stream.Schema, []stream.Element, error) {
-	rep, err := replayLogFile(path)
+	rep, err := replayLogFile(nil, path)
 	if err != nil {
 		return nil, nil, err
 	}

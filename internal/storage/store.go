@@ -21,9 +21,15 @@ type Store struct {
 	// in any of the store's tables (the container points it at its
 	// storage_log_errors counter).
 	logErrs Incrementer
+	// walReopens, when set, is bumped every time a degraded table's
+	// recovery re-arms its durability tiers (wal_reopens_total).
+	walReopens Incrementer
 	// histMetr, when set, receives page/pool/checkpoint accounting from
 	// every history tier opened after the call (SetHistoryMetrics).
 	histMetr *HistoryMetrics
+	// fs is the filesystem tables open their files through (SetFS; the
+	// default is the os). Only consulted at CreateTable.
+	fs FS
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -41,7 +47,7 @@ func NewStore(clock stream.Clock, dataDir string) (*Store, error) {
 			return nil, fmt.Errorf("storage: creating data dir: %w", err)
 		}
 	}
-	return &Store{clock: clock, dataDir: dataDir, tables: make(map[string]*Table)}, nil
+	return &Store{clock: clock, dataDir: dataDir, fs: DefaultFS(), tables: make(map[string]*Table)}, nil
 }
 
 // TableOptions configures table creation.
@@ -75,6 +81,11 @@ type TableOptions struct {
 	// tail exceeds it (zero means DefaultCheckpointBytes; negative
 	// disables automatic checkpoints — tests drive them explicitly).
 	CheckpointBytes int64
+	// RecoverInterval is the base delay of the degraded table's
+	// recovery backoff (zero means DefaultRecoverInterval; negative
+	// disables the background loop — tests call Table.Recover
+	// directly).
+	RecoverInterval time.Duration
 }
 
 // CreateTable registers a new table. It fails if the name is taken.
@@ -105,8 +116,8 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 		}
 		path := filepath.Join(s.dataDir, canonical+".gsnlog")
 		var rep *logReplay
-		if _, err := os.Stat(path); err == nil {
-			rep, err = replayLogFile(path)
+		if _, err := s.fs.Stat(path); err == nil {
+			rep, err = replayLogFile(s.fs, path)
 			if err != nil {
 				return nil, fmt.Errorf("storage: replaying %s: %w", path, err)
 			}
@@ -118,9 +129,14 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			Sync:          opts.Sync,
 			FlushInterval: opts.FlushInterval,
 			FlushBytes:    opts.FlushBytes,
+			FS:            s.fs,
 			// Background group-commit failures happen after Insert has
-			// returned; count them so the loss is observable.
-			OnError: func(error) { t.recordLogError() },
+			// returned; count the loss and enter degraded mode so the
+			// recovery loop can re-arm durability.
+			OnError: func(err error) {
+				t.recordLogError()
+				t.enterDegraded(err)
+			},
 		}
 		if opts.History {
 			// The history tier opens before the replay is loaded: the
@@ -128,7 +144,7 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			// checkpoint boundary), so replayed rows the window evicts
 			// re-migrate with their original sequence numbers and the
 			// tier's dedup drops the ones a checkpoint already covers.
-			h, err := openHistory(filepath.Join(s.dataDir, canonical+".gsnhist"),
+			h, err := openHistory(s.fs, filepath.Join(s.dataDir, canonical+".gsnhist"),
 				schema, opts.PoolPages, s.histMetr)
 			if err != nil {
 				return nil, err
@@ -154,6 +170,16 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			t.replayed = len(rep.elems)
 		}
 		t.logErrMetr = s.logErrs
+		t.walReopenMetr = s.walReopens
+		switch {
+		case opts.RecoverInterval > 0:
+			t.recoverBase = opts.RecoverInterval
+		case opts.RecoverInterval == 0:
+			t.recoverBase = DefaultRecoverInterval
+		}
+		if t.recoverBase > 0 {
+			t.recoverStop = make(chan struct{})
+		}
 		// openLog reuses the replay, so the file is decoded once.
 		log, err := openLog(path, schema, logOpts, rep)
 		if err != nil {
@@ -211,7 +237,7 @@ func (s *Store) DestroyTable(name string) error {
 	if hadHistory && s.dataDir != "" {
 		for _, suffix := range []string{".gsnhist", ".gsnlog", ".gsnlog.rewrite"} {
 			p := filepath.Join(s.dataDir, canonical+suffix)
-			if rerr := os.Remove(p); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+			if rerr := s.fs.Remove(p); rerr != nil && !os.IsNotExist(rerr) && err == nil {
 				err = rerr
 			}
 		}
@@ -264,4 +290,24 @@ func (s *Store) SetHistoryMetrics(m *HistoryMetrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.histMetr = m
+}
+
+// SetWalReopenCounter points recovery accounting for tables created
+// after this call at an external metrics counter (wal_reopens_total).
+func (s *Store) SetWalReopenCounter(c Incrementer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.walReopens = c
+}
+
+// SetFS swaps the filesystem tables created after this call open their
+// files through — the fault-injection seam. It must be called before
+// CreateTable; existing tables keep their filesystem.
+func (s *Store) SetFS(fsys FS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fsys == nil {
+		fsys = DefaultFS()
+	}
+	s.fs = fsys
 }

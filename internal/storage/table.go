@@ -15,9 +15,20 @@
 // elements under one lock acquisition and one WAL group append, while
 // Insert remains the single-element form with identical semantics.
 // Permanent tables stage records into a group-commit WAL (see Log)
-// before publishing them to the window, so a failed append never
-// leaves the memory window and the log diverged: on error the element
-// is neither visible to readers nor reported to the observer.
+// before publishing them to the window.
+//
+// A WAL or history I/O error no longer poisons the table for the life
+// of the process: the table enters a *degraded* state in which the RAM
+// window keeps ingesting and serving queries while durability is
+// suspended (rows acknowledged meanwhile are counted in
+// TableStats.DegradedAppends — they are the loss bound if the process
+// dies before recovery). A background recovery loop re-arms the tiers
+// with backoff: the history tier falls back to its last durable meta
+// generation, the WAL reopens through the same torn-tail truncation a
+// restart would perform, forgotten records are re-migrated from the
+// file and the still-live window suffix is re-appended. Closing the
+// underlying file (table shutdown) remains a hard error, not a
+// degradation.
 //
 // The WAL's durability is governed by TableOptions.Sync:
 //
@@ -35,10 +46,15 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"gsn/internal/resilience"
 	"gsn/internal/stream"
 )
 
@@ -66,6 +82,17 @@ type TableStats struct {
 	// HistoryErrors counts failed disk-tier operations (evicted elements
 	// that could not be migrated, failed checkpoints).
 	HistoryErrors uint64
+	// Degraded reports that durability is currently suspended: a WAL or
+	// history fault poisoned a tier and recovery has not yet re-armed
+	// it. The window keeps ingesting and serving.
+	Degraded bool
+	// DegradedReason is the fault that suspended durability.
+	DegradedReason string
+	// DegradedAppends counts rows acknowledged while durability was
+	// suspended — the loss bound if the process dies before recovery.
+	DegradedAppends uint64
+	// WalReopens counts successful recoveries (durability re-armed).
+	WalReopens uint64
 	// History reports disk-tier counters; nil for tables without one.
 	History *HistoryStats
 }
@@ -142,7 +169,27 @@ type Table struct {
 	logErrors  atomic.Uint64
 	logErrMetr Incrementer
 	histErrors atomic.Uint64
+
+	// degradedErr, when non-nil, records why durability is suspended:
+	// a poisoned WAL or history tier. The window keeps ingesting and
+	// serving; the recovery loop (or an explicit Recover) clears it.
+	degradedErr error
+	// degradedAppends counts rows acknowledged while degraded.
+	degradedAppends uint64
+	// walReopens counts successful recoveries.
+	walReopens    uint64
+	walReopenMetr Incrementer
+	// recovering guards against spawning a second recovery loop;
+	// recoverStop (created by the Store for permanent tables) ends the
+	// loop at Close; recoverBase is the loop's backoff floor.
+	recovering  bool
+	recoverStop chan struct{}
+	recoverBase time.Duration
 }
+
+// DefaultRecoverInterval is the base delay between recovery attempts on
+// a degraded table.
+const DefaultRecoverInterval = 100 * time.Millisecond
 
 // DefaultCheckpointBytes is the WAL tail size that triggers an
 // automatic checkpoint on a history table.
@@ -203,10 +250,13 @@ func (t *Table) recordLogError() {
 
 // Insert appends an element. The element schema must equal the table
 // schema. For permanent tables the record is staged into the WAL before
-// the window is touched: a failed append returns an error with the
-// window unchanged and the observer not notified. Eviction by the
-// retention window happens inline so the table never holds more than
-// one extra element beyond its bound.
+// the window is touched. A WAL I/O fault does not reject the element:
+// the table enters degraded mode — the row is published to the window,
+// counted in DegradedAppends, and durability is suspended until the
+// recovery loop re-arms the tier. Only a closed log (table shutting
+// down) still returns an error with the window unchanged. Eviction by
+// the retention window happens inline so the table never holds more
+// than one extra element beyond its bound.
 func (t *Table) Insert(e stream.Element) error {
 	if err := t.checkSchema(e); err != nil {
 		return err
@@ -214,9 +264,14 @@ func (t *Table) Insert(e stream.Element) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.log != nil {
-		if err := t.log.Append(e); err != nil {
+		if t.degradedErr != nil {
+			t.degradedAppends++
+		} else if err := t.log.Append(e); err != nil {
 			t.recordLogError()
-			return fmt.Errorf("storage: persist %s: %w", t.name, err)
+			if !t.enterDegradedLocked(err) {
+				return fmt.Errorf("storage: persist %s: %w", t.name, err)
+			}
+			t.degradedAppends++
 		}
 	}
 	t.insertLocked(e)
@@ -225,11 +280,12 @@ func (t *Table) Insert(e stream.Element) error {
 }
 
 // InsertBatch appends a burst of elements under one lock acquisition
-// and one WAL group append. It is all-or-nothing with respect to the
-// WAL stage: schemas are validated and the whole batch is staged before
-// any element becomes visible, so an error means no element of the
-// batch was published. The observer sees the exact insert/evict
-// interleaving the equivalent sequence of Insert calls would produce.
+// and one WAL group append. Schemas are validated and the whole batch
+// is staged before any element becomes visible. Like Insert, a WAL I/O
+// fault degrades the table instead of rejecting the batch; only schema
+// mismatches and a closed log reject it with no element published. The
+// observer sees the exact insert/evict interleaving the equivalent
+// sequence of Insert calls would produce.
 func (t *Table) InsertBatch(elems []stream.Element) error {
 	if len(elems) == 0 {
 		return nil
@@ -242,9 +298,14 @@ func (t *Table) InsertBatch(elems []stream.Element) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.log != nil {
-		if err := t.log.AppendBatch(elems); err != nil {
+		if t.degradedErr != nil {
+			t.degradedAppends += uint64(len(elems))
+		} else if err := t.log.AppendBatch(elems); err != nil {
 			t.recordLogError()
-			return fmt.Errorf("storage: persist %s: %w", t.name, err)
+			if !t.enterDegradedLocked(err) {
+				return fmt.Errorf("storage: persist %s: %w", t.name, err)
+			}
+			t.degradedAppends += uint64(len(elems))
 		}
 	}
 	for _, e := range elems {
@@ -308,6 +369,10 @@ func (t *Table) dropHeadLocked() {
 		seq := t.seq - uint64(len(t.elems)-1-t.head)
 		if err := t.history.Append(t.elems[t.head], seq); err != nil {
 			t.histErrors.Add(1)
+			// The tier is poisoned; the WAL still holds the evicted
+			// record, so recovery can re-migrate it after the tier
+			// falls back to its durable generation.
+			t.enterDegradedLocked(err)
 		}
 	}
 	if t.observer != nil {
@@ -485,20 +550,29 @@ func (t *Table) Truncate() error {
 			return fmt.Errorf("storage: resetting log of %s: %w", t.name, err)
 		}
 	}
+	// Both tiers reinitialised cleanly: any suspended durability is
+	// trivially restored for the now-empty table.
+	t.degradedErr = nil
 	return nil
 }
 
 // Flush forces any staged WAL records out to the file — the durability
 // barrier for permanent tables under SyncInterval/SyncNone. It is a
-// no-op for memory-only tables.
+// no-op for memory-only tables. While the table is degraded, Flush
+// reports the suspension: the caller must not assume durability until
+// a Flush succeeds again.
 func (t *Table) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.log == nil {
 		return nil
 	}
+	if t.degradedErr != nil {
+		return fmt.Errorf("storage: flushing %s: durability suspended: %w", t.name, t.degradedErr)
+	}
 	if err := t.log.Flush(); err != nil {
 		t.recordLogError()
+		t.enterDegradedLocked(err)
 		return fmt.Errorf("storage: flushing %s: %w", t.name, err)
 	}
 	return nil
@@ -528,7 +602,7 @@ func (t *Table) Checkpoint() error {
 // retriggering on every subsequent insert: the next attempt waits for
 // another ckptBytes of fresh records.
 func (t *Table) maybeCheckpointLocked() {
-	if t.history == nil || t.log == nil || t.ckptBytes <= 0 {
+	if t.history == nil || t.log == nil || t.ckptBytes <= 0 || t.degradedErr != nil {
 		return
 	}
 	tail := t.log.TailBytes()
@@ -559,10 +633,12 @@ func (t *Table) checkpointLocked() error {
 			// durable; the WAL head is left alone.
 			t.history.Checkpoint()
 			t.recordLogError()
+			t.enterDegradedLocked(err)
 			return fmt.Errorf("storage: checkpoint %s: %w", t.name, err)
 		}
 	}
 	if err := t.history.Checkpoint(); err != nil {
+		t.enterDegradedLocked(err)
 		return fmt.Errorf("storage: checkpoint %s: %w", t.name, err)
 	}
 	t.checkpoints++
@@ -576,6 +652,7 @@ func (t *Table) checkpointLocked() error {
 		}
 		if err := t.log.RewriteHead(keep); err != nil {
 			t.recordLogError()
+			t.enterDegradedLocked(err)
 			return fmt.Errorf("storage: checkpoint %s: truncating log head: %w", t.name, err)
 		}
 	}
@@ -661,6 +738,187 @@ func (t *Table) bulkLoad(elems []stream.Element) {
 	t.evictLocked()
 }
 
+// enterDegraded is the out-of-lock form of enterDegradedLocked, used
+// by the WAL's background flusher callback.
+func (t *Table) enterDegraded(err error) {
+	t.mu.Lock()
+	t.enterDegradedLocked(err)
+	t.mu.Unlock()
+}
+
+// enterDegradedLocked suspends durability after a tier fault and
+// ensures the recovery loop is running. It reports false for errors
+// that mean the table is shutting down (closed file), which stay hard
+// errors rather than degradations.
+func (t *Table) enterDegradedLocked(err error) bool {
+	if err == nil || errors.Is(err, os.ErrClosed) {
+		return false
+	}
+	if t.degradedErr == nil {
+		t.degradedErr = err
+	}
+	t.startRecoveryLocked()
+	return true
+}
+
+// startRecoveryLocked spawns the background recovery loop unless one is
+// already running or the table has no loop configured (memory-only
+// tables, RecoverInterval < 0).
+func (t *Table) startRecoveryLocked() {
+	if t.recovering || t.recoverStop == nil {
+		return
+	}
+	t.recovering = true
+	go t.recoveryLoop(t.recoverStop)
+}
+
+// recoveryLoop retries Recover with backoff until it succeeds or the
+// table closes.
+func (t *Table) recoveryLoop(stop chan struct{}) {
+	defer func() {
+		t.mu.Lock()
+		t.recovering = false
+		if t.degradedErr != nil {
+			// Re-degraded between our success and this cleanup: hand
+			// off to a fresh loop.
+			t.startRecoveryLocked()
+		}
+		t.mu.Unlock()
+	}()
+	bo := resilience.NewBackoff(t.recoverBase, 50*t.recoverBase, int64(len(t.name)))
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(bo.Next()):
+		}
+		if err := t.Recover(); err == nil || errors.Is(err, os.ErrClosed) {
+			return
+		}
+	}
+}
+
+// Recover attempts to restore durability on a degraded table, returning
+// nil when the table is healthy afterwards. The background loop calls
+// it with backoff; tests call it directly for determinism. The
+// procedure: re-arm the history tier (fall back to its last durable
+// generation), reopen the WAL through the same torn-tail truncation a
+// restart performs, re-migrate file records the fallen-back tier
+// forgot, then re-append and flush the live window suffix past the
+// durable boundary so acknowledged rows still in RAM become durable
+// again.
+func (t *Table) Recover() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recoverLocked()
+}
+
+func (t *Table) recoverLocked() error {
+	if t.degradedErr == nil {
+		return nil
+	}
+	if t.log == nil {
+		return os.ErrClosed
+	}
+	if t.history != nil {
+		if err := t.history.Recover(); err != nil {
+			return err
+		}
+	}
+	firstLive := t.seq - uint64(t.liveLenLocked()) + 1 // seq of the oldest window row
+	var rep *logReplay
+	var err error
+	if t.log.Broken() != nil {
+		rep, err = t.log.Reopen()
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+			// The file itself vanished; recreate it continuing the
+			// sequence space at the window start. Evicted records are
+			// gone with it — the history tier keeps what it had.
+			if err := t.log.Recreate(firstLive - 1); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Degradation came from the history tier alone: commit staged
+		// records, then decode the file for re-migration.
+		if err := t.log.Flush(); err != nil {
+			return err
+		}
+		rep, err = t.log.replayFile()
+		if err != nil {
+			return err
+		}
+	}
+	// Re-migrate records below the hot window into the history tier:
+	// its fallback generation may predate evictions the WAL file still
+	// covers (checkpoints only ever truncate the WAL up to a durable
+	// generation, so the file is a superset of what any fallback
+	// forgot). Append dedups by sequence number.
+	if t.history != nil && rep != nil {
+		for i, e := range rep.elems {
+			seq := rep.base + 1 + uint64(i)
+			if seq >= firstLive {
+				break
+			}
+			if err := t.history.Append(e, seq); err != nil {
+				return err
+			}
+		}
+	}
+	durable := t.log.CommittedSeq()
+	if durable+1 < firstLive && t.history != nil {
+		// Ordinal gap: rows in (durable, firstLive) were acknowledged
+		// while durability was suspended and already evicted — they are
+		// the loss DegradedAppends owns up to. The WAL numbers records
+		// implicitly (base+index), so the file must be rebased at the
+		// window start; checkpoint the tier first so dropping the old
+		// prefix loses nothing it still covers.
+		if err := t.history.Checkpoint(); err != nil {
+			return err
+		}
+		if err := t.log.Recreate(firstLive - 1); err != nil {
+			return err
+		}
+		durable = firstLive - 1
+	}
+	// Re-append the live rows past the durable boundary and commit
+	// them: this is the moment suspended durability is restored for
+	// everything still in RAM.
+	live := t.elems[t.head:]
+	skip := 0
+	if durable >= firstLive {
+		skip = int(durable - firstLive + 1)
+	}
+	if skip < len(live) {
+		if err := t.log.AppendBatch(live[skip:]); err != nil {
+			return err
+		}
+		if err := t.log.Flush(); err != nil {
+			return err
+		}
+	}
+	t.degradedErr = nil
+	t.walReopens++
+	if t.walReopenMetr != nil {
+		t.walReopenMetr.Inc()
+	}
+	return nil
+}
+
+// Health reports whether durability is armed; when degraded, reason is
+// the original fault.
+func (t *Table) Health() (healthy bool, reason string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.degradedErr != nil {
+		return false, t.degradedErr.Error()
+	}
+	return true, ""
+}
+
 // Stats returns activity counters.
 func (t *Table) Stats() TableStats {
 	var st TableStats
@@ -678,6 +936,12 @@ func (t *Table) Stats() TableStats {
 		if t.log != nil {
 			st.LogFlushes = t.log.Stats().Flushes
 		}
+		if t.degradedErr != nil {
+			st.Degraded = true
+			st.DegradedReason = t.degradedErr.Error()
+		}
+		st.DegradedAppends = t.degradedAppends
+		st.WalReopens = t.walReopens
 	})
 	st.LogErrors = t.logErrors.Load()
 	st.HistoryErrors = t.histErrors.Load()
@@ -694,8 +958,12 @@ func (t *Table) Stats() TableStats {
 func (t *Table) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.recoverStop != nil {
+		close(t.recoverStop)
+		t.recoverStop = nil
+	}
 	var first error
-	if t.history != nil && t.log != nil {
+	if t.history != nil && t.log != nil && t.degradedErr == nil {
 		first = t.checkpointLocked()
 	}
 	if t.log != nil {

@@ -23,6 +23,7 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
   th, td { border: 1px solid #bbb; padding: 4px 10px; text-align: left; }
   th { background: #eee; }
   .num { text-align: right; }
+  .healthy { color: #1a7f37; } .degraded { color: #b8860b; } .failed { color: #c0392b; font-weight: bold; }
   footer { margin-top: 2em; font-size: 0.8em; color: #777; }
 </style>
 </head>
@@ -31,10 +32,11 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 <p>{{len .Sensors}} virtual sensor(s) deployed · <a href="/api/metrics">metrics</a> · <a href="/api/directory">directory</a> · <a href="/api/graph">graph</a></p>
 <p>storage history tier: {{.Storage}}</p>
 <table>
-<tr><th>Virtual sensor</th><th>Fields</th><th>Consumes</th><th class="num">Triggers</th><th class="num">Outputs</th><th class="num">Errors</th><th class="num">Window</th><th>Plot</th></tr>
+<tr><th>Virtual sensor</th><th>Health</th><th>Fields</th><th>Consumes</th><th class="num">Triggers</th><th class="num">Outputs</th><th class="num">Errors</th><th class="num">Window</th><th>Plot</th></tr>
 {{range .Sensors}}
 <tr>
   <td><a href="/api/sensors/{{.Name}}">{{.Name}}</a></td>
+  <td class="{{.Health}}"{{if .HealthReason}} title="{{.HealthReason}}"{{end}}>{{.Health}}</td>
   <td>{{.FieldList}}</td>
   <td>{{if .Upstreams}}{{.Upstreams}}{{else}}&mdash;{{end}}</td>
   <td class="num">{{.Stats.Triggers}}</td>
@@ -50,11 +52,13 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 </html>`))
 
 type dashboardSensor struct {
-	Name      string
-	FieldList string
-	Upstreams string // local composition inputs (dependency graph)
-	PlotField string
-	Stats     struct {
+	Name         string
+	Health       string
+	HealthReason string
+	FieldList    string
+	Upstreams    string // local composition inputs (dependency graph)
+	PlotField    string
+	Stats        struct {
 		Triggers, Outputs, Errors uint64
 		OutputLive                int
 	}
@@ -68,12 +72,16 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	view.Node = s.container.Name()
 	snap := s.container.MetricsSnapshot()
-	view.Storage = fmt.Sprintf("%v pages read · %v pages written · %v pool hits · %v pool evictions · %v checkpoints",
-		snap["pages_read"], snap["pages_written"], snap["pool_hits"], snap["pool_evictions"], snap["checkpoints_total"])
+	view.Storage = fmt.Sprintf("%v pages read · %v pages written · %v pool hits · %v pool evictions · %v checkpoints · %v wal reopens · %v degraded sensor(s)",
+		snap["pages_read"], snap["pages_written"], snap["pool_hits"], snap["pool_evictions"],
+		snap["checkpoints_total"], snap["wal_reopens_total"], snap["degraded_sensors"])
 	graph := s.container.Graph()
 	for _, vs := range s.container.Sensors() {
 		var ds dashboardSensor
 		ds.Name = vs.Name()
+		health := vs.Health()
+		ds.Health = health.State.String()
+		ds.HealthReason = health.Reason
 		ds.Upstreams = strings.Join(graph[vs.Name()], ", ")
 		var fields []string
 		for _, f := range vs.OutputSchema().Fields() {

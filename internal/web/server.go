@@ -65,6 +65,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/metrics", s.guard(access.RoleRead, s.handleMetrics))
 	s.mux.HandleFunc("GET /api/directory", s.guard(access.RoleRead, s.handleDirectory))
 	s.mux.HandleFunc("GET /api/events", s.guard(access.RoleRead, s.handleEvents))
+	// Readiness probe: unguarded by design — orchestrators and load
+	// balancers poll it without credentials, and it exposes only health
+	// states and reasons, no sensor data.
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 
 	// Browser UI.
 	s.mux.HandleFunc("GET /{$}", s.guard(access.RoleRead, s.handleDashboard))
@@ -93,6 +97,7 @@ func (s *Server) guard(need access.Role, h http.HandlerFunc) http.HandlerFunc {
 type SensorSummary struct {
 	Name     string            `json:"name"`
 	Fields   map[string]string `json:"fields"`
+	Health   core.HealthReport `json:"health"`
 	Stats    core.SensorStats  `json:"stats"`
 	Metadata map[string]string `json:"metadata"`
 }
@@ -105,9 +110,23 @@ func (s *Server) summarise(vs *core.VirtualSensor) SensorSummary {
 	return SensorSummary{
 		Name:     vs.Name(),
 		Fields:   fields,
+		Health:   vs.Health(),
 		Stats:    vs.Stats(),
 		Metadata: vs.Descriptor().MetadataMap(),
 	}
+}
+
+// handleHealth serves the container's readiness verdict: 200 while
+// every sensor is healthy or self-healing (degraded), 503 once any
+// sensor is terminally failed. The JSON body carries the per-sensor
+// breakdown either way, so a 503 still tells the operator what broke.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.container.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.State == core.Failed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {

@@ -2,11 +2,13 @@ package wrappers
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
 	"time"
 
+	"gsn/internal/resilience"
 	"gsn/internal/stream"
 )
 
@@ -25,12 +27,17 @@ import (
 //	          readings server-side
 //	timeout   per-request timeout (default "5s")
 //	max-body  response size cap in bytes (default 1 MiB)
+//	retries   extra attempts per paced tick when a poll fails
+//	          (default 2); the retry delays fit inside half the poll
+//	          interval so a transient blip does not cost the tick.
+//	          Pull-mode Produce stays single-shot.
 type HTTPGetWrapper struct {
 	pacer
 	cfg     Config
 	url     string
 	client  *http.Client
 	maxBody int64
+	retries int
 
 	mu    sync.Mutex
 	polls uint64
@@ -64,11 +71,19 @@ func NewHTTPGet(cfg Config) (Wrapper, error) {
 	if maxBody <= 0 {
 		return nil, fmt.Errorf("wrappers: http-get max-body must be positive")
 	}
+	retries, err := cfg.Params.Int("retries", 2)
+	if err != nil {
+		return nil, err
+	}
+	if retries < 0 {
+		return nil, fmt.Errorf("wrappers: http-get retries must be >= 0")
+	}
 	w := &HTTPGetWrapper{
 		cfg:     cfg,
 		url:     url,
 		client:  &http.Client{Timeout: timeout},
 		maxBody: int64(maxBody),
+		retries: retries,
 	}
 	w.pacer.interval = interval
 	if err := w.pacer.configureBatch(cfg.Params); err != nil {
@@ -86,13 +101,39 @@ func (w *HTTPGetWrapper) Schema() *stream.Schema { return httpGetSchema }
 // Start implements Wrapper.
 func (w *HTTPGetWrapper) Start(emit EmitFunc) error {
 	return w.pacer.start(func() error {
-		e, err := w.Produce()
+		e, err := w.produceWithRetry()
 		if err != nil {
 			return err // ErrNoReading (unreachable endpoint) skips the tick
 		}
 		emit(e)
 		return nil
 	})
+}
+
+// produceWithRetry is the paced-tick read path: transient failures are
+// retried inside half the poll period, so an endpoint that blips does
+// not cost a whole tick of data. Pull-mode (interval 0) has no period
+// to hide retries in and stays single-shot.
+func (w *HTTPGetWrapper) produceWithRetry() (stream.Element, error) {
+	if w.retries == 0 || w.pacer.interval <= 0 {
+		return w.Produce()
+	}
+	budget := w.pacer.interval / 2
+	seed := fnv.New64a()
+	seed.Write([]byte(w.url))
+	var e stream.Element
+	err := resilience.Do(nil, resilience.Policy{
+		Base:        budget / 8,
+		Cap:         budget / 2,
+		MaxAttempts: w.retries + 1,
+		Budget:      budget,
+		Seed:        int64(seed.Sum64()),
+	}, func() error {
+		var perr error
+		e, perr = w.Produce()
+		return perr
+	})
+	return e, err
 }
 
 // StartBatch implements BatchEmitter: with a batch parameter > 1 each
