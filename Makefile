@@ -56,14 +56,16 @@ examples-smoke:
 	timeout 120 $(GO) run ./examples/layered
 	timeout 120 $(GO) run ./examples/quickstart
 
-# chaos runs the fault-injection storm twice under the race detector:
-# a three-tier pipeline with randomized disk faults (TestChaos) plus
-# the WAL fault matrix and self-healing recovery paths. See
-# docs/operations.md for the contract these tests enforce.
+# chaos runs the fault-injection storms twice under the race detector:
+# a three-tier pipeline with randomized disk faults (TestChaos), the
+# WAL fault matrix and self-healing recovery paths, and the two-node
+# replication pipeline under network chaos (TestNetChaos: partitions,
+# torn/corrupted responses, peer restarts — exactly-once must hold).
+# See docs/operations.md for the contract these tests enforce.
 chaos:
-	$(GO) test -race -count=2 -timeout 300s \
-		-run 'TestChaos|TestWALFaultMatrix|TestBackgroundFlush|TestSupervision|TestCheckpointMetaFault|TestHistoryPageWriteFault' \
-		./internal/core ./internal/storage
+	$(GO) test -race -count=2 -timeout 600s \
+		-run 'TestChaos|TestNetChaos|TestWALFaultMatrix|TestBackgroundFlush|TestSupervision|TestCheckpointMetaFault|TestHistoryPageWriteFault' \
+		./internal/core ./internal/storage ./internal/p2p
 
 # ci is the tier-1 gate: everything a fresh clone must pass.
 ci: vet build race benchsmoke examples-smoke docs-check chaos

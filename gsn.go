@@ -24,12 +24,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"gsn/internal/core"
 	"gsn/internal/directory"
 	"gsn/internal/notify"
 	"gsn/internal/p2p"
+	"gsn/internal/resilience"
 	"gsn/internal/sqlengine"
 	"gsn/internal/stream"
 	"gsn/internal/vsensor"
@@ -117,6 +119,9 @@ type Node struct {
 	web       *web.Server
 	dir       *directory.Registry
 	httpSrv   *http.Server
+
+	peerMu sync.Mutex
+	peers  map[string]*p2p.Client
 }
 
 // NewNode creates a node. Every built-in wrapper is available, plus the
@@ -305,10 +310,26 @@ func (n *Node) PulseBatch(max int) int { return n.container.PulseBatch(max) }
 func (n *Node) Pulse() int { return n.container.Pulse() }
 
 // GossipWith performs one directory push-pull exchange with a peer node
-// and returns the number of adopted entries.
+// and returns the number of adopted entries. Peer clients are cached so
+// each peer's circuit breaker accumulates across rounds: a peer that
+// keeps failing is skipped cheaply (p2p.ErrCircuitOpen) until its
+// cooldown lets a probe through.
 func (n *Node) GossipWith(peerURL string) (int, error) {
-	client := &p2p.Client{Base: peerURL}
-	return client.Gossip(n.dir)
+	return n.peerClient(peerURL).Gossip(n.dir)
+}
+
+func (n *Node) peerClient(peerURL string) *p2p.Client {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if n.peers == nil {
+		n.peers = make(map[string]*p2p.Client)
+	}
+	c, ok := n.peers[peerURL]
+	if !ok {
+		c = &p2p.Client{Base: peerURL, Breaker: resilience.NewBreaker(3, 10*time.Second)}
+		n.peers[peerURL] = c
+	}
+	return c
 }
 
 // Handler returns the node's HTTP interface (REST API, dashboard, p2p

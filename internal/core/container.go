@@ -752,8 +752,11 @@ func (c *Container) MetricsSnapshot() map[string]any {
 	out["stmt_cache_size"] = sc.Size
 	out["result_cache_size"] = c.results.Len()
 	// Health gauges are computed live: they describe the current state,
-	// not an accumulated count.
+	// not an accumulated count. The p2p replication counters aggregate
+	// the same way, summed over every replicating source wrapper, so
+	// they need no per-wrapper metric plumbing.
 	degraded, failed := 0, 0
+	var rep wrappers.ReplicationStats
 	for _, vs := range c.Sensors() {
 		switch vs.Health().State {
 		case Degraded:
@@ -761,9 +764,28 @@ func (c *Container) MetricsSnapshot() map[string]any {
 		case Failed:
 			failed++
 		}
+		for _, in := range vs.streams {
+			for _, src := range in.sources {
+				r, ok := src.wrapper.(wrappers.Replicator)
+				if !ok {
+					continue
+				}
+				s := r.ReplicationStats()
+				rep.Fetches += s.Fetches
+				rep.Failures += s.Failures
+				rep.Resyncs += s.Resyncs
+				rep.EpochMismatches += s.EpochMismatches
+				rep.DuplicatesDropped += s.DuplicatesDropped
+			}
+		}
 	}
 	out["degraded_sensors"] = degraded
 	out["failed_sensors"] = failed
+	out["p2p_fetches_total"] = rep.Fetches
+	out["p2p_fetch_failures_total"] = rep.Failures
+	out["p2p_resyncs_total"] = rep.Resyncs
+	out["p2p_epoch_mismatches"] = rep.EpochMismatches
+	out["p2p_duplicates_dropped"] = rep.DuplicatesDropped
 	return out
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"gsn/internal/wrappers"
+)
 
 // HealthState is a sensor's (or the container's) position in the
 // three-step health ladder. States order by severity so aggregation is
@@ -89,6 +93,17 @@ func (vs *VirtualSensor) Health() HealthReport {
 			if src.restartFails.Load() > 0 {
 				return HealthReport{State: Degraded,
 					Reason: fmt.Sprintf("source %s: wrapper in restart backoff", src.alias)}
+			}
+			// A wrapper that judges its own upstream link (the p2p remote
+			// wrapper under sustained disconnects) degrades the sensor
+			// without the restart machinery: restarting locally cannot
+			// reach an unreachable peer, and the wrapper clears itself on
+			// the first successful fetch.
+			if hr, ok := src.wrapper.(wrappers.HealthReporter); ok {
+				if degraded, reason := hr.HealthState(); degraded {
+					return HealthReport{State: Degraded,
+						Reason: fmt.Sprintf("source %s: %s", src.alias, reason)}
+				}
 			}
 		}
 	}

@@ -2,18 +2,37 @@ package p2p
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"gsn/internal/directory"
 	"gsn/internal/integrity"
+	"gsn/internal/resilience"
 	"gsn/internal/stream"
 )
+
+// DefaultShortTimeout bounds the client's short RPCs (info, sensors,
+// schema, query, directory, gossip). The long-poll stream fetch has its
+// own, much larger budget — conflating the two would make a control
+// call wait half a minute for a peer that is simply down.
+const DefaultShortTimeout = 5 * time.Second
+
+// maxJSONBody caps JSON response bodies (directory snapshots, sensor
+// lists, query results) so a misbehaving peer cannot balloon memory.
+const maxJSONBody = 8 << 20
+
+// ErrCircuitOpen is returned by short RPCs while the client's breaker
+// is open: the peer has failed repeatedly and calls are shed locally
+// until the cooldown expires.
+var ErrCircuitOpen = errors.New("p2p: circuit open")
 
 // Client talks to one peer node's p2p interface.
 type Client struct {
@@ -27,6 +46,14 @@ type Client struct {
 	Keys *integrity.KeyRing
 	// RequireSignature rejects unsigned stream responses.
 	RequireSignature bool
+	// Breaker, when set, gates the short RPCs: after its threshold of
+	// consecutive transport failures, calls fail fast with
+	// ErrCircuitOpen until the cooldown lets a probe through. The
+	// long-poll Fetch/FetchSeq path is deliberately not gated — the
+	// remote wrapper owns its own retry/backoff policy there.
+	Breaker *resilience.Breaker
+	// ShortTimeout overrides DefaultShortTimeout for short RPCs.
+	ShortTimeout time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -34,6 +61,42 @@ func (c *Client) http() *http.Client {
 		return c.HTTP
 	}
 	return &http.Client{Timeout: 35 * time.Second}
+}
+
+// short issues a breaker-gated request with the short-RPC deadline.
+// The returned cancel must be called after the body has been consumed.
+func (c *Client) short(method, path string, body io.Reader, contentType string) (*http.Response, context.CancelFunc, error) {
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		return nil, nil, ErrCircuitOpen
+	}
+	timeout := c.ShortTimeout
+	if timeout <= 0 {
+		timeout = DefaultShortTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		cancel()
+		// Transport-level failure: the peer is unreachable or stalled.
+		// A served error status is a healthy connection and does not
+		// count against the breaker.
+		if c.Breaker != nil {
+			c.Breaker.Failure()
+		}
+		return nil, nil, err
+	}
+	if c.Breaker != nil {
+		c.Breaker.Success()
+	}
+	return resp, cancel, nil
 }
 
 // Info fetches the peer's identity and sensor list.
@@ -52,10 +115,11 @@ func (c *Client) Sensors() ([]SensorInfo, error) {
 
 // Schema fetches a remote sensor's output schema.
 func (c *Client) Schema(vs string) (*stream.Schema, error) {
-	resp, err := c.http().Get(c.Base + "/p2p/schema?vs=" + url.QueryEscape(vs))
+	resp, cancel, err := c.short(http.MethodGet, "/p2p/schema?vs="+url.QueryEscape(vs), nil, "")
 	if err != nil {
 		return nil, err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("p2p: schema %s: %s", vs, resp.Status)
@@ -68,9 +132,30 @@ func (c *Client) Schema(vs string) (*stream.Schema, error) {
 	return schema, err
 }
 
+// StreamPage is one response of the sequence-cursor stream protocol:
+// a suffix of the peer table's live window plus the coordinates a
+// consumer needs for exactly-once resumption. Epoch identifies the
+// peer's current sequence space; First is the sequence number of
+// Elems[0] (zero when the page is empty); WindowFirst/WindowLast bound
+// the live window at serve time, so First > cursor+1 means elements
+// were evicted before we fetched them and WindowLast alone advances a
+// cursor past an empty poll.
+type StreamPage struct {
+	Elems       []stream.Element
+	Schema      *stream.Schema
+	Epoch       uint64
+	First       uint64
+	WindowFirst uint64
+	WindowLast  uint64
+}
+
 // Fetch pulls elements of vs with timestamp > since, long-polling up to
 // wait on the server side. The element schema rides in a header, so the
 // caller needs no prior schema knowledge.
+//
+// Deprecated for replication: the timestamp cursor silently drops
+// equal-timestamp elements across reconnects and double-delivers after
+// torn responses. Use FetchSeq, which resumes by sequence number.
 func (c *Client) Fetch(vs string, since stream.Timestamp, wait time.Duration) ([]stream.Element, *stream.Schema, error) {
 	u := fmt.Sprintf("%s/p2p/stream?vs=%s&since=%d&wait=%d",
 		c.Base, url.QueryEscape(vs), int64(since), wait.Milliseconds())
@@ -82,6 +167,72 @@ func (c *Client) Fetch(vs string, since stream.Timestamp, wait time.Duration) ([
 	if resp.StatusCode != http.StatusOK {
 		return nil, nil, fmt.Errorf("p2p: stream %s: %s", vs, resp.Status)
 	}
+	elems, schema, err := c.decodeStream(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return elems, schema, nil
+}
+
+// FetchSeq pulls elements of vs with sequence number > after,
+// long-polling up to wait on the server side. The request is issued
+// under ctx so a stopping consumer can abandon an in-flight long poll
+// immediately instead of waiting out the transport timeout.
+func (c *Client) FetchSeq(ctx context.Context, vs string, after uint64, wait time.Duration) (StreamPage, error) {
+	u := fmt.Sprintf("%s/p2p/stream?vs=%s&after=%d&wait=%d",
+		c.Base, url.QueryEscape(vs), after, wait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return StreamPage{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return StreamPage{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StreamPage{}, fmt.Errorf("p2p: stream %s: %s", vs, resp.Status)
+	}
+
+	var page StreamPage
+	if page.Epoch, err = headerUint(resp, epochHeader); err != nil {
+		return StreamPage{}, err
+	}
+	if page.First, err = headerUint(resp, firstHeader); err != nil {
+		return StreamPage{}, err
+	}
+	if page.WindowFirst, err = headerUint(resp, winFirstHeader); err != nil {
+		return StreamPage{}, err
+	}
+	if page.WindowLast, err = headerUint(resp, winLastHeader); err != nil {
+		return StreamPage{}, err
+	}
+	page.Elems, page.Schema, err = c.decodeStream(resp)
+	if err != nil {
+		return StreamPage{}, err
+	}
+	if len(page.Elems) > 0 && page.First == 0 {
+		return StreamPage{}, fmt.Errorf("p2p: stream %s: non-empty page without first-sequence header", vs)
+	}
+	return page, nil
+}
+
+func headerUint(resp *http.Response, name string) (uint64, error) {
+	v := resp.Header.Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("p2p: response missing %s header (peer too old for the sequence protocol?)", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("p2p: bad %s header %q", name, v)
+	}
+	return n, nil
+}
+
+// decodeStream verifies and decodes a /p2p/stream response body: read
+// (bounded), check the HMAC if present (or required), decode the schema
+// header, then the packed elements.
+func (c *Client) decodeStream(resp *http.Response) ([]stream.Element, *stream.Schema, error) {
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
 		return nil, nil, err
@@ -147,30 +298,32 @@ func (c *Client) Gossip(reg *directory.Registry) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.http().Post(c.Base+"/p2p/directory/merge", "application/json",
-		bytes.NewReader(payload))
+	resp, cancel, err := c.short(http.MethodPost, "/p2p/directory/merge",
+		bytes.NewReader(payload), "application/json")
 	if err != nil {
 		return 0, err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("p2p: gossip: %s", resp.Status)
 	}
 	var theirs []directory.Entry
-	if err := json.NewDecoder(resp.Body).Decode(&theirs); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxJSONBody)).Decode(&theirs); err != nil {
 		return 0, err
 	}
 	return reg.Merge(theirs), nil
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.http().Get(c.Base + path)
+	resp, cancel, err := c.short(http.MethodGet, path, nil, "")
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("p2p: GET %s: %s", path, resp.Status)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(io.LimitReader(resp.Body, maxJSONBody)).Decode(out)
 }

@@ -1,0 +1,243 @@
+package p2p
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNetInjected is the error injected network faults produce unless
+// the NetFault specifies its own.
+var ErrNetInjected = errors.New("p2p: injected network fault")
+
+// NetFault is one deterministic injection rule for the fault transport,
+// the network mirror of storage.Fault: the Nth matching request (and
+// the Count-1 after it) is disrupted. Matching is by URL substring, so
+// tests can target one endpoint ("/p2p/stream") or one peer (the
+// host:port). Exactly one disruption mode should be set per rule.
+type NetFault struct {
+	// Path, when non-empty, restricts the rule to requests whose URL
+	// contains it.
+	Path string
+	// Nth arms the rule on the Nth matching request, 1-based (0 behaves
+	// as 1: disrupt from the first match).
+	Nth int
+	// Count is how many matching requests are disrupted once armed:
+	// 0 means one, a negative value means every one until Clear/Heal.
+	Count int
+
+	// Drop fails the request before it reaches the peer — a black-holed
+	// packet. The peer never sees it.
+	Drop bool
+	// Err, with Drop, is the error returned; nil means ErrNetInjected.
+	Err error
+	// Delay sleeps before forwarding the request (latency injection).
+	// It composes with the other modes; alone it only adds latency.
+	Delay time.Duration
+	// TruncateBody forwards the request but cuts the response body to
+	// at most this many bytes mid-stream — a torn response. The client
+	// sees an unexpected EOF after a valid prefix, the classic
+	// "delivered but unacknowledged" failure that breaks at-most-once
+	// cursors. Negative truncates to zero bytes.
+	TruncateBody int
+	// Torn, with TruncateBody, also surfaces an ErrNetInjected read
+	// error after the prefix instead of a clean EOF.
+	Torn bool
+	// Corrupt XORs 0xFF into one response-body byte (at offset
+	// CorruptAt, clamped into range) — the bit flip a MAC must catch.
+	Corrupt   bool
+	CorruptAt int
+
+	seen  int // matching requests observed
+	fired int // disruptions delivered
+}
+
+// FaultTransport is a deterministic fault-injecting http.RoundTripper,
+// the network counterpart of storage.FaultFS. Thread it through
+// p2p.Client.HTTP (or RegisterRemoteHTTP) and inject rules to simulate
+// partitions, torn responses and corrupted bytes without touching the
+// network stack. It is safe for concurrent use; rules are evaluated in
+// injection order and the first armed match wins.
+type FaultTransport struct {
+	inner http.RoundTripper
+
+	mu         sync.Mutex
+	faults     []*NetFault
+	partitions []string
+	requests   uint64
+}
+
+// NewFaultTransport wraps inner (nil for http.DefaultTransport).
+func NewFaultTransport(inner http.RoundTripper) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultTransport{inner: inner}
+}
+
+// Inject adds a rule.
+func (t *FaultTransport) Inject(f NetFault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := f
+	t.faults = append(t.faults, &cp)
+}
+
+// Clear removes every rule (but not partitions — see Heal).
+func (t *FaultTransport) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = nil
+}
+
+// Partition black-holes every request whose URL contains target until
+// Heal. Directional partitions fall out of the transport being
+// per-client: partition node A's transport toward B while B's toward A
+// stays healthy.
+func (t *FaultTransport) Partition(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitions = append(t.partitions, target)
+}
+
+// Heal lifts every partition.
+func (t *FaultTransport) Heal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitions = nil
+}
+
+// Requests returns how many requests the transport has seen (disrupted
+// or not).
+func (t *FaultTransport) Requests() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests
+}
+
+// check records one request and returns the armed rule to apply, if
+// any. The returned value is a copy so the caller works outside the
+// lock.
+func (t *FaultTransport) check(url string) (NetFault, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	for _, p := range t.partitions {
+		if strings.Contains(url, p) {
+			return NetFault{Drop: true, Err: fmt.Errorf("partitioned toward %s: %w", p, ErrNetInjected)}, true
+		}
+	}
+	for _, f := range t.faults {
+		if f.Path != "" && !strings.Contains(url, f.Path) {
+			continue
+		}
+		f.seen++
+		nth := f.Nth
+		if nth < 1 {
+			nth = 1
+		}
+		if f.seen < nth {
+			continue
+		}
+		if f.Count >= 0 {
+			count := f.Count
+			if count == 0 {
+				count = 1
+			}
+			if f.fired >= count {
+				continue
+			}
+		}
+		f.fired++
+		return *f, true
+	}
+	return NetFault{}, false
+}
+
+// RoundTrip implements http.RoundTripper. Rules are evaluated when a
+// request starts: a rule injected while a request is already in flight
+// (a parked long-poll) does not disturb that response — it applies from
+// the next request on. Tests arming body faults against a long-polling
+// consumer should wait one poll cycle (watch Requests) before acting.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, ok := t.check(req.URL.String())
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	if f.Delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Delay):
+		}
+	}
+	if f.Drop {
+		err := f.Err
+		if err == nil {
+			err = ErrNetInjected
+		}
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL, err)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if f.Corrupt || f.TruncateBody != 0 || f.Torn {
+		// Buffer the body so corruption and truncation are deterministic
+		// regardless of how the server chunked its writes.
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if f.Corrupt && len(body) > 0 {
+			at := f.CorruptAt
+			if at < 0 {
+				at = 0
+			}
+			if at >= len(body) {
+				at = len(body) - 1
+			}
+			body[at] ^= 0xFF
+		}
+		var tail error
+		if f.TruncateBody != 0 || f.Torn {
+			cut := f.TruncateBody
+			if cut < 0 {
+				cut = 0
+			}
+			if cut < len(body) {
+				body = body[:cut]
+			}
+			if f.Torn {
+				tail = fmt.Errorf("torn response from %s: %w", req.URL, ErrNetInjected)
+			}
+		}
+		resp.Body = &tornBody{r: bytes.NewReader(body), tail: tail}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// tornBody serves a byte prefix and then either a clean EOF (truncated
+// response) or an injected read error (torn connection).
+type tornBody struct {
+	r    *bytes.Reader
+	tail error
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF && b.tail != nil {
+		return n, b.tail
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return nil }

@@ -1,0 +1,144 @@
+package p2p
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ftServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello, world"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func ftGet(t *testing.T, ft *FaultTransport, url string) ([]byte, error) {
+	t.Helper()
+	c := &http.Client{Transport: ft, Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// The Nth/Count arming must be deterministic: exactly the chosen
+// requests fail, all others pass through untouched.
+func TestFaultTransportNthCount(t *testing.T) {
+	srv := ftServer(t)
+	ft := NewFaultTransport(nil)
+	ft.Inject(NetFault{Path: "/data", Nth: 2, Count: 2, Drop: true})
+
+	var errs []bool
+	for i := 0; i < 5; i++ {
+		_, err := ftGet(t, ft, srv.URL+"/data")
+		errs = append(errs, err != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("request %d: failed=%v, want %v (full: %v)", i+1, errs[i], want[i], errs)
+		}
+	}
+
+	// Path filter: non-matching URLs never count toward the rule.
+	ft.Clear()
+	ft.Inject(NetFault{Path: "/other", Drop: true})
+	if _, err := ftGet(t, ft, srv.URL+"/data"); err != nil {
+		t.Fatalf("non-matching path disrupted: %v", err)
+	}
+}
+
+func TestFaultTransportDropWrapsErrNetInjected(t *testing.T) {
+	srv := ftServer(t)
+	ft := NewFaultTransport(nil)
+	ft.Inject(NetFault{Drop: true, Count: -1})
+	_, err := ftGet(t, ft, srv.URL)
+	if err == nil || !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("err = %v, want ErrNetInjected", err)
+	}
+}
+
+// A truncated body must deliver a clean prefix; Torn adds a read error
+// after it, like a connection cut mid-response.
+func TestFaultTransportTruncateAndTorn(t *testing.T) {
+	srv := ftServer(t)
+	ft := NewFaultTransport(nil)
+
+	ft.Inject(NetFault{TruncateBody: 5})
+	body, err := ftGet(t, ft, srv.URL)
+	if err != nil || string(body) != "hello" {
+		t.Fatalf("truncated read = %q, %v; want clean \"hello\"", body, err)
+	}
+
+	ft.Clear()
+	ft.Inject(NetFault{TruncateBody: 5, Torn: true})
+	body, err = ftGet(t, ft, srv.URL)
+	if !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("torn read err = %v, want ErrNetInjected", err)
+	}
+	if !bytes.HasPrefix([]byte("hello"), body) {
+		t.Fatalf("torn read prefix = %q", body)
+	}
+}
+
+func TestFaultTransportCorrupt(t *testing.T) {
+	srv := ftServer(t)
+	ft := NewFaultTransport(nil)
+	ft.Inject(NetFault{Corrupt: true, CorruptAt: 1})
+	body, err := ftGet(t, ft, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) == "hello, world" {
+		t.Fatal("body not corrupted")
+	}
+	if len(body) != len("hello, world") || body[0] != 'h' || body[2] != 'l' {
+		t.Fatalf("corruption not byte-targeted: %q", body)
+	}
+}
+
+func TestFaultTransportPartitionHeal(t *testing.T) {
+	srv := ftServer(t)
+	other := ftServer(t)
+	ft := NewFaultTransport(nil)
+	ft.Partition(strings.TrimPrefix(srv.URL, "http://"))
+
+	if _, err := ftGet(t, ft, srv.URL); !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("partitioned peer reachable: %v", err)
+	}
+	// Directional: the other peer stays reachable.
+	if _, err := ftGet(t, ft, other.URL); err != nil {
+		t.Fatalf("unpartitioned peer unreachable: %v", err)
+	}
+	ft.Heal()
+	if _, err := ftGet(t, ft, srv.URL); err != nil {
+		t.Fatalf("healed peer unreachable: %v", err)
+	}
+}
+
+// Delay must honour request-context cancellation so a stopping
+// consumer is not pinned behind injected latency.
+func TestFaultTransportDelayRespectsContext(t *testing.T) {
+	srv := ftServer(t)
+	ft := NewFaultTransport(nil)
+	ft.Inject(NetFault{Delay: time.Hour, Count: -1})
+	c := &http.Client{Transport: ft, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Get(srv.URL)
+	if err == nil {
+		t.Fatal("delayed request succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("cancelled delay still blocked %v", time.Since(start))
+	}
+}

@@ -30,6 +30,14 @@ const (
 	schemaHeader    = "X-Gsn-Schema"
 	signatureHeader = "X-Gsn-Signature"
 	keyIDHeader     = "X-Gsn-Key-Id"
+	// Sequence-protocol headers (set on /p2p/stream responses when the
+	// request carries an after= cursor): the serving table's epoch, the
+	// sequence number of the first body element (0 when empty), and the
+	// live window's sequence bounds at serve time.
+	epochHeader    = "X-Gsn-Epoch"
+	firstHeader    = "X-Gsn-First"
+	winFirstHeader = "X-Gsn-Window-First"
+	winLastHeader  = "X-Gsn-Window-Last"
 )
 
 // Server exposes a container to peer nodes. Mount its Handler under
@@ -103,9 +111,14 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Write(stream.EncodeSchema(nil, vs.OutputSchema()))
 }
 
-// handleStream serves elements with timestamp > since. When no data is
-// available it long-polls up to the wait parameter (milliseconds,
-// capped at 30s) before returning an empty body.
+// handleStream serves stream elements. Two cursor modes exist: the
+// legacy since= timestamp cursor (elements with timestamp > since) and
+// the exactly-once after= sequence cursor (elements with sequence
+// number > after, response annotated with epoch and window bounds so a
+// consumer can distinguish a resumable cursor from one that must
+// re-sync). When no data is available either mode long-polls up to the
+// wait parameter (milliseconds, capped at 30s) before returning an
+// empty body.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	vs, ok := s.container.Sensor(q.Get("vs"))
@@ -121,6 +134,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		since = n
+	}
+	seqMode := false
+	after := uint64(0)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		seqMode, after = true, n
 	}
 	waitMS := 0
 	if v := q.Get("wait"); v != "" {
@@ -147,9 +170,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
-	var elems []stream.Element
+	var (
+		elems                           []stream.Element
+		first, winFirst, winLast, epoch uint64
+	)
 	for {
-		elems = vs.Output().Since(stream.Timestamp(since))
+		if seqMode {
+			elems, first, winFirst, winLast, epoch = vs.Output().SinceSeq(after)
+		} else {
+			elems = vs.Output().Since(stream.Timestamp(since))
+		}
 		if len(elems) > 0 || waitMS == 0 || time.Now().After(deadline) {
 			break
 		}
@@ -160,6 +190,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(elems) > limit {
+		// The suffix stays contiguous from first, so truncation only
+		// trims the tail the consumer will ask for next poll.
 		elems = elems[:limit]
 	}
 
@@ -173,6 +205,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(schemaHeader,
 		base64.StdEncoding.EncodeToString(stream.EncodeSchema(nil, vs.OutputSchema())))
+	if seqMode {
+		w.Header().Set(epochHeader, strconv.FormatUint(epoch, 10))
+		w.Header().Set(firstHeader, strconv.FormatUint(first, 10))
+		w.Header().Set(winFirstHeader, strconv.FormatUint(winFirst, 10))
+		w.Header().Set(winLastHeader, strconv.FormatUint(winLast, 10))
+	}
 	if s.signKeyID != "" {
 		sig, err := s.keys.Sign(s.signKeyID, body.Bytes())
 		if err != nil {

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// The table epoch identifies one continuous run of a table's sequence
+// space: it is bumped every time the sequence numbering could have
+// restarted or regressed — table open (process restart) and Truncate —
+// so a replication consumer comparing epochs knows whether "sequence
+// 17" still names the element it named last time. Permanent tables
+// persist the epoch in a tiny sidecar file next to the WAL
+// (TABLE.gsnepoch); memory-only tables draw process-unique values, so
+// every restart is trivially a new epoch.
+//
+// The file is 16 bytes: a 4-byte magic, the epoch as 8 little-endian
+// bytes, and a CRC over the value. A torn or corrupted file falls back
+// to a wall-clock-derived epoch, which is unique with respect to every
+// small counter value ever handed out — the consumer-side contract only
+// needs inequality across discontinuities, never a particular value.
+
+const epochMagic = "GSNE"
+
+// memEpochBase salts process-unique epochs so two runs of the same
+// binary can never hand out the same value for a memory-only table.
+var (
+	memEpochBase    = uint64(time.Now().UnixNano())
+	memEpochCounter atomic.Uint64
+)
+
+// nextMemoryEpoch returns a process-unique epoch for tables without
+// persistence (and for corrupt-sidecar fallbacks).
+func nextMemoryEpoch() uint64 {
+	return memEpochBase + memEpochCounter.Add(1)
+}
+
+// loadEpoch reads the sidecar. It returns (0, true) for a missing file
+// (first open: the caller starts the epoch space at 1) and (0, false)
+// for an unreadable or corrupt one (the caller must fall back to a
+// unique value).
+func loadEpoch(fsys FS, path string) (uint64, bool) {
+	if _, err := fsys.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return 0, true
+		}
+		return 0, false
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var buf [16]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return 0, false
+	}
+	if string(buf[:4]) != epochMagic {
+		return 0, false
+	}
+	epoch := binary.LittleEndian.Uint64(buf[4:12])
+	if binary.LittleEndian.Uint32(buf[12:16]) != crc32.ChecksumIEEE(buf[:12]) {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// bumpEpochLocked advances the table's epoch after a sequence-space
+// discontinuity (Truncate); the caller holds the write lock. Permanent
+// tables increment and best-effort persist; memory tables draw a fresh
+// process-unique value.
+func (t *Table) bumpEpochLocked() {
+	if t.epochPath != "" {
+		t.epoch++
+		_ = storeEpoch(t.epochFS, t.epochPath, t.epoch)
+		return
+	}
+	t.epoch = nextMemoryEpoch()
+}
+
+// storeEpoch writes the sidecar and syncs it. Failures are the caller's
+// to tolerate: an unpersisted epoch only weakens the cross-restart
+// discontinuity signal, and the consumer side additionally detects raw
+// sequence regressions, so best-effort persistence is acceptable.
+func storeEpoch(fsys FS, path string, epoch uint64) error {
+	var buf [16]byte
+	copy(buf[:4], epochMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], epoch)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(buf[:12]))
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf[:], 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

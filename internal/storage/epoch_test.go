@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsn/internal/stream"
+)
+
+func epochInsertN(t *testing.T, tab *Table, from, to int64) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i*11)
+		if err := tab.Insert(e); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+}
+
+// SinceSeq must return exactly the live suffix after the cursor, with
+// window bounds that let the caller detect eviction gaps.
+func TestSinceSeq(t *testing.T) {
+	s, _ := NewStore(stream.NewManualClock(0), "")
+	tab, err := s.CreateTable("t", tempSchema, TableOptions{Window: stream.MustWindow("3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	elems, first, winFirst, winLast, epoch := tab.SinceSeq(0)
+	if len(elems) != 0 || winFirst != 1 || winLast != 0 {
+		t.Fatalf("empty table: elems=%d winFirst=%d winLast=%d", len(elems), winFirst, winLast)
+	}
+	if epoch == 0 {
+		t.Fatal("memory table has zero epoch")
+	}
+
+	epochInsertN(t, tab, 1, 5) // count window 3: live seqs are 3..5
+	elems, first, winFirst, winLast, _ = tab.SinceSeq(0)
+	if winFirst != 3 || winLast != 5 || first != 3 || len(elems) != 3 {
+		t.Fatalf("after eviction: first=%d winFirst=%d winLast=%d len=%d", first, winFirst, winLast, len(elems))
+	}
+	if elems[0].Value(0) != int64(33) || elems[2].Value(0) != int64(55) {
+		t.Errorf("suffix contents wrong: %v", elems)
+	}
+
+	elems, first, _, _, _ = tab.SinceSeq(4)
+	if first != 5 || len(elems) != 1 || elems[0].Value(0) != int64(55) {
+		t.Errorf("SinceSeq(4): first=%d elems=%v", first, elems)
+	}
+
+	elems, _, _, winLast, _ = tab.SinceSeq(9)
+	if len(elems) != 0 || winLast != 5 {
+		t.Errorf("cursor past window: elems=%d winLast=%d", len(elems), winLast)
+	}
+}
+
+// A permanent table's epoch must advance on every open and every
+// Truncate — each is a potential sequence-space discontinuity — and
+// the sidecar must make those bumps monotonic across restarts.
+func TestEpochAdvancesAcrossReopenAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Window: stream.MustWindow("100"), Permanent: true}
+
+	s1, _ := NewStore(stream.NewManualClock(0), dir)
+	tab, err := s1.CreateTable("perm", tempSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := tab.Epoch()
+	if e1 != 1 {
+		t.Fatalf("first open epoch = %d, want 1", e1)
+	}
+	epochInsertN(t, tab, 1, 3)
+	if err := tab.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := tab.Epoch()
+	if e2 != e1+1 {
+		t.Fatalf("epoch after truncate = %d, want %d", e2, e1+1)
+	}
+	s1.Close()
+
+	s2, _ := NewStore(stream.NewManualClock(0), dir)
+	tab2, err := s2.CreateTable("perm", tempSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab2.Epoch(); got != e2+1 {
+		t.Fatalf("epoch after reopen = %d, want %d", got, e2+1)
+	}
+	s2.Close()
+}
+
+// A corrupt sidecar must not stall the epoch at a value consumers have
+// already seen: the fallback draws a fresh unique value.
+func TestEpochCorruptSidecarFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{Window: stream.MustWindow("10"), Permanent: true}
+
+	s1, _ := NewStore(stream.NewManualClock(0), dir)
+	tab, err := s1.CreateTable("perm", tempSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := tab.Epoch()
+	s1.Close()
+
+	side := filepath.Join(dir, "PERM.gsnepoch")
+	if err := os.WriteFile(side, []byte("garbage bytes!!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := NewStore(stream.NewManualClock(0), dir)
+	tab2, err := s2.CreateTable("perm", tempSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab2.Epoch()
+	if got == prev || got == prev+1 || got == 0 {
+		t.Fatalf("corrupt sidecar epoch = %d, want a fresh unique value (prev %d)", got, prev)
+	}
+	s2.Close()
+
+	// The fallback is persisted, so the next open resumes increments.
+	s3, _ := NewStore(stream.NewManualClock(0), dir)
+	tab3, err := s3.CreateTable("perm", tempSchema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 := tab3.Epoch(); e3 != got+1 {
+		t.Errorf("epoch after fallback reopen = %d, want %d", e3, got+1)
+	}
+	s3.Close()
+}
+
+// Memory tables draw process-unique epochs: Truncate and re-creation
+// must never reuse a value a consumer could have recorded.
+func TestEpochMemoryTableUnique(t *testing.T) {
+	s, _ := NewStore(stream.NewManualClock(0), "")
+	tab, err := s.CreateTable("m", tempSchema, TableOptions{Window: stream.MustWindow("10")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{tab.Epoch(): true}
+	for i := 0; i < 5; i++ {
+		if err := tab.Truncate(); err != nil {
+			t.Fatal(err)
+		}
+		e := tab.Epoch()
+		if seen[e] {
+			t.Fatalf("epoch %d reused after truncate %d", e, i)
+		}
+		seen[e] = true
+	}
+}
+
+func TestDestroyTableRemovesEpochSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(stream.NewManualClock(0), dir)
+	_, err := s.CreateTable("perm", tempSchema, TableOptions{
+		Window: stream.MustWindow("10"), Permanent: true, History: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := filepath.Join(dir, "PERM.gsnepoch")
+	if _, err := os.Stat(side); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	if err := s.DestroyTable("perm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(side); !os.IsNotExist(err) {
+		t.Errorf("sidecar survives DestroyTable: %v", err)
+	}
+	s.Close()
+}

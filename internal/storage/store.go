@@ -189,6 +189,21 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 			return nil, err
 		}
 		t.log = log
+
+		// Every open is a potential sequence-space discontinuity (a crash
+		// may have lost tail records the WAL never made durable), so the
+		// epoch advances past whatever the sidecar recorded. A corrupt or
+		// unreadable sidecar falls back to a process-unique value — the
+		// contract only needs inequality across discontinuities.
+		epochPath := filepath.Join(s.dataDir, canonical+".gsnepoch")
+		if prev, ok := loadEpoch(s.fs, epochPath); ok {
+			t.epoch = prev + 1
+		} else {
+			t.epoch = nextMemoryEpoch()
+		}
+		t.epochPath = epochPath
+		t.epochFS = s.fs
+		_ = storeEpoch(s.fs, epochPath, t.epoch)
 	}
 
 	s.tables[canonical] = t
@@ -235,7 +250,7 @@ func (s *Store) DestroyTable(name string) error {
 	hadHistory := t.HasHistory()
 	err := t.Close()
 	if hadHistory && s.dataDir != "" {
-		for _, suffix := range []string{".gsnhist", ".gsnlog", ".gsnlog.rewrite"} {
+		for _, suffix := range []string{".gsnhist", ".gsnlog", ".gsnlog.rewrite", ".gsnepoch"} {
 			p := filepath.Join(s.dataDir, canonical+suffix)
 			if rerr := s.fs.Remove(p); rerr != nil && !os.IsNotExist(rerr) && err == nil {
 				err = rerr

@@ -143,6 +143,16 @@ type Table struct {
 	// from the WAL base) so the history tier's dedup-by-seq works across
 	// crash/replay cycles. Zero except for history tables.
 	seq uint64
+	// epoch identifies this continuous run of the sequence space (see
+	// epoch.go): bumped on open and Truncate, persisted for permanent
+	// tables in the .gsnepoch sidecar, process-unique otherwise. The
+	// p2p replication protocol pairs it with seq so a consumer can tell
+	// a resumable cursor from one that must re-sync.
+	epoch uint64
+	// epochPath/epochFS, when set, persist epoch bumps (permanent
+	// tables); persistence is best-effort — see storeEpoch.
+	epochPath string
+	epochFS   FS
 	// history is the on-disk tier absorbing evicted elements; nil for
 	// ordinary tables. Set once before the table is published.
 	history *history
@@ -216,6 +226,7 @@ func NewTable(name string, schema *stream.Schema, window stream.Window, clock st
 		schema: schema,
 		window: window,
 		clock:  clock,
+		epoch:  nextMemoryEpoch(),
 	}, nil
 }
 
@@ -505,6 +516,46 @@ func (t *Table) Since(ts stream.Timestamp) []stream.Element {
 	return out
 }
 
+// Epoch returns the table's sequence-space epoch: a value that changes
+// whenever the sequence numbering could have restarted or regressed
+// (table open, Truncate). Consumers resuming by sequence number must
+// re-sync when it changes.
+func (t *Table) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// SinceSeq returns the elements with sequence number strictly greater
+// than after, in arrival order, together with the sequence number of
+// the first returned element and the window's live sequence bounds
+// [winFirst, winLast] (winFirst = winLast+1 for an empty window). The
+// window's sequence numbers are contiguous, so the result is always a
+// suffix of the live window and first > after+1 tells the caller that
+// elements it never saw have already been evicted. This is the
+// exactly-once long-poll primitive of the p2p layer; like Since it runs
+// under the shared lock.
+func (t *Table) SinceSeq(after uint64) (elems []stream.Element, first, winFirst, winLast, epoch uint64) {
+	t.readLocked(func() {
+		epoch = t.epoch
+		winLast = t.seq
+		live := uint64(t.liveLenLocked())
+		winFirst = winLast - live + 1
+		start := winFirst
+		if after+1 > start {
+			start = after + 1
+		}
+		if live == 0 || start > winLast {
+			return
+		}
+		first = start
+		idx := t.head + int(start-winFirst)
+		elems = make([]stream.Element, len(t.elems)-idx)
+		copy(elems, t.elems[idx:])
+	})
+	return elems, first, winFirst, winLast, epoch
+}
+
 // Latest returns the most recent element and false if the table is
 // empty.
 func (t *Table) Latest() (stream.Element, bool) {
@@ -536,6 +587,7 @@ func (t *Table) Truncate() error {
 	t.bytes = 0
 	t.version++
 	t.seq = 0
+	t.bumpEpochLocked()
 	t.ckptLowWater = 0
 	if t.observer != nil {
 		t.observer.OnTruncate()

@@ -103,6 +103,41 @@ func ProduceUpTo(p Producer, max int) ([]stream.Element, error) {
 // ErrNoReading signals an empty poll from a Producer.
 var ErrNoReading = fmt.Errorf("wrappers: no reading available")
 
+// ReplicationStats are the exactly-once delivery counters of a wrapper
+// that replicates a remote stream (the p2p remote wrapper).
+type ReplicationStats struct {
+	// Fetches/Failures count long-poll attempts and transport errors.
+	Fetches, Failures uint64
+	// Resyncs counts cursor rewinds to the peer's window start;
+	// EpochMismatches counts the subset caused by an observed epoch
+	// change (peer restart or truncate — the rest are raw sequence
+	// regressions, e.g. a peer whose epoch persistence was lost).
+	Resyncs, EpochMismatches uint64
+	// DuplicatesDropped counts re-delivered elements the consumer-side
+	// dedup suppressed (retries after torn responses, re-syncs).
+	DuplicatesDropped uint64
+	// Connected reports whether the last fetch succeeded.
+	Connected bool
+}
+
+// Replicator is implemented by wrappers that replicate a remote stream
+// and account for exactly-once delivery. The container aggregates these
+// counters into its metrics endpoint.
+type Replicator interface {
+	ReplicationStats() ReplicationStats
+}
+
+// HealthReporter is implemented by wrappers that can judge their own
+// connection health (e.g. a remote wrapper counting consecutive fetch
+// failures). The container folds a degraded report into the sensor's
+// health ladder without restarting the wrapper — unlike a silent
+// source, a disconnected peer is not fixed by a local restart.
+type HealthReporter interface {
+	// HealthState returns degraded=true with a reason while the wrapper
+	// considers its upstream link unhealthy.
+	HealthState() (degraded bool, reason string)
+}
+
 // Config configures one wrapper instance.
 type Config struct {
 	// Name is the instance name (the stream source alias, for logs).
