@@ -22,9 +22,16 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkTriggerPipeline' -benchmem .
 
 # The ingestion acceptance benchmark: batched group-commit ingestion
-# must beat the per-element flush path.
+# must beat the per-element flush path. The -cpu sweep exercises the
+# ingest lane fast path (1 CPU) and the combining merge (4, 8 CPUs).
 bench-ingest:
-	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem -cpu 1,4,8 .
+
+# The concurrent-producer acceptance benchmark for the ingest lane
+# tier: at 8 producers with lanes=auto, throughput must be >= 2.5x the
+# lanes-off baseline; at 1 producer lanes must not regress >= 5%.
+bench-scaling:
+	GOMAXPROCS=8 $(GO) run ./cmd/gsn-bench -experiment scaling
 
 # The client-query acceptance benchmark: the compiled/shared/parallel
 # repository must beat the serial interpreted sweep at 1000 registered
@@ -47,6 +54,7 @@ benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x -cpu 1,4 ./...
 	GOMAXPROCS=1 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
 	GOMAXPROCS=4 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
+	GOMAXPROCS=8 $(GO) run ./cmd/gsn-bench -experiment scaling -quick -out ""
 	$(GO) run ./cmd/gsn-bench -experiment all -quick -out ""
 
 # examples-smoke runs the self-terminating examples end to end (a

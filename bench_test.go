@@ -363,6 +363,7 @@ func BenchmarkIngest(b *testing.B) {
 		b.Run("unbatched/sync="+sync, func(b *testing.B) {
 			table := newTable(b, sync)
 			elems := makeElems(b, 1)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := table.Insert(elems[0].WithTimestamp(stream.Timestamp(i + 1))); err != nil {
@@ -373,6 +374,7 @@ func BenchmarkIngest(b *testing.B) {
 		b.Run("batched/sync="+sync, func(b *testing.B) {
 			table := newTable(b, sync)
 			elems := makeElems(b, batchSize)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for done := 0; done < b.N; done += batchSize {
 				n := batchSize

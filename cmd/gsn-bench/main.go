@@ -14,6 +14,7 @@
 //	gsn-bench -experiment grouped
 //	gsn-bench -experiment cascade
 //	gsn-bench -experiment history
+//	gsn-bench -experiment scaling
 //	gsn-bench -experiment all
 package main
 
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, grouped, cascade, history, all")
+		"which experiment to run: figure3, figure4, wrappers, ablation, ingest, queries, grouped, cascade, history, scaling, all")
 	duration := flag.Duration("duration", time.Second,
 		"measurement window per figure3 point (the paper's run used longer windows; shape is stable from ~1s)")
 	outDir := flag.String("out", "bench_results", "directory for CSV output (empty to skip)")
@@ -184,6 +185,23 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Table())
 		return writeCSV(*outDir, "ingest.csv", res.CSV())
+	})
+
+	run("scaling", func() error {
+		cfg := bench.DefaultScaling()
+		if *quick {
+			cfg.Producers = []int{1, 4}
+			cfg.Elements = 2_000
+			cfg.DurableElements = 200
+			cfg.Repeats = 1
+		}
+		res, err := bench.RunScaling(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Table())
+		return writeCSV(*outDir, "scaling.csv", res.CSV())
 	})
 }
 

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"gsn/internal/storage"
+	"gsn/internal/stream"
+)
+
+// ScalingConfig parameterises the concurrent-producer experiment: the
+// acceptance run for the per-core ingest lane tier. It sweeps producer
+// counts × lanes off/auto × WAL sync policy and reports aggregate
+// ingestion throughput, so the lane speedup (and the single-producer
+// non-regression) is measured rather than asserted.
+type ScalingConfig struct {
+	// Producers is the swept list of concurrent writer goroutines.
+	Producers []int
+	// Elements is the number of elements each producer writes.
+	Elements int
+	// DurableElements is the per-producer count for the sync=durable
+	// cells, which pay a real fdatasync (~100µs) per commit — the
+	// classic group-commit regime, swept with far fewer elements.
+	DurableElements int
+	// Repeats runs each cell this many times and keeps the best, which
+	// damps disk-sync and scheduler variance in the reported matrix.
+	Repeats int
+	// Window is the table's count-window retention.
+	Window int
+}
+
+// DefaultScaling sizes the sweep so the sync=always cells reach
+// group-commit steady state without making the run interminable (each
+// lanes-off always cell pays one write syscall per element, and each
+// lanes-off durable cell one disk sync per element).
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{Producers: []int{1, 2, 4, 8}, Elements: 50_000,
+		DurableElements: 2_000, Repeats: 3, Window: 1000}
+}
+
+// ScalingPoint is one measured cell.
+type ScalingPoint struct {
+	Producers int
+	Lanes     string  // "off" or "auto"
+	Sync      string  // "always", "interval", or "durable"
+	Elems     int     // total elements written (all producers)
+	PerSec    float64 // aggregate ingestion throughput
+	Flushes   uint64  // WAL write syscalls issued
+}
+
+// ScalingResult is the full matrix.
+type ScalingResult struct {
+	Points []ScalingPoint
+}
+
+// Table renders an aligned comparison, reporting the lanes-on/off
+// speedup per (producers, sync) pair.
+func (r *ScalingResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-10s %12s %10s\n", "producers", "lanes", "sync", "elems/sec", "flushes")
+	base := map[string]float64{}
+	for _, p := range r.Points {
+		if p.Lanes == "off" {
+			base[fmt.Sprintf("%d/%s", p.Producers, p.Sync)] = p.PerSec
+		}
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10d %-6s %-10s %12.0f %10d", p.Producers, p.Lanes, p.Sync, p.PerSec, p.Flushes)
+		if off := base[fmt.Sprintf("%d/%s", p.Producers, p.Sync)]; p.Lanes == "auto" && off > 0 {
+			fmt.Fprintf(&b, "   %.2fx", p.PerSec/off)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the matrix for external plotting.
+func (r *ScalingResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("producers,lanes,sync,elements,elems_per_sec,flushes\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%.0f,%d\n", p.Producers, p.Lanes, p.Sync, p.Elems, p.PerSec, p.Flushes)
+	}
+	return b.String()
+}
+
+// runScalingCell times one (producers, lanes, sync) cell against a
+// fresh permanent table. Each producer writes its own pre-built element
+// sequence (disjoint timestamp ranges, so the merge order is
+// inspectable) through a per-producer LaneWriter — which transparently
+// degrades to plain Insert when lanes are off, keeping the measured
+// call shape identical across the lanes axis.
+func runScalingCell(cfg ScalingConfig, schema *stream.Schema,
+	perProducer [][]stream.Element, producers int, lanes int, policy storage.SyncPolicy) (ScalingPoint, error) {
+	point := ScalingPoint{Producers: producers, Lanes: "off", Sync: policy.String(),
+		Elems: producers * len(perProducer[0])}
+	if lanes != 0 {
+		point.Lanes = "auto"
+	}
+
+	dir, err := os.MkdirTemp("", "gsn-scaling-*")
+	if err != nil {
+		return point, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := storage.NewStore(stream.NewManualClock(0), dir)
+	if err != nil {
+		return point, err
+	}
+	defer store.Close()
+	table, err := store.CreateTable("scaling", schema, storage.TableOptions{
+		Window:      stream.Window{Kind: stream.CountWindow, Count: cfg.Window},
+		Permanent:   true,
+		Sync:        policy,
+		IngestLanes: lanes,
+	})
+	if err != nil {
+		return point, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		firstErr error
+		errMu    sync.Mutex
+	)
+	for p := 0; p < producers; p++ {
+		w := table.NewLaneWriter()
+		elems := perProducer[p]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for _, e := range elems {
+				if err := w.Insert(e); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	if err := table.Flush(); err != nil { // durability barrier inside the timed region
+		return point, err
+	}
+	elapsed := time.Since(begin)
+	if firstErr != nil {
+		return point, firstErr
+	}
+
+	st := table.Stats()
+	if st.Inserted != uint64(point.Elems) {
+		return point, fmt.Errorf("bench: inserted %d of %d", st.Inserted, point.Elems)
+	}
+	point.PerSec = float64(point.Elems) / elapsed.Seconds()
+	point.Flushes = st.LogFlushes
+	return point, nil
+}
+
+// RunScaling executes the producers × lanes × sync matrix, streaming
+// progress to w. Run it at GOMAXPROCS >= the largest producer count —
+// lanes="auto" sizes the lane array from GOMAXPROCS, and the lanes-off
+// baseline needs real goroutine interleaving to exhibit its mutex and
+// syscall convoy.
+func RunScaling(cfg ScalingConfig, w io.Writer) (*ScalingResult, error) {
+	if len(cfg.Producers) == 0 {
+		cfg.Producers = DefaultScaling().Producers
+	}
+	if cfg.Elements <= 0 {
+		cfg.Elements = DefaultScaling().Elements
+	}
+	if cfg.DurableElements <= 0 {
+		cfg.DurableElements = DefaultScaling().DurableElements
+	}
+	if cfg.DurableElements > cfg.Elements {
+		cfg.DurableElements = cfg.Elements
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = DefaultScaling().Repeats
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultScaling().Window
+	}
+	maxProducers := 0
+	for _, p := range cfg.Producers {
+		if p > maxProducers {
+			maxProducers = p
+		}
+	}
+	schema, err := stream.NewSchema(
+		stream.Field{Name: "node_id", Type: stream.TypeInt},
+		stream.Field{Name: "temperature", Type: stream.TypeFloat},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-build every producer's sequence once: disjoint timestamp
+	// ranges per producer keep construction cost out of the timed
+	// region and make per-producer FIFO visible in the merged window.
+	perProducer := make([][]stream.Element, maxProducers)
+	for p := range perProducer {
+		elems := make([]stream.Element, cfg.Elements)
+		for i := range elems {
+			ts := stream.Timestamp(p*10_000_000 + i + 1)
+			e, err := stream.NewElement(schema, ts, int64(p), float64(i%97)+0.5)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = e
+		}
+		perProducer[p] = elems
+	}
+
+	// The durable cells reuse a prefix of each producer's sequence.
+	durable := make([][]stream.Element, maxProducers)
+	for p := range durable {
+		durable[p] = perProducer[p][:cfg.DurableElements]
+	}
+
+	res := &ScalingResult{}
+	for _, producers := range cfg.Producers {
+		for _, policy := range []storage.SyncPolicy{storage.SyncAlways, storage.SyncInterval, storage.SyncDurable} {
+			elems := perProducer
+			if policy == storage.SyncDurable {
+				elems = durable
+			}
+			// Repeats alternate lanes off/auto so slow drift in disk
+			// and scheduler state hits both sides of the comparison
+			// evenly instead of biasing whichever ran last.
+			laneOpts := []int{0, storage.AutoLanes}
+			best := make([]ScalingPoint, len(laneOpts))
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				for i, lanes := range laneOpts {
+					got, err := runScalingCell(cfg, schema, elems, producers, lanes, policy)
+					if err != nil {
+						return nil, err
+					}
+					if rep == 0 || got.PerSec > best[i].PerSec {
+						best[i] = got
+					}
+				}
+			}
+			for _, p := range best {
+				fmt.Fprintf(w, "  producers=%d lanes=%-4s sync=%-8s %12.0f elems/sec\n",
+					p.Producers, p.Lanes, p.Sync, p.PerSec)
+				res.Points = append(res.Points, p)
+			}
+		}
+	}
+	return res, nil
+}

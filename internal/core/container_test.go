@@ -112,6 +112,48 @@ func TestWindowedAverageConverges(t *testing.T) {
 	}
 }
 
+// TestDeployWithIngestLanes: a descriptor opting in with lanes="auto"
+// deploys, ingests through the lane tier end to end (the sensor's
+// batch terminal stays a single publish per trigger), and surfaces
+// the lane counters in the metrics snapshot.
+func TestDeployWithIngestLanes(t *testing.T) {
+	c, err := New(Options{
+		Name:           "lanes-node",
+		Clock:          stream.NewManualClock(1_000_000),
+		SyncProcessing: true,
+		DataDir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deploy(t, c, strings.Replace(moteAvgDescriptor,
+		`<storage size="50" />`,
+		`<storage size="50" permanent-storage="true" sync="durable" lanes="auto"/>`, 1))
+
+	for i := 0; i < 20; i++ {
+		c.Pulse()
+	}
+	vs, ok := c.Sensor("avg-temp")
+	if !ok {
+		t.Fatal("sensor not found")
+	}
+	if st := vs.Stats(); st.Outputs != 20 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	snap := c.MetricsSnapshot()
+	if _, ok := snap["lane_published_total"]; !ok {
+		t.Fatalf("lane counters missing from metrics snapshot: %v", snap)
+	}
+	rel, err := c.Query(`select count(*) from "avg-temp"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != int64(20) {
+		t.Errorf("output rows = %v, want 20", rel.Rows[0][0])
+	}
+}
+
 func TestDeployValidationAtomicity(t *testing.T) {
 	c := testContainer(t)
 	bad := strings.Replace(moteAvgDescriptor, `wrapper="mote"`, `wrapper="warp-drive"`, 1)

@@ -553,15 +553,26 @@ func (r *QueryRepository) EvaluateFor(sensor string, cat sqlengine.Catalog, opts
 
 	// Fan out only when the sweep is wide enough for the scheduling to
 	// pay off; a deployment with a couple of groups stays inline.
-	const fanOutThreshold = 4
+	//
+	// Worker sizing is GOMAXPROCS-aware with a per-worker floor instead
+	// of the old fixed fanOutThreshold=4 (tuned at GOMAXPROCS=1, where
+	// the pool never fans out): waking a helper costs on the order of a
+	// microsecond of submit/wakeup/wg accounting while a typical
+	// compiled group evaluates in ~10–20µs, so a helper is only worth
+	// waking when it gets at least minGroupsPerSweepWorker groups of
+	// its own. That keeps scheduling overhead a few percent at worst at
+	// any core count, stops an 8-core box from waking 7 helpers for an
+	// 8-group sweep (each stealing one group), and still saturates the
+	// pool on wide sweeps.
+	const minGroupsPerSweepWorker = 2
 	workers := runtime.GOMAXPROCS(0)
 	if workers > maxSweepWorkers {
 		workers = maxSweepWorkers
 	}
-	if len(work) < workers {
-		workers = len(work)
+	if byWidth := len(work) / minGroupsPerSweepWorker; workers > byWidth {
+		workers = byWidth
 	}
-	if len(work) >= fanOutThreshold && workers >= 2 {
+	if workers >= 2 {
 		for i := 1; i < workers; i++ {
 			if !r.submit(runRange) {
 				break // pool saturated or closed: the caller covers the rest

@@ -1,0 +1,553 @@
+package storage
+
+// Ingest lanes: a sharded staging tier in front of the table lock.
+//
+// With lanes disabled every producer serialises on the table's write
+// lock and (for permanent tables) the WAL staging lock — fine for one
+// producer, a convoy for eight. With lanes enabled producers append to
+// per-core staging rings guarded by nothing wider than a per-lane
+// mutex, and a single merge point drains the rings in bounded batches
+// into the existing path: one table-lock acquisition and one WAL group
+// append per merge batch. The window/observer/trigger/checkpoint/epoch
+// machinery sees exactly the batches it would see from InsertBatch, so
+// the (epoch, seq) replication contract and WAL replay semantics are
+// untouched.
+//
+// # Ordering contract
+//
+// Per-producer FIFO always; cross-producer order is decided at merge.
+// A LaneWriter is bound to one lane, so its publishes drain in publish
+// order (rings are FIFO and the combiner concatenates each lane's run
+// in lane order — per-lane order survives, cross-lane interleaving is
+// whatever the drain pass produces). Handle-less Insert/InsertBatch
+// calls wait for their merge before returning, which keeps today's
+// "visible on return" semantics and makes their FIFO order
+// lane-independent.
+//
+// # Durability contract
+//
+// SyncAlways: every publish carries a commit-wait handshake — the
+// publisher blocks until the merge's WAL group commit has hit the file,
+// so an acked append is WAL-durable before return, exactly as without
+// lanes. SyncInterval/SyncNone: LaneWriter publishes are acked on
+// publish (the background flusher owns durability, as it already does
+// for staged records); handle-less calls still wait for window
+// visibility. A degraded table acks without durability and counts
+// DegradedAppends, as the laneless path does.
+//
+// # Merge discipline
+//
+// The merge point is mergeMu. Publishers TryLock it after publishing:
+// the winner becomes the combiner and drains every lane; losers leave
+// their entry for the current holder. The holder closes the race by
+// re-checking the published count after releasing the lock and looping
+// — so an entry whose publisher lost the TryLock race immediately
+// before the release can never be stranded. No background goroutine,
+// no timer: the tier is quiescent when producers are.
+//
+// Lock order: mergeMu > lane locks > table lock. quiesce (and anything
+// that drains) must therefore be called without the table lock held.
+
+import (
+	"math/bits"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gsn/internal/stream"
+)
+
+const (
+	// laneRingSlots is each lane's fixed staging capacity, in publish
+	// entries (an entry is a single element or a whole batch). A full
+	// ring makes the publisher help drain — backpressure, not loss.
+	laneRingSlots = 128
+	// maxAutoLanes caps lanes="auto" (more lanes than cores only adds
+	// scan work at merge), maxLanes caps an explicit lane count.
+	maxAutoLanes = 16
+	maxLanes     = 64
+	// mergeMaxElems bounds the elements applied under one table-lock
+	// acquisition, so a merge batch cannot monopolise the lock against
+	// readers for an unbounded stretch.
+	mergeMaxElems = 8192
+	// laneBatchBuckets is the size of the merge batch-size histogram:
+	// bucket i counts merge batches of [2^i, 2^(i+1)) elements.
+	laneBatchBuckets = 14
+)
+
+// AutoLanes selects GOMAXPROCS-many ingest lanes (TableOptions.IngestLanes).
+const AutoLanes = -1
+
+// laneCount resolves a TableOptions.IngestLanes value; opt is non-zero.
+func laneCount(opt int) int {
+	if opt > 0 {
+		if opt > maxLanes {
+			return maxLanes
+		}
+		return opt
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > maxAutoLanes {
+		n = maxAutoLanes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// laneEntry is one published unit: a single element or a batch. done,
+// when non-nil, receives the merge outcome (commit-wait handshake).
+type laneEntry struct {
+	single  stream.Element
+	batch   []stream.Element // slot-owned copy; nil/empty means single
+	isBatch bool
+	done    chan error
+}
+
+// lane is one staging ring. Producers hold mu just long enough to
+// claim a slot and copy their entry in.
+type lane struct {
+	mu   sync.Mutex
+	ring []laneEntry
+	head int // next entry to drain
+	n    int // occupied slots
+	// staged mirrors n so the combiner can skip empty lanes without
+	// taking their locks. Written under mu; a stale zero read is closed
+	// by merge's release-recheck loop.
+	staged atomic.Int32
+	// pad keeps neighbouring lanes' hot state off one cache line.
+	_ [64]byte
+}
+
+// mergeItem locates one drained entry inside the merge arena.
+type mergeItem struct {
+	off, n int
+	done   chan error
+}
+
+// ingestLanes is the per-table lane tier; nil on tables created without
+// TableOptions.IngestLanes.
+type ingestLanes struct {
+	lanes   []*lane
+	waitAck bool // SyncAlways: publishers wait for the WAL commit
+
+	// pending counts entries published but not yet applied to the
+	// window. It is incremented under the lane lock before the publish
+	// is visible and decremented only after the window insert, so
+	// pending==0 really means "every acked publish is in the window" —
+	// the invariant the uncontended fast path relies on.
+	pending atomic.Int64
+	closed  atomic.Bool
+	// next round-robins lane assignment for writers and handle-less
+	// publishes.
+	next atomic.Uint64
+
+	// mergeMu is the single merge point (see package comment).
+	mergeMu sync.Mutex
+	// items/arena are the combiner's scratch, guarded by mergeMu.
+	items []mergeItem
+	arena []stream.Element
+
+	// Stats (atomic: read without any lock).
+	published   atomic.Uint64 // publish operations (entries)
+	stalls      atomic.Uint64 // publishes that found their ring full
+	merges      atomic.Uint64 // merge batches applied
+	mergedElems atomic.Uint64 // elements applied through merges
+	dropped     atomic.Uint64 // async entries lost to a closed table
+	batchHist   [laneBatchBuckets]atomic.Uint64
+}
+
+// LaneStats reports ingest-lane activity; nil in TableStats for tables
+// without lanes.
+type LaneStats struct {
+	// Lanes is the configured lane count.
+	Lanes int
+	// Published counts publish operations (each a single element or one
+	// batch) that entered a lane; fast-path inserts bypass lanes and are
+	// not counted here.
+	Published uint64
+	// Stalls counts publishes that found their ring full and had to
+	// help drain before claiming a slot (backpressure events).
+	Stalls uint64
+	// Merges counts merge batches applied; MergedElems the elements in
+	// them, so MergedElems/Merges is the mean combining factor.
+	Merges      uint64
+	MergedElems uint64
+	// Dropped counts async publishes lost because the table closed
+	// between ack and merge.
+	Dropped uint64
+	// BatchSizes is the merge batch-size histogram: bucket i counts
+	// merge batches of [2^i, 2^(i+1)) elements.
+	BatchSizes [laneBatchBuckets]uint64
+}
+
+func newIngestLanes(n, slots int, waitAck bool) *ingestLanes {
+	ls := &ingestLanes{lanes: make([]*lane, n), waitAck: waitAck}
+	for i := range ls.lanes {
+		ls.lanes[i] = &lane{ring: make([]laneEntry, slots)}
+	}
+	return ls
+}
+
+// laneDonePool recycles commit-wait channels (buffered, capacity 1:
+// the combiner's send never blocks on the waiter).
+var laneDonePool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// publish appends one entry to lane idx, helping drain while the ring
+// is full. ent.batch, when set, is copied into the slot-owned buffer —
+// the caller's slice is not retained. Returns os.ErrClosed after
+// shutdown.
+func (ls *ingestLanes) publish(t *Table, idx int, ent laneEntry) error {
+	la := ls.lanes[idx]
+	for {
+		la.mu.Lock()
+		if ls.closed.Load() {
+			la.mu.Unlock()
+			return os.ErrClosed
+		}
+		if la.n < len(la.ring) {
+			slot := &la.ring[(la.head+la.n)%len(la.ring)]
+			buf := slot.batch // retained capacity from a drained entry
+			slot.single = ent.single
+			slot.isBatch = ent.isBatch
+			slot.done = ent.done
+			if ent.isBatch {
+				slot.batch = append(buf[:0], ent.batch...)
+			} else {
+				slot.batch = buf[:0]
+			}
+			la.n++
+			la.staged.Store(int32(la.n))
+			ls.pending.Add(1) // before unlock: see pending's invariant
+			la.mu.Unlock()
+			ls.published.Add(1)
+			return nil
+		}
+		la.mu.Unlock()
+		// Ring full: the merge point has fallen behind this lane. Help
+		// drain by waiting for the merge lock — parking here yields the
+		// CPU to the current combiner (a TryLock spin would burn whole
+		// scheduler slices whenever the combiner's thread is preempted
+		// mid-drain). Backpressure that rate-matches publishers to the
+		// window/WAL path.
+		ls.stalls.Add(1)
+		ls.mergeMu.Lock()
+		ls.drainAll(t)
+		ls.mergeMu.Unlock()
+	}
+}
+
+// merge is the combining step every publisher runs after publishing.
+// The TryLock winner drains all lanes; after releasing it re-checks for
+// entries published during the release window whose publishers lost
+// the race, so nothing is ever stranded.
+func (ls *ingestLanes) merge(t *Table) {
+	for {
+		if !ls.mergeMu.TryLock() {
+			return
+		}
+		// Arrival window: if other publishers are already staged behind
+		// this one, yield a few times while the count keeps growing —
+		// each extra arrival rides the same table lock and WAL group
+		// commit. A lone publisher (pending <= 1) skips the window, so
+		// the uncontended path never pays for combining.
+		if ls.waitAck {
+			for prev := ls.pending.Load(); prev > 1; {
+				runtime.Gosched()
+				cur := ls.pending.Load()
+				if cur <= prev {
+					break
+				}
+				prev = cur
+			}
+		}
+		ls.drainAll(t)
+		ls.mergeMu.Unlock()
+		if ls.pending.Load() == 0 {
+			return
+		}
+	}
+}
+
+// quiesce drains until nothing is pending, waiting for the merge lock
+// instead of trying it — the barrier Flush/Truncate/Checkpoint/
+// Recover/Close run before taking the table lock. Must not be called
+// with the table lock held (lock order).
+func (ls *ingestLanes) quiesce(t *Table) {
+	for ls.pending.Load() > 0 {
+		ls.mergeMu.Lock()
+		ls.drainAll(t)
+		ls.mergeMu.Unlock()
+	}
+}
+
+// shutdown rejects further publishes, then drains what made it in.
+func (ls *ingestLanes) shutdown(t *Table) {
+	ls.closed.Store(true)
+	ls.quiesce(t)
+}
+
+// drainAll applies merge batches until nothing is pending. Caller
+// holds mergeMu.
+func (ls *ingestLanes) drainAll(t *Table) {
+	for ls.pending.Load() > 0 {
+		if !ls.drainOnce(t) {
+			return
+		}
+	}
+}
+
+// drainOnce collects up to mergeMaxElems staged elements across all
+// lanes — each lane's run in FIFO order, lanes concatenated in index
+// order (a legal cross-producer interleaving; see the ordering
+// contract) — and applies them as one batch: one table-lock
+// acquisition, one WAL group append. Reports whether any entry was
+// drained.
+func (ls *ingestLanes) drainOnce(t *Table) bool {
+	items, arena := ls.items[:0], ls.arena[:0]
+	for _, la := range ls.lanes {
+		if la.staged.Load() == 0 {
+			continue // a racing publish is caught by merge's recheck
+		}
+		la.mu.Lock()
+		for la.n > 0 && len(arena) < mergeMaxElems {
+			slot := &la.ring[la.head]
+			it := mergeItem{off: len(arena), done: slot.done}
+			if slot.isBatch {
+				arena = append(arena, slot.batch...)
+				it.n = len(slot.batch)
+				slot.batch = slot.batch[:0] // keep capacity for reuse
+			} else {
+				arena = append(arena, slot.single)
+				it.n = 1
+			}
+			slot.single = stream.Element{}
+			slot.done = nil
+			la.head = (la.head + 1) % len(la.ring)
+			la.n--
+			items = append(items, it)
+		}
+		la.staged.Store(int32(la.n))
+		la.mu.Unlock()
+		if len(arena) >= mergeMaxElems {
+			break
+		}
+	}
+	ls.items, ls.arena = items, arena
+	if len(items) == 0 {
+		return false
+	}
+	flat := arena
+
+	err := t.applyMerged(flat)
+
+	ls.merges.Add(1)
+	ls.mergedElems.Add(uint64(len(flat)))
+	b := bits.Len(uint(len(flat))) - 1
+	if b >= laneBatchBuckets {
+		b = laneBatchBuckets - 1
+	}
+	ls.batchHist[b].Add(1)
+	// Decrement only now: the entries are in the window (or rejected
+	// with an error that is about to reach their publishers), so a
+	// pending==0 observation implies full visibility.
+	ls.pending.Add(-int64(len(items)))
+	for i := range items {
+		if d := items[i].done; d != nil {
+			d <- err
+		} else if err != nil {
+			ls.dropped.Add(uint64(items[i].n))
+		}
+	}
+	// Release element payload references held by the reusable scratch.
+	clear(arena)
+	return true
+}
+
+// stats snapshots the lane counters.
+func (ls *ingestLanes) stats() *LaneStats {
+	st := &LaneStats{
+		Lanes:       len(ls.lanes),
+		Published:   ls.published.Load(),
+		Stalls:      ls.stalls.Load(),
+		Merges:      ls.merges.Load(),
+		MergedElems: ls.mergedElems.Load(),
+		Dropped:     ls.dropped.Load(),
+	}
+	for i := range st.BatchSizes {
+		st.BatchSizes[i] = ls.batchHist[i].Load()
+	}
+	return st
+}
+
+// applyMerged is the merge point's window commit: the InsertBatch body
+// under one lock acquisition. Only a closed log rejects the batch; WAL
+// faults degrade the table and the batch is still published, exactly
+// like the laneless path.
+func (t *Table) applyMerged(elems []stream.Element) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertBatchLocked(elems)
+}
+
+// DrainLanes waits until every published lane entry has been applied to
+// the window — the quiesce barrier. It is a no-op for tables without
+// lanes, and must not be called from observer callbacks (it takes the
+// table lock).
+func (t *Table) DrainLanes() {
+	if ls := t.lanes; ls != nil {
+		ls.quiesce(t)
+	}
+}
+
+// laneInsert routes a single-element Insert through the lane tier.
+func (t *Table) laneInsert(ls *ingestLanes, e stream.Element) error {
+	// Uncontended fast path: nothing staged anywhere and the table lock
+	// is free — identical cost and semantics to the laneless path, so a
+	// single producer pays one atomic load and one TryLock for having
+	// lanes enabled.
+	if ls.pending.Load() == 0 && t.mu.TryLock() {
+		err := t.insertOneLocked(e)
+		t.mu.Unlock()
+		return err
+	}
+	done := laneDonePool.Get().(chan error)
+	if err := ls.publish(t, t.nextLane(), laneEntry{single: e, done: done}); err != nil {
+		laneDonePool.Put(done)
+		return err
+	}
+	ls.merge(t)
+	err := <-done
+	laneDonePool.Put(done)
+	return err
+}
+
+// laneInsertBatch routes an InsertBatch through the lane tier.
+func (t *Table) laneInsertBatch(ls *ingestLanes, elems []stream.Element) error {
+	if ls.pending.Load() == 0 && t.mu.TryLock() {
+		err := t.insertBatchLocked(elems)
+		t.mu.Unlock()
+		return err
+	}
+	done := laneDonePool.Get().(chan error)
+	if err := ls.publish(t, t.nextLane(), laneEntry{batch: elems, isBatch: true, done: done}); err != nil {
+		laneDonePool.Put(done)
+		return err
+	}
+	ls.merge(t)
+	err := <-done
+	laneDonePool.Put(done)
+	return err
+}
+
+// nextLane round-robins handle-less publishes across lanes. FIFO for
+// these callers comes from the commit-wait, not lane affinity.
+func (t *Table) nextLane() int {
+	return int(t.lanes.next.Add(1)) % len(t.lanes.lanes)
+}
+
+// LaneWriter is a producer handle bound to one ingest lane. Binding
+// gives a high-rate producer per-publish FIFO without a commit-wait:
+// under SyncInterval/SyncNone its publishes are acknowledged on publish
+// and become visible at the next merge (call Table.DrainLanes or Flush
+// for a visibility/durability barrier). Under SyncAlways every publish
+// still waits for the WAL commit — the durability contract does not
+// weaken with a handle. A LaneWriter is safe for concurrent use, but
+// per-producer FIFO is only meaningful per goroutine.
+type LaneWriter struct {
+	t    *Table
+	ls   *ingestLanes
+	lane int
+}
+
+// NewLaneWriter returns a producer handle for the table. For tables
+// without lanes the handle transparently falls back to Insert/
+// InsertBatch.
+func (t *Table) NewLaneWriter() *LaneWriter {
+	w := &LaneWriter{t: t, ls: t.lanes}
+	if t.lanes != nil {
+		w.lane = int(t.lanes.next.Add(1)) % len(t.lanes.lanes)
+	}
+	return w
+}
+
+// Insert publishes one element through the writer's lane.
+func (w *LaneWriter) Insert(e stream.Element) error {
+	ls := w.ls
+	if ls == nil {
+		return w.t.Insert(e)
+	}
+	if err := w.t.checkSchema(e); err != nil {
+		return err
+	}
+	// Uncontended fast path, valid under every sync policy: pending==0
+	// means every earlier publish (including this writer's) is already
+	// applied, and insertOneLocked commits the WAL inline under
+	// SyncAlways — so durability and FIFO both hold without the
+	// publish/merge round trip.
+	if ls.pending.Load() == 0 && w.t.mu.TryLock() {
+		err := w.t.insertOneLocked(e)
+		w.t.mu.Unlock()
+		return err
+	}
+	if ls.waitAck {
+		done := laneDonePool.Get().(chan error)
+		if err := ls.publish(w.t, w.lane, laneEntry{single: e, done: done}); err != nil {
+			laneDonePool.Put(done)
+			return err
+		}
+		ls.merge(w.t)
+		err := <-done
+		laneDonePool.Put(done)
+		return err
+	}
+	if err := ls.publish(w.t, w.lane, laneEntry{single: e}); err != nil {
+		return err
+	}
+	ls.merge(w.t)
+	return nil
+}
+
+// InsertBatch publishes a batch through the writer's lane as one entry.
+// The slice is copied at publish; the caller may reuse it immediately.
+func (w *LaneWriter) InsertBatch(elems []stream.Element) error {
+	ls := w.ls
+	if ls == nil {
+		return w.t.InsertBatch(elems)
+	}
+	if len(elems) == 0 {
+		return nil
+	}
+	for _, e := range elems {
+		if err := w.t.checkSchema(e); err != nil {
+			return err
+		}
+	}
+	// Same fast path as Insert: safe under every sync policy.
+	if ls.pending.Load() == 0 && w.t.mu.TryLock() {
+		err := w.t.insertBatchLocked(elems)
+		w.t.mu.Unlock()
+		return err
+	}
+	if ls.waitAck {
+		done := laneDonePool.Get().(chan error)
+		if err := ls.publish(w.t, w.lane, laneEntry{batch: elems, isBatch: true, done: done}); err != nil {
+			laneDonePool.Put(done)
+			return err
+		}
+		ls.merge(w.t)
+		err := <-done
+		laneDonePool.Put(done)
+		return err
+	}
+	if err := ls.publish(w.t, w.lane, laneEntry{batch: elems, isBatch: true}); err != nil {
+		return err
+	}
+	ls.merge(w.t)
+	return nil
+}

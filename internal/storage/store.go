@@ -86,6 +86,14 @@ type TableOptions struct {
 	// disables the background loop — tests call Table.Recover
 	// directly).
 	RecoverInterval time.Duration
+	// IngestLanes enables the sharded ingest tier (descriptor attribute
+	// lanes="auto|N"): producers stage into per-core lanes and a single
+	// merge point commits them in batches, instead of every producer
+	// serialising on the table lock. Zero disables lanes (the default);
+	// AutoLanes (-1) sizes them from GOMAXPROCS; a positive value fixes
+	// the lane count. See lanes.go for the ordering and durability
+	// contract.
+	IngestLanes int
 }
 
 // CreateTable registers a new table. It fails if the name is taken.
@@ -204,6 +212,15 @@ func (s *Store) CreateTable(name string, schema *stream.Schema, opts TableOption
 		t.epochPath = epochPath
 		t.epochFS = s.fs
 		_ = storeEpoch(s.fs, epochPath, t.epoch)
+	}
+
+	if opts.IngestLanes != 0 {
+		// SyncAlways/SyncDurable publishes carry a commit-wait handshake
+		// so an acked append stays WAL-durable before return; other
+		// policies (and memory-only tables) ack lane-writer publishes on
+		// publish.
+		waitAck := t.log != nil && (opts.Sync == SyncAlways || opts.Sync == SyncDurable)
+		t.lanes = newIngestLanes(laneCount(opts.IngestLanes), laneRingSlots, waitAck)
 	}
 
 	s.tables[canonical] = t

@@ -35,6 +35,7 @@
 //	SyncAlways   write syscall per Insert/InsertBatch (default)
 //	SyncInterval group commit on a background interval
 //	SyncNone     write only on byte threshold and barriers
+//	SyncDurable  SyncAlways plus fdatasync — survives OS/power failure
 //
 // # Read concurrency
 //
@@ -95,6 +96,8 @@ type TableStats struct {
 	WalReopens uint64
 	// History reports disk-tier counters; nil for tables without one.
 	History *HistoryStats
+	// Lanes reports ingest-lane counters; nil for tables without lanes.
+	Lanes *LaneStats
 }
 
 // Observer receives element lifecycle events from a table. Methods are
@@ -173,6 +176,11 @@ type Table struct {
 	// query-result caches can validate entries without rescanning.
 	// Written under mu, read under at least the shared lock.
 	version uint64
+
+	// lanes, when non-nil, is the sharded ingest tier in front of mu
+	// (TableOptions.IngestLanes; see lanes.go). Set once before the
+	// table is published, read without synchronisation.
+	lanes *ingestLanes
 
 	// logErrors is atomic: background WAL flush failures are counted
 	// from the flusher goroutine without the table lock.
@@ -272,8 +280,17 @@ func (t *Table) Insert(e stream.Element) error {
 	if err := t.checkSchema(e); err != nil {
 		return err
 	}
+	if ls := t.lanes; ls != nil {
+		return t.laneInsert(ls, e)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.insertOneLocked(e)
+}
+
+// insertOneLocked is the single-element insert body: WAL append (or
+// degrade), window publish, checkpoint policy. Caller holds mu.
+func (t *Table) insertOneLocked(e stream.Element) error {
 	if t.log != nil {
 		if t.degradedErr != nil {
 			t.degradedAppends++
@@ -306,8 +323,21 @@ func (t *Table) InsertBatch(elems []stream.Element) error {
 			return err
 		}
 	}
+	if ls := t.lanes; ls != nil {
+		return t.laneInsertBatch(ls, elems)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.insertBatchLocked(elems)
+}
+
+// insertBatchLocked is the batch insert body (schemas pre-validated):
+// one WAL group append, then per-element window publishes so the
+// observer sees the canonical insert/evict interleaving. Caller holds
+// mu. The lane merge point reuses it verbatim, which is what keeps the
+// merged path's observer/checkpoint/epoch behaviour identical to
+// InsertBatch.
+func (t *Table) insertBatchLocked(elems []stream.Element) error {
 	if t.log != nil {
 		if t.degradedErr != nil {
 			t.degradedAppends += uint64(len(elems))
@@ -577,8 +607,11 @@ func (t *Table) Latest() (stream.Element, bool) {
 // truncated rows. A history table's disk tier is reinitialised to an
 // empty file in the same critical section: no pages or index nodes of
 // the truncated rows survive, and the sequence space restarts at zero
-// alongside the WAL's.
+// alongside the WAL's. Pending lane entries are merged first, so the
+// truncation boundary is well-defined: everything published before the
+// call is truncated with the rest.
 func (t *Table) Truncate() error {
+	t.DrainLanes()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.evicted += uint64(t.liveLenLocked())
@@ -612,8 +645,11 @@ func (t *Table) Truncate() error {
 // barrier for permanent tables under SyncInterval/SyncNone. It is a
 // no-op for memory-only tables. While the table is degraded, Flush
 // reports the suspension: the caller must not assume durability until
-// a Flush succeeds again.
+// a Flush succeeds again. Pending lane entries are merged first, so
+// Flush remains the full durability (and, for async lane writers,
+// visibility) barrier.
 func (t *Table) Flush() error {
+	t.DrainLanes()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.log == nil {
@@ -641,8 +677,9 @@ func (t *Table) HasHistory() bool {
 // to the un-checkpointed tail, so the next open replays O(tail) records
 // instead of the whole retention. It happens automatically when the
 // tail outgrows TableOptions.CheckpointBytes; tests and shutdown call
-// it directly.
+// it directly. Pending lane entries are merged first.
 func (t *Table) Checkpoint() error {
+	t.DrainLanes()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.checkpointLocked()
@@ -756,7 +793,10 @@ func (t *Table) TimedRange(lo, hi stream.Timestamp) ([]stream.Element, error) {
 // observer. The current live contents are replayed into the observer as
 // inserts under the same critical section, so the observer's state
 // starts consistent with the window no matter when it is attached.
+// Pending lane entries are merged first so the replay misses nothing
+// already acknowledged.
 func (t *Table) SetObserver(o Observer) {
+	t.DrainLanes()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.evictLocked()
@@ -858,8 +898,10 @@ func (t *Table) recoveryLoop(stop chan struct{}) {
 // restart performs, re-migrate file records the fallen-back tier
 // forgot, then re-append and flush the live window suffix past the
 // durable boundary so acknowledged rows still in RAM become durable
-// again.
+// again. Lanes quiesce first: recovery must not race merge batches
+// into a WAL it is mid-way through reopening.
 func (t *Table) Recover() error {
+	t.DrainLanes()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.recoverLocked()
@@ -997,6 +1039,9 @@ func (t *Table) Stats() TableStats {
 	})
 	st.LogErrors = t.logErrors.Load()
 	st.HistoryErrors = t.histErrors.Load()
+	if t.lanes != nil {
+		st.Lanes = t.lanes.stats()
+	}
 	if h != nil {
 		hs := h.Stats()
 		st.History = &hs
@@ -1006,8 +1051,13 @@ func (t *Table) Stats() TableStats {
 
 // Close releases the persistence log and history tier, if any. A
 // history table checkpoints first so a clean shutdown leaves an empty
-// WAL tail — the next open replays nothing.
+// WAL tail — the next open replays nothing. Lanes shut down first:
+// new publishes fail with os.ErrClosed and everything already
+// acknowledged is merged (and so durable) before the log closes.
 func (t *Table) Close() error {
+	if ls := t.lanes; ls != nil {
+		ls.shutdown(t)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.recoverStop != nil {

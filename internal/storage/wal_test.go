@@ -265,6 +265,114 @@ func TestSyncIntervalBackgroundFlush(t *testing.T) {
 	}
 }
 
+// TestSyncDurableCommitsPerAppend: the durable policy must behave like
+// SyncAlways at the commit level (inline group commit per append, all
+// records replayable) — the added fdatasync is not observable through
+// the in-process API, but the policy must round-trip the parser and
+// keep the append/replay contract.
+func TestSyncDurableCommitsPerAppend(t *testing.T) {
+	if p, ok := ParseSyncPolicy("durable"); !ok || p != SyncDurable {
+		t.Fatalf("ParseSyncPolicy(durable) = %v, %v", p, ok)
+	}
+	if got := SyncDurable.String(); got != "durable" {
+		t.Fatalf("SyncDurable.String() = %q", got)
+	}
+	path := filepath.Join(t.TempDir(), "durable.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{Sync: SyncDurable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := log.Stats(); st.Flushes != 10 {
+		t.Fatalf("durable appends must commit inline: %d flushes for 10 appends", st.Flushes)
+	}
+	// Replay without Close: every acked record must already be in the
+	// file (Close only adds a final no-op flush).
+	if _, elems, err := ReplayLog(path); err != nil || len(elems) != 10 {
+		t.Fatalf("replay: %d records, err %v; want 10", len(elems), err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncIntervalAppendStagesWithoutSyscall pins the deferred-sync
+// write-amplification contract: under SyncInterval an Append that stays
+// below FlushBytes only stages — it must not issue a write syscall of
+// its own, nor wake the background flusher early. A steady
+// one-append-per-tick workload therefore costs one syscall per
+// interval, not one per record. Flushes counts write syscalls, so the
+// whole burst must leave it at zero until the (here, explicit) flush.
+func TestSyncIntervalAppendStagesWithoutSyscall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stage.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{
+		Sync:          SyncInterval,
+		FlushInterval: time.Hour,        // timer must never fire during the test
+		FlushBytes:    64 * 1024 * 1024, // threshold must never trip
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	const records = 200
+	for i := int64(1); i <= records; i++ {
+		e, _ := stream.NewElement(tempSchema, stream.Timestamp(i), i)
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := log.Stats(); st.Flushes != 0 {
+		t.Fatalf("%d appends issued %d write syscalls; staging must defer them all to the flusher", records, st.Flushes)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := log.Stats()
+	if st.Flushes != 1 {
+		t.Fatalf("group commit of the burst took %d syscalls, want exactly 1", st.Flushes)
+	}
+	if _, elems, err := ReplayLog(path); err != nil || len(elems) != records {
+		t.Fatalf("replay after group commit: %d records, err %v; want %d", len(elems), err, records)
+	}
+}
+
+// TestSyncIntervalIdleTicksIssueNoSyscalls: once the staged buffer has
+// drained, further flusher ticks are no-ops — an idle log must not
+// accumulate write syscalls (or touch the file) in the background.
+func TestSyncIntervalIdleTicksIssueNoSyscalls(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idle.gsnlog")
+	log, err := OpenLog(path, tempSchema, LogOptions{
+		Sync:          SyncInterval,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	e, _ := stream.NewElement(tempSchema, 1, int64(1))
+	if err := log.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for log.Stats().Flushes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never committed the staged record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Dozens of ticks elapse with nothing staged; the syscall count
+	// must not move.
+	time.Sleep(100 * time.Millisecond)
+	if st := log.Stats(); st.Flushes != 1 {
+		t.Fatalf("idle ticks issued syscalls: Flushes = %d, want 1", st.Flushes)
+	}
+}
+
 // TestFlushBytesThresholdForcesWrite: SyncNone must still bound staged
 // memory — crossing FlushBytes triggers an inline group commit.
 func TestFlushBytesThresholdForcesWrite(t *testing.T) {

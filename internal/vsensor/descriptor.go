@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -81,6 +82,27 @@ type StorageSpec struct {
 	// paged on-disk history tier with a B+tree time index, servable by
 	// TIMED-range queries). "disk" requires permanent-storage.
 	History string `xml:"history,attr"`
+	// Lanes enables the sharded ingest tier on the output table:
+	// "" (disabled, the default), "auto" (one lane per core), or a
+	// positive lane count. See docs/architecture.md "Ingest lanes".
+	Lanes string `xml:"lanes,attr"`
+}
+
+// ParseLanes maps the storage lanes attribute to a
+// storage.TableOptions.IngestLanes value: 0 for "", -1 (auto) for
+// "auto", else the positive lane count.
+func ParseLanes(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return -1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("vsensor: storage lanes must be \"auto\" or a positive count (got %q)", s)
+	}
+	return n, nil
 }
 
 // InputStream declares one input with its sources and combining query.
@@ -230,9 +252,9 @@ func (d *Descriptor) Validate() error {
 		return fmt.Errorf("vsensor: %s: storage size: %w", d.Name, err)
 	}
 	switch d.Storage.Sync {
-	case "", "always", "interval", "none":
+	case "", "always", "interval", "none", "durable":
 	default:
-		return fmt.Errorf("vsensor: %s: storage sync must be always, interval or none (got %q)",
+		return fmt.Errorf("vsensor: %s: storage sync must be always, interval, none or durable (got %q)",
 			d.Name, d.Storage.Sync)
 	}
 	if d.Storage.FlushInterval != "" {
@@ -249,6 +271,9 @@ func (d *Descriptor) Validate() error {
 	default:
 		return fmt.Errorf("vsensor: %s: storage history must be empty or \"disk\" (got %q)",
 			d.Name, d.Storage.History)
+	}
+	if _, err := ParseLanes(d.Storage.Lanes); err != nil {
+		return fmt.Errorf("vsensor: %s: %w", d.Name, err)
 	}
 	if len(d.Streams) == 0 {
 		return fmt.Errorf("vsensor: %s: no input-stream defined", d.Name)
