@@ -33,6 +33,14 @@ bench-ingest:
 bench-scaling:
 	GOMAXPROCS=8 $(GO) run ./cmd/gsn-bench -experiment scaling
 
+# The federation acceptance benchmark: a distributed GROUP BY through
+# partial-aggregate shipping must move few, volume-independent bytes
+# per query, against the raw-row union baseline that scales with the
+# raw stream volume (nodes 1/2/4, two volume points each; the CSV
+# lands in bench_results/cluster.csv).
+bench-cluster:
+	$(GO) run ./cmd/gsn-bench -experiment cluster
+
 # The client-query acceptance benchmark: the compiled/shared/parallel
 # repository must beat the serial interpreted sweep at 1000 registered
 # queries (BenchmarkClientQueriesGrouped covers the GROUP BY rollups).
@@ -55,6 +63,7 @@ benchsmoke:
 	GOMAXPROCS=1 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
 	GOMAXPROCS=4 $(GO) run ./cmd/gsn-bench -experiment queries -quick -out ""
 	GOMAXPROCS=8 $(GO) run ./cmd/gsn-bench -experiment scaling -quick -out ""
+	$(GO) run ./cmd/gsn-bench -experiment cluster -quick -out ""
 	$(GO) run ./cmd/gsn-bench -experiment all -quick -out ""
 
 # examples-smoke runs the self-terminating examples end to end (a
@@ -66,13 +75,16 @@ examples-smoke:
 
 # chaos runs the fault-injection storms twice under the race detector:
 # a three-tier pipeline with randomized disk faults (TestChaos), the
-# WAL fault matrix and self-healing recovery paths, and the two-node
+# WAL fault matrix and self-healing recovery paths, the two-node
 # replication pipeline under network chaos (TestNetChaos: partitions,
-# torn/corrupted responses, peer restarts — exactly-once must hold).
-# See docs/operations.md for the contract these tests enforce.
+# torn/corrupted responses, peer restarts — exactly-once must hold),
+# and the 4-node federation under the same storms (TestClusterChaos:
+# cross-node composition, partitioned-coordinator query semantics,
+# routed registrations surviving peer restarts). See
+# docs/operations.md for the contract these tests enforce.
 chaos:
 	$(GO) test -race -count=2 -timeout 600s \
-		-run 'TestChaos|TestNetChaos|TestWALFaultMatrix|TestBackgroundFlush|TestSupervision|TestCheckpointMetaFault|TestHistoryPageWriteFault' \
+		-run 'TestChaos|TestNetChaos|TestClusterChaos|TestWALFaultMatrix|TestBackgroundFlush|TestSupervision|TestCheckpointMetaFault|TestHistoryPageWriteFault' \
 		./internal/core ./internal/storage ./internal/p2p
 
 # ci is the tier-1 gate: everything a fresh clone must pass.

@@ -76,6 +76,8 @@ func main() {
 		err = c.watch(arg(args, 1))
 	case "directory":
 		err = c.getPretty("/api/directory")
+	case "cluster":
+		err = c.cluster()
 	case "metrics":
 		err = c.getPretty("/api/metrics")
 	case "health":
@@ -100,7 +102,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gsnctl [-server URL] [-apikey KEY] COMMAND [ARG]
 commands: list · info SENSOR · data SENSOR [LIMIT] · query SQL ·
           deploy FILE · remove SENSOR [-cascade] · graph · watch SENSOR ·
-          directory · metrics · health`)
+          directory · cluster · metrics · health`)
 	os.Exit(2)
 }
 
@@ -226,6 +228,39 @@ func (c *client) health() error {
 	if h.State == "failed" {
 		return fmt.Errorf("node reports failed sensors")
 	}
+	return nil
+}
+
+// cluster prints the node's cluster view: membership, sensor
+// placements and federation transport counters.
+func (c *client) cluster() error {
+	var info struct {
+		Self         string              `json:"self"`
+		Peers        []string            `json:"peers"`
+		Placements   map[string][]string `json:"placements"`
+		PartialBytes uint64              `json:"partial_bytes"`
+		UnionBytes   uint64              `json:"union_bytes"`
+		RoutedBytes  uint64              `json:"routed_bytes"`
+	}
+	if err := c.getJSON("/api/cluster", &info); err != nil {
+		return err
+	}
+	fmt.Printf("self:  %s\n", info.Self)
+	if len(info.Peers) == 0 {
+		fmt.Println("peers: (standalone)")
+	} else {
+		fmt.Printf("peers: %s\n", strings.Join(info.Peers, ", "))
+	}
+	sensors := make([]string, 0, len(info.Placements))
+	for s := range info.Placements {
+		sensors = append(sensors, s)
+	}
+	sort.Strings(sensors)
+	for _, s := range sensors {
+		fmt.Printf("%-24s%s\n", s, strings.Join(info.Placements[s], ", "))
+	}
+	fmt.Printf("transport bytes: partial=%d union=%d routed=%d\n",
+		info.PartialBytes, info.UnionBytes, info.RoutedBytes)
 	return nil
 }
 

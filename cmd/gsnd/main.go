@@ -52,7 +52,7 @@ func main() {
 		peers     peerList
 		keys      keyList
 	)
-	flag.Var(&peers, "peer", "peer node base URL (repeatable)")
+	flag.Var(&peers, "peer", "cluster peer base URL (repeatable; enables federation)")
 	flag.Var(&keys, "key", "API key as key:role where role is read|deploy|admin (repeatable)")
 	flag.Parse()
 
@@ -70,6 +70,7 @@ func main() {
 		Name:      *name,
 		DataDir:   *dataDir,
 		Advertise: adv,
+		Peers:     peers,
 		Logger:    logger,
 	})
 	if err != nil {

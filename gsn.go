@@ -102,6 +102,15 @@ type NodeOptions struct {
 	DisableHashJoin bool
 	// SignKeyID signs outgoing peer streams with this keyring entry.
 	SignKeyID string
+	// Peers lists cluster peer base URLs (e.g. "http://host:22001").
+	// A non-empty list makes the node clustered: composition edges and
+	// queries against sensors deployed on peers resolve through the
+	// federation instead of failing. More peers can join later with
+	// JoinCluster.
+	Peers []string
+	// PeerHTTP is the transport every federation connection uses (nil =
+	// default). Tests thread a fault-injecting transport through here.
+	PeerHTTP *http.Client
 	// Logger receives middleware warnings (nil = silent). Any value
 	// satisfying the core logger contract works; the gsnd daemon passes
 	// log.Default().
@@ -119,6 +128,7 @@ type Node struct {
 	web       *web.Server
 	dir       *directory.Registry
 	httpSrv   *http.Server
+	fed       *p2p.Federation // nil on a standalone node
 
 	peerMu sync.Mutex
 	peers  map[string]*p2p.Client
@@ -152,16 +162,53 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p2p.RegisterRemote(registry, dir, container.Keys()); err != nil {
+	if err := p2p.RegisterRemoteHTTP(registry, dir, container.Keys(), opts.PeerHTTP); err != nil {
 		container.Close()
 		return nil, err
 	}
-	return &Node{
+	n := &Node{
 		container: container,
 		web:       web.NewServer(container, opts.SignKeyID),
 		dir:       dir,
-	}, nil
+	}
+	if len(opts.Peers) > 0 {
+		n.fed = p2p.NewFederation(container, opts.PeerHTTP)
+		for _, peer := range opts.Peers {
+			n.fed.AddPeer(peer)
+		}
+		container.SetCluster(n.fed)
+	}
+	return n, nil
 }
+
+// JoinCluster adds a cluster peer, turning a standalone node clustered
+// on first use. Placement converges through directory gossip
+// (GossipRound or the daemon's gossip loop).
+func (n *Node) JoinCluster(peerURL string) {
+	n.peerMu.Lock()
+	if n.fed == nil {
+		n.fed = p2p.NewFederation(n.container, nil)
+		n.container.SetCluster(n.fed)
+	}
+	fed := n.fed
+	n.peerMu.Unlock()
+	fed.AddPeer(peerURL)
+}
+
+// GossipRound performs one directory push-pull exchange with every
+// cluster peer and returns the number of adopted entries (0 on a
+// standalone node). Tests call this to converge placement
+// deterministically.
+func (n *Node) GossipRound() int {
+	if n.fed == nil {
+		return 0
+	}
+	return n.fed.GossipRound()
+}
+
+// ClusterInfo reports cluster membership, sensor placements and
+// federation transport counters (self-only on a standalone node).
+func (n *Node) ClusterInfo() core.ClusterInfo { return n.container.ClusterInfo() }
 
 // DeployXML deploys a virtual sensor from descriptor XML.
 func (n *Node) DeployXML(data []byte) error { return n.container.DeployXML(data) }

@@ -117,6 +117,15 @@ type Container struct {
 	deps   map[string][]string
 	closed bool
 
+	// cluster is the injected federation (nil standalone); see
+	// cluster.go. routedQueries tracks continuous queries forwarded to
+	// owning peers, keyed by the negative ids handed to clients.
+	clusterMu     sync.RWMutex
+	cluster       Cluster
+	routedMu      sync.Mutex
+	routedQueries map[int64]func()
+	routedNext    int64
+
 	superviseStop chan struct{}
 	superviseDone chan struct{}
 }
@@ -395,9 +404,13 @@ func (c *Container) preflight(desc *vsensor.Descriptor) error {
 				return err
 			}
 			if spec.Address.Wrapper == vsensor.LocalWrapperKind {
-				if _, err := newLocalWrapper(c, spec); err != nil {
+				w, err := newCompositionSource(c, spec)
+				if err != nil {
 					return err
 				}
+				// A cluster remote edge built only for preflight was
+				// never started; Stop is an idempotent release.
+				_ = w.Stop()
 				continue
 			}
 			params := wrappers.Params{}
@@ -588,34 +601,64 @@ func (c *Container) Sensors() []*VirtualSensor {
 }
 
 // Query runs a one-shot SQL query over the container's stored streams
-// (virtual sensor outputs and source windows). Results are served from
-// the version-stamped result cache when every referenced table is
-// unchanged since the last identical query, so repeated reads between
-// inserts are free; callers must treat the relation as read-only.
+// (virtual sensor outputs and source windows). On a clustered node,
+// queries over a single base table owned (partly or wholly) by peers
+// are federated — partial-aggregate shipping, whole-statement routing,
+// or row union; see queryRouted in cluster.go. Results over purely
+// local tables are served from the version-stamped result cache when
+// every referenced table is unchanged since the last identical query,
+// so repeated reads between inserts are free; callers must treat the
+// relation as read-only.
 func (c *Container) Query(sql string) (*sqlengine.Relation, error) {
 	start := time.Now()
-	rel, err := c.results.Query(sql, c.engineOpts())
+	rel, err := c.queryRouted(sql)
 	c.metrics.Histogram("adhoc_query_time").Observe(time.Since(start))
 	return rel, err
+}
+
+// LocalQuery runs a one-shot SQL query strictly against this node's
+// stored streams, never consulting the cluster. Peer-serving endpoints
+// (/p2p/query and friends) must use this path: a node answering a
+// coordinator must not re-route the statement back out, or two nodes
+// owning the same sensor would recurse forever.
+func (c *Container) LocalQuery(sql string) (*sqlengine.Relation, error) {
+	return c.results.Query(sql, c.engineOpts())
 }
 
 // RegisterQuery adds a continuous client query against a deployed
 // sensor (the query repository path; see Figure 4). The statement is
 // compiled against the sensor's output schema at registration, and
-// identical SQL registered by many clients shares one evaluation.
+// identical SQL registered by many clients shares one evaluation. On a
+// clustered node, a sensor deployed only on a peer is registered there
+// and result revisions stream back; routed registrations get negative
+// ids (local ones are positive).
 func (c *Container) RegisterQuery(sensor, sql string, sampling float64, cb func(*sqlengine.Relation)) (int64, error) {
 	canonical := stream.CanonicalName(sensor)
 	c.mu.RLock()
 	vs, ok := c.sensors[canonical]
 	c.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("core: virtual sensor %s is not deployed", canonical)
+		return c.registerRouted(canonical, sql, sampling, cb)
 	}
 	return c.queries.Register(canonical, sql, sampling, cb, vs.outTable)
 }
 
-// UnregisterQuery removes a continuous client query.
-func (c *Container) UnregisterQuery(id int64) error { return c.queries.Unregister(id) }
+// UnregisterQuery removes a continuous client query (routed ones —
+// negative ids — included).
+func (c *Container) UnregisterQuery(id int64) error {
+	if id < 0 {
+		c.routedMu.Lock()
+		stop, ok := c.routedQueries[id]
+		delete(c.routedQueries, id)
+		c.routedMu.Unlock()
+		if !ok {
+			return fmt.Errorf("core: unknown routed query %d", id)
+		}
+		stop()
+		return nil
+	}
+	return c.queries.Unregister(id)
+}
 
 // Subscribe attaches a notification channel to a sensor's output.
 func (c *Container) Subscribe(sensor string, ch notify.Channel) (int64, error) {
@@ -785,7 +828,7 @@ func (c *Container) MetricsSnapshot() map[string]any {
 	// enabled (same pattern as the p2p counters: summed on read, no
 	// per-table metric plumbing). The histogram buckets are merge batch
 	// sizes in [2^i, 2^(i+1)).
-	var lanePublished, laneStalls, laneMerges, laneMerged uint64
+	var lanePublished, laneStalls, laneMerges, laneMerged, laneCollapsed uint64
 	var laneHist []uint64
 	for _, name := range c.store.List() {
 		table, ok := c.store.Table(name)
@@ -800,6 +843,7 @@ func (c *Container) MetricsSnapshot() map[string]any {
 		laneStalls += ls.Stalls
 		laneMerges += ls.Merges
 		laneMerged += ls.MergedElems
+		laneCollapsed += ls.Collapsed
 		if laneHist == nil {
 			laneHist = make([]uint64, len(ls.BatchSizes))
 		}
@@ -812,6 +856,7 @@ func (c *Container) MetricsSnapshot() map[string]any {
 		out["lane_stalls_total"] = laneStalls
 		out["lane_merges_total"] = laneMerges
 		out["lane_merged_elems_total"] = laneMerged
+		out["lane_collapsed_total"] = laneCollapsed
 		out["lane_merge_batch_hist"] = laneHist
 	}
 	out["p2p_fetches_total"] = rep.Fetches
@@ -870,6 +915,7 @@ func (c *Container) Close() error {
 	}
 	c.mu.Unlock()
 
+	c.stopRoutedQueries()
 	if c.superviseStop != nil {
 		close(c.superviseStop)
 		<-c.superviseDone

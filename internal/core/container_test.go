@@ -145,6 +145,9 @@ func TestDeployWithIngestLanes(t *testing.T) {
 	if _, ok := snap["lane_published_total"]; !ok {
 		t.Fatalf("lane counters missing from metrics snapshot: %v", snap)
 	}
+	if _, ok := snap["lane_collapsed_total"]; !ok {
+		t.Fatalf("lane_collapsed_total missing from metrics snapshot: %v", snap)
+	}
 	rel, err := c.Query(`select count(*) from "avg-temp"`)
 	if err != nil {
 		t.Fatal(err)

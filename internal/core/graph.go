@@ -119,6 +119,14 @@ func (c *Container) checkDepsLocked(name string, deps []string) error {
 			return fmt.Errorf("core: %s: local source cannot depend on its own sensor", name)
 		}
 		if _, ok := c.sensors[dep]; !ok {
+			// On a clustered node the upstream may live on a peer: the
+			// edge then resolves to a remote source instead of the
+			// composition bus. The edge stays in the graph either way,
+			// so Graph() shows cross-node composition too. (Lock order
+			// mu → clusterMu; nothing takes the reverse.)
+			if cl := c.Cluster(); cl != nil && len(cl.Owners(dep)) > 0 {
+				continue
+			}
 			return fmt.Errorf("core: %s: local source depends on %s, which is not deployed (deploy it first, or deploy both in one batch)",
 				name, dep)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"gsn/internal/stream"
@@ -95,6 +96,45 @@ func (f *localFanout) deliver(sensor string, elems []stream.Element) {
 		copy(batch, elems)
 		s.emitBatch(batch)
 	}
+}
+
+// newCompositionSource resolves a wrapper="local" source to its data
+// path: an in-process composition-bus subscription when the upstream
+// sensor is deployed here, or — on a clustered node — a remote edge
+// streaming the sensor from its owning peer over the exactly-once
+// (epoch, seq) protocol. Either way the returned wrapper rides the
+// ordinary source machinery (quality chain, window table, compiled
+// plans, supervision), which is what makes composition
+// network-transparent: the descriptor does not say, and the downstream
+// sensor cannot tell, where the upstream lives.
+func newCompositionSource(c *Container, spec vsensor.StreamSource) (wrappers.Wrapper, error) {
+	target := spec.Address.LocalTarget()
+	if target == "" {
+		return nil, fmt.Errorf("core: local source %s needs a sensor predicate", spec.Alias)
+	}
+	if _, ok := c.store.Table(target); ok {
+		return newLocalWrapper(c, spec)
+	}
+	if cl := c.Cluster(); cl != nil {
+		// Extra address predicates tune the remote edge (poll,
+		// degrade-after, key-id, …) just like an explicit remote wrapper.
+		params := map[string]string{}
+		for _, p := range spec.Address.Predicates {
+			key := strings.TrimSpace(p.Key)
+			if key == "" || strings.EqualFold(key, "sensor") {
+				continue
+			}
+			params[key] = p.Value()
+		}
+		w, err := cl.RemoteSource(target, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: local source %s: virtual sensor %s is not deployed here and cluster resolution failed: %w",
+				spec.Alias, target, err)
+		}
+		c.metrics.Counter("cluster_remote_edges").Inc()
+		return w, nil
+	}
+	return newLocalWrapper(c, spec) // reports the canonical not-deployed error
 }
 
 // localWrapper adapts an upstream virtual sensor's output stream to the

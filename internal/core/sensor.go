@@ -286,11 +286,12 @@ func (vs *VirtualSensor) buildSource(in *inputStream, spec vsensor.StreamSource)
 	}
 	var w wrappers.Wrapper
 	if spec.Address.Wrapper == vsensor.LocalWrapperKind {
-		// In-process composition: the source is another deployed
-		// sensor's output stream, not a platform wrapper. Constructed
-		// here (not via the registry) because it binds to this
-		// container's composition bus.
-		w, err = newLocalWrapper(c, spec)
+		// Composition edge: the source is another sensor's output
+		// stream — in-process when deployed here, a cluster remote edge
+		// otherwise; never a platform wrapper. Constructed here (not
+		// via the registry) because it binds to this container's
+		// composition bus or federation.
+		w, err = newCompositionSource(c, spec)
 	} else {
 		wrapperName := vs.name + "/" + in.spec.Name + "/" + spec.Alias
 		w, err = c.registry.New(spec.Address.Wrapper, wrappers.Config{

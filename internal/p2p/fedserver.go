@@ -1,0 +1,288 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gsn/internal/sqlengine"
+	"gsn/internal/stream"
+)
+
+// Federation endpoints: the server-side half of cluster query
+// transports. All of them answer strictly from this node's own streams
+// (LocalQuery/LocalPartial) — a node serving a coordinator must never
+// re-route the statement back into the cluster, or two owners of one
+// sensor would bounce it between themselves forever.
+
+// TypedResult is the exact-typed JSON shape of a federated query
+// response. Unlike the legacy QueryResult (whose values flatten through
+// encoding/json), rows ride as tagged WireValues, so int64, float64,
+// []byte and string survive the hop bit-identically — the property the
+// cluster equivalence tests pin.
+type TypedResult struct {
+	Columns []string             `json:"columns"`
+	Rows    [][]stream.WireValue `json:"rows"`
+}
+
+// typedOfRelation converts an engine relation to its wire form.
+func typedOfRelation(rel *sqlengine.Relation) TypedResult {
+	out := TypedResult{Columns: rel.Names(), Rows: make([][]stream.WireValue, len(rel.Rows))}
+	for i, row := range rel.Rows {
+		out.Rows[i] = stream.WrapRow(row)
+	}
+	return out
+}
+
+// relationOfTyped converts a wire result back to an engine relation.
+func relationOfTyped(tr TypedResult) *sqlengine.Relation {
+	rel := &sqlengine.Relation{
+		Cols: make([]sqlengine.Column, len(tr.Columns)),
+		Rows: make([][]stream.Value, len(tr.Rows)),
+	}
+	for i, name := range tr.Columns {
+		rel.Cols[i] = sqlengine.Column{Name: name}
+	}
+	for i, row := range tr.Rows {
+		rel.Rows[i] = stream.UnwrapRow(row)
+	}
+	return rel
+}
+
+// handlePartial serves the node-side half of a distributed grouped
+// query: WHERE + GROUP BY fold over the local window, shipped as
+// mergeable aggregate states. A non-distributable statement (or one
+// whose table is not stored here) is a client error — the coordinator
+// falls back to routing or union.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		http.Error(w, "missing sql parameter", http.StatusBadRequest)
+		return
+	}
+	pr, err := s.container.LocalPartial(sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, pr)
+}
+
+// handleQueryTyped runs a one-shot query over this node's streams only
+// and answers with exact-typed rows (the transport behind routed
+// queries and union fallbacks).
+func (s *Server) handleQueryTyped(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		http.Error(w, "missing sql parameter", http.StatusBadRequest)
+		return
+	}
+	rel, err := s.container.LocalQuery(sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, typedOfRelation(rel))
+}
+
+// handleCluster reports the node's cluster view (membership, sensor
+// placements, transport byte counters).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.container.ClusterInfo())
+}
+
+// --- Routed continuous queries -------------------------------------
+
+// querySession is one remotely-registered continuous query: the local
+// registration plus the latest result revision a peer coordinator
+// long-polls for.
+type querySession struct {
+	id      string
+	queryID int64
+
+	mu       sync.Mutex
+	rev      uint64
+	latest   *sqlengine.Relation
+	lastPoll time.Time
+}
+
+// sessionIdleLimit is how long a routed-query session survives without
+// a poll before the sweep reclaims it — the coordinator long-polls
+// continuously, so an idle session means its owner is gone (crashed, or
+// its DELETE was lost to a partition).
+const sessionIdleLimit = 2 * time.Minute
+
+type sessionTable struct {
+	mu   sync.Mutex
+	next int64
+	byID map[string]*querySession
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{byID: make(map[string]*querySession)}
+}
+
+// RegisterRequest is the body of POST /p2p/register.
+type RegisterRequest struct {
+	VS       string  `json:"vs"`
+	SQL      string  `json:"sql"`
+	Sampling float64 `json:"sampling"`
+}
+
+// RegisterResponse carries the session id the coordinator polls with.
+type RegisterResponse struct {
+	ID string `json:"id"`
+}
+
+// ResultsPage is one long-poll response of a routed continuous query:
+// the latest result revision newer than the poll's after= cursor.
+type ResultsPage struct {
+	Rev    uint64      `json:"rev"`
+	Result TypedResult `json:"result"`
+}
+
+// handleRegister registers a continuous query on behalf of a peer
+// coordinator. The sensor must be deployed on this node — registration
+// is routed to owners, never relayed onward.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad register request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if _, ok := s.container.Sensor(req.VS); !ok {
+		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
+		return
+	}
+	sess := &querySession{lastPoll: time.Now()}
+	qid, err := s.container.RegisterQuery(req.VS, req.SQL, req.Sampling, func(rel *sqlengine.Relation) {
+		sess.mu.Lock()
+		sess.rev++
+		sess.latest = rel
+		sess.mu.Unlock()
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess.queryID = qid
+
+	// Seed the session with the query's current result so a coordinator
+	// (re-)registering between arrivals sees a first revision on its next
+	// poll instead of waiting for the next insert. Without this, a
+	// session re-created after a peer restart stays silent until new
+	// data arrives — which may be arbitrarily far away.
+	if rel, qerr := s.container.LocalQuery(req.SQL); qerr == nil {
+		sess.mu.Lock()
+		if sess.rev == 0 {
+			sess.rev, sess.latest = 1, rel
+		}
+		sess.mu.Unlock()
+	}
+
+	s.sessions.mu.Lock()
+	s.sessions.next++
+	sess.id = strconv.FormatInt(s.sessions.next, 10)
+	s.sessions.byID[sess.id] = sess
+	stale := s.staleSessionsLocked()
+	s.sessions.mu.Unlock()
+	s.reapSessions(stale)
+	writeJSON(w, RegisterResponse{ID: sess.id})
+}
+
+// staleSessionsLocked removes idle sessions from the table and returns
+// them for unregistration; the caller holds s.sessions.mu.
+func (s *Server) staleSessionsLocked() []*querySession {
+	var stale []*querySession
+	for id, sess := range s.sessions.byID {
+		sess.mu.Lock()
+		idle := time.Since(sess.lastPoll) > sessionIdleLimit
+		sess.mu.Unlock()
+		if idle {
+			delete(s.sessions.byID, id)
+			stale = append(stale, sess)
+		}
+	}
+	return stale
+}
+
+func (s *Server) reapSessions(stale []*querySession) {
+	for _, sess := range stale {
+		_ = s.container.UnregisterQuery(sess.queryID)
+	}
+}
+
+// handleResults long-polls for a routed query's next result revision
+// (rev > after), stepping like the stream endpoint does. An unknown id
+// is 404 — the poller treats that as "session reclaimed, re-register".
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	s.sessions.mu.Lock()
+	sess := s.sessions.byID[q.Get("id")]
+	s.sessions.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "unknown query session", http.StatusNotFound)
+		return
+	}
+	after := uint64(0)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	waitMS := 0
+	if v := q.Get("wait"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad wait parameter", http.StatusBadRequest)
+			return
+		}
+		waitMS = n
+		if waitMS > 30_000 {
+			waitMS = 30_000
+		}
+	}
+	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
+	for {
+		sess.mu.Lock()
+		sess.lastPoll = time.Now()
+		rev, latest := sess.rev, sess.latest
+		sess.mu.Unlock()
+		if rev > after || waitMS == 0 || time.Now().After(deadline) {
+			page := ResultsPage{Rev: rev}
+			if rev > after && latest != nil {
+				page.Result = typedOfRelation(latest)
+			} else if page.Result.Rows == nil {
+				page.Result.Rows = [][]stream.WireValue{}
+			}
+			writeJSON(w, page)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// handleUnregister tears a routed-query session down.
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	s.sessions.mu.Lock()
+	sess := s.sessions.byID[id]
+	delete(s.sessions.byID, id)
+	s.sessions.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "unknown query session", http.StatusNotFound)
+		return
+	}
+	_ = s.container.UnregisterQuery(sess.queryID)
+	w.WriteHeader(http.StatusNoContent)
+}

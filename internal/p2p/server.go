@@ -46,13 +46,14 @@ type Server struct {
 	container *core.Container
 	keys      *integrity.KeyRing
 	signKeyID string // sign responses with this key when set
+	sessions  *sessionTable
 }
 
 // NewServer creates a p2p server for the container. signKeyID is
 // optional; when set, stream responses carry an HMAC signature from the
 // container's keyring.
 func NewServer(c *core.Container, signKeyID string) *Server {
-	return &Server{container: c, keys: c.Keys(), signKeyID: signKeyID}
+	return &Server{container: c, keys: c.Keys(), signKeyID: signKeyID, sessions: newSessionTable()}
 }
 
 // Handler returns the p2p HTTP handler (paths are rooted at /p2p/).
@@ -63,6 +64,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /p2p/schema", s.handleSchema)
 	mux.HandleFunc("GET /p2p/stream", s.handleStream)
 	mux.HandleFunc("GET /p2p/query", s.handleQuery)
+	mux.HandleFunc("GET /p2p/queryx", s.handleQueryTyped)
+	mux.HandleFunc("GET /p2p/partial", s.handlePartial)
+	mux.HandleFunc("GET /p2p/cluster", s.handleCluster)
+	mux.HandleFunc("POST /p2p/register", s.handleRegister)
+	mux.HandleFunc("GET /p2p/results", s.handleResults)
+	mux.HandleFunc("DELETE /p2p/register", s.handleUnregister)
 	mux.HandleFunc("GET /p2p/directory", s.handleDirectory)
 	mux.HandleFunc("POST /p2p/directory/merge", s.handleDirectoryMerge)
 	return mux
@@ -236,14 +243,16 @@ type QueryResult struct {
 // handleQuery runs a one-shot SQL query over the node's stored streams
 // on behalf of a peer. It goes through the container's version-stamped
 // result cache, so repeated identical pulls between inserts cost one
-// map lookup.
+// map lookup. Strictly local (LocalQuery, like every peer-serving
+// endpoint): a node answering a coordinator must not re-route the
+// statement back into the cluster.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sql := r.URL.Query().Get("sql")
 	if sql == "" {
 		http.Error(w, "missing sql parameter", http.StatusBadRequest)
 		return
 	}
-	rel, err := s.container.Query(sql)
+	rel, err := s.container.LocalQuery(sql)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

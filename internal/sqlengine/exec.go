@@ -236,89 +236,117 @@ func (ev *evaluator) execSimple(stmt *sqlparser.SelectStatement, outer *scope) (
 	return ev.runSimple(sp, src, outer)
 }
 
-// runSimple executes an analyzed SELECT core over its input relation:
-// WHERE filter, projection or grouped aggregation, DISTINCT.
-func (ev *evaluator) runSimple(sp *simplePlan, src *Relation, outer *scope) (*Relation, [][]stream.Value, error) {
-	stmt := sp.stmt
+// filterWhere applies the statement's WHERE predicate to the input
+// rows, returning the surviving rows (the input slice when there is no
+// predicate). Shared by the local execution path and the partial
+// rollup a federation worker computes (WHERE is node-side work).
+func (ev *evaluator) filterWhere(sp *simplePlan, src *Relation, outer *scope) ([][]stream.Value, error) {
 	rows := src.Rows
-	if stmt.Where != nil {
-		kept := rows[:0:0]
-		for _, row := range rows {
-			sc := &scope{rel: src, row: row, parent: outer}
-			v, err := ev.eval(stmt.Where, sc)
-			if err != nil {
-				return nil, nil, err
-			}
-			if t, known := truth(v); known && t {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
+	if sp.stmt.Where == nil {
+		return rows, nil
 	}
+	kept := rows[:0:0]
+	for _, row := range rows {
+		sc := &scope{rel: src, row: row, parent: outer}
+		v, err := ev.eval(sp.stmt.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		if t, known := truth(v); known && t {
+			kept = append(kept, row)
+		}
+	}
+	return kept, nil
+}
 
-	aggs := sp.aggs
-	needSortKeys := sp.needSortKeys
-	grouped := sp.grouped
-	proj, outCols, orderPlans := sp.proj, sp.outCols, sp.orderPlans
-	out := &Relation{Cols: outCols}
-	var sortKeys [][]stream.Value
+// projector materialises projected output rows (and their sort keys)
+// for one SELECT core. runSimple and the partial-merge coordinator
+// share it, so a federated finalize is byte-identical to a local one.
+type projector struct {
+	ev       *evaluator
+	sp       *simplePlan
+	out      *Relation
+	sortKeys [][]stream.Value
+}
 
-	project := func(sc *scope) error {
-		row := make([]stream.Value, 0, len(outCols))
-		for _, p := range proj {
-			if p.star {
-				for _, i := range p.starIdx {
-					row = append(row, sc.row[i])
-				}
+func newProjector(ev *evaluator, sp *simplePlan) *projector {
+	return &projector{ev: ev, sp: sp, out: &Relation{Cols: sp.outCols}}
+}
+
+func (p *projector) project(sc *scope) error {
+	ev, sp := p.ev, p.sp
+	row := make([]stream.Value, 0, len(sp.outCols))
+	for _, item := range sp.proj {
+		if item.star {
+			for _, i := range item.starIdx {
+				row = append(row, sc.row[i])
+			}
+			continue
+		}
+		v, err := ev.eval(item.expr, sc)
+		if err != nil {
+			return err
+		}
+		row = append(row, v)
+	}
+	p.out.Rows = append(p.out.Rows, row)
+	if len(p.out.Rows) > ev.opts.MaxRows {
+		return fmt.Errorf("sqlengine: result exceeds %d rows", ev.opts.MaxRows)
+	}
+	if sp.needSortKeys {
+		keys := make([]stream.Value, len(sp.orderPlans))
+		for i, op := range sp.orderPlans {
+			if op.outputIdx >= 0 {
+				keys[i] = row[op.outputIdx]
 				continue
 			}
-			v, err := ev.eval(p.expr, sc)
+			v, err := ev.eval(op.expr, sc)
 			if err != nil {
 				return err
 			}
-			row = append(row, v)
+			keys[i] = v
 		}
-		out.Rows = append(out.Rows, row)
-		if len(out.Rows) > ev.opts.MaxRows {
-			return fmt.Errorf("sqlengine: result exceeds %d rows", ev.opts.MaxRows)
-		}
-		if needSortKeys {
-			keys := make([]stream.Value, len(orderPlans))
-			for i, op := range orderPlans {
-				if op.outputIdx >= 0 {
-					keys[i] = row[op.outputIdx]
-					continue
-				}
-				v, err := ev.eval(op.expr, sc)
-				if err != nil {
-					return err
-				}
-				keys[i] = v
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-		return nil
+		p.sortKeys = append(p.sortKeys, keys)
+	}
+	return nil
+}
+
+// finish applies DISTINCT and drops sort keys the caller did not ask
+// for, returning the projected relation and keys.
+func (p *projector) finish() (*Relation, [][]stream.Value) {
+	out, sortKeys := p.out, p.sortKeys
+	if p.sp.stmt.Distinct {
+		out.Rows, sortKeys = dedupeRows(out.Rows, sortKeys)
+	}
+	if !p.sp.needSortKeys {
+		sortKeys = nil
+	}
+	return out, sortKeys
+}
+
+// runSimple executes an analyzed SELECT core over its input relation:
+// WHERE filter, projection or grouped aggregation, DISTINCT.
+func (ev *evaluator) runSimple(sp *simplePlan, src *Relation, outer *scope) (*Relation, [][]stream.Value, error) {
+	rows, err := ev.filterWhere(sp, src, outer)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	if !grouped {
+	pr := newProjector(ev, sp)
+	if !sp.grouped {
 		for _, row := range rows {
 			sc := &scope{rel: src, row: row, parent: outer}
-			if err := project(sc); err != nil {
+			if err := pr.project(sc); err != nil {
 				return nil, nil, err
 			}
 		}
 	} else {
-		if err := ev.execGrouped(stmt, src, rows, aggs, outer, project); err != nil {
+		if err := ev.execGrouped(sp.stmt, src, rows, sp.aggs, outer, pr.project); err != nil {
 			return nil, nil, err
 		}
 	}
 
-	if stmt.Distinct {
-		out.Rows, sortKeys = dedupeRows(out.Rows, sortKeys)
-	}
-	if !needSortKeys {
-		sortKeys = nil
-	}
+	out, sortKeys := pr.finish()
 	return out, sortKeys, nil
 }
 
@@ -328,14 +356,36 @@ type group struct {
 	states []*aggState
 }
 
-func (ev *evaluator) execGrouped(stmt *sqlparser.SelectStatement, src *Relation,
-	rows [][]stream.Value, aggs []*sqlparser.FuncCall, outer *scope,
-	project func(*scope) error) error {
+// newGroup allocates a bucket with fresh accumulator states.
+func newGroup(rep []stream.Value, aggs []*sqlparser.FuncCall) *group {
+	g := &group{rep: rep, states: make([]*aggState, len(aggs))}
+	for i, a := range aggs {
+		g.states[i] = newAggState(aggKinds[a.Name], a.Distinct)
+	}
+	return g
+}
 
+// checkAggArity validates aggregate call shapes once per execution.
+func checkAggArity(aggs []*sqlparser.FuncCall) error {
 	for _, a := range aggs {
 		if !a.CountStar && len(a.Args) != 1 {
 			return fmt.Errorf("sqlengine: aggregate %s takes exactly one argument", a.Name)
 		}
+	}
+	return nil
+}
+
+// foldGroups buckets the filtered rows by their GROUP BY key and folds
+// each row into the per-group accumulator states. It performs no
+// empty-input synthesis — the caller decides whether an aggregate-only
+// statement over zero rows produces its one row (locally: always;
+// on a federation worker: never, the coordinator synthesises after the
+// merge so an empty partition cannot fabricate a global group).
+func (ev *evaluator) foldGroups(stmt *sqlparser.SelectStatement, src *Relation,
+	rows [][]stream.Value, aggs []*sqlparser.FuncCall, outer *scope) (map[string]*group, []string, error) {
+
+	if err := checkAggArity(aggs); err != nil {
+		return nil, nil, err
 	}
 
 	groups := make(map[string]*group)
@@ -348,7 +398,7 @@ func (ev *evaluator) execGrouped(stmt *sqlparser.SelectStatement, src *Relation,
 			for i, g := range stmt.GroupBy {
 				v, err := ev.eval(g, sc)
 				if err != nil {
-					return err
+					return nil, nil, err
 				}
 				kv[i] = v
 			}
@@ -356,40 +406,35 @@ func (ev *evaluator) execGrouped(stmt *sqlparser.SelectStatement, src *Relation,
 		}
 		g, ok := groups[key]
 		if !ok {
-			g = &group{rep: row, states: make([]*aggState, len(aggs))}
-			for i, a := range aggs {
-				g.states[i] = newAggState(aggKinds[a.Name], a.Distinct)
-			}
+			g = newGroup(row, aggs)
 			groups[key] = g
 			order = append(order, key)
 		}
 		for i, a := range aggs {
 			if a.CountStar {
 				if err := g.states[i].add(int64(1)); err != nil {
-					return err
+					return nil, nil, err
 				}
 				continue
 			}
 			v, err := ev.eval(a.Args[0], sc)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			if err := g.states[i].add(v); err != nil {
-				return err
+				return nil, nil, err
 			}
 		}
 	}
+	return groups, order, nil
+}
 
-	// Aggregates without GROUP BY over an empty input still produce one
-	// row (COUNT(*) = 0 etc.).
-	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
-		g := &group{rep: make([]stream.Value, len(src.Cols)), states: make([]*aggState, len(aggs))}
-		for i, a := range aggs {
-			g.states[i] = newAggState(aggKinds[a.Name], a.Distinct)
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
+// projectGroups finalises folded groups in first-seen order: aggregate
+// results published into the evaluator's aggregate scope, HAVING in
+// representative-row context, then projection.
+func (ev *evaluator) projectGroups(stmt *sqlparser.SelectStatement, src *Relation,
+	groups map[string]*group, order []string, aggs []*sqlparser.FuncCall, outer *scope,
+	project func(*scope) error) error {
 
 	for _, key := range order {
 		g := groups[key]
@@ -416,6 +461,25 @@ func (ev *evaluator) execGrouped(stmt *sqlparser.SelectStatement, src *Relation,
 		ev.aggValues = nil
 	}
 	return nil
+}
+
+func (ev *evaluator) execGrouped(stmt *sqlparser.SelectStatement, src *Relation,
+	rows [][]stream.Value, aggs []*sqlparser.FuncCall, outer *scope,
+	project func(*scope) error) error {
+
+	groups, order, err := ev.foldGroups(stmt, src, rows, aggs, outer)
+	if err != nil {
+		return err
+	}
+
+	// Aggregates without GROUP BY over an empty input still produce one
+	// row (COUNT(*) = 0 etc.).
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		groups[""] = newGroup(make([]stream.Value, len(src.Cols)), aggs)
+		order = append(order, "")
+	}
+
+	return ev.projectGroups(stmt, src, groups, order, aggs, outer, project)
 }
 
 // projItem is one projection slot: either a pre-resolved set of source

@@ -74,6 +74,13 @@ const (
 	// laneBatchBuckets is the size of the merge batch-size histogram:
 	// bucket i counts merge batches of [2^i, 2^(i+1)) elements.
 	laneBatchBuckets = 14
+	// soloCollapseStreak is how many consecutive inserts must observe no
+	// other producer before a failed TryLock blocks on the table lock
+	// directly (the collapsed, laneless path) instead of paying the
+	// publish/merge round trip. Long enough that a transient lull in a
+	// genuinely concurrent workload does not flap the tier; short enough
+	// that a population shrink to one converges within a few inserts.
+	soloCollapseStreak = 16
 )
 
 // AutoLanes selects GOMAXPROCS-many ingest lanes (TableOptions.IngestLanes).
@@ -144,6 +151,14 @@ type ingestLanes struct {
 	// publishes.
 	next atomic.Uint64
 
+	// inflight counts producers currently inside an insert entry point
+	// and soloStreak counts consecutive inserts that observed no other
+	// producer; together they drive the adaptive shrink back to the
+	// laneless path when the producer population drops to one (see
+	// collapseSolo).
+	inflight   atomic.Int64
+	soloStreak atomic.Int64
+
 	// mergeMu is the single merge point (see package comment).
 	mergeMu sync.Mutex
 	// items/arena are the combiner's scratch, guarded by mergeMu.
@@ -156,6 +171,7 @@ type ingestLanes struct {
 	merges      atomic.Uint64 // merge batches applied
 	mergedElems atomic.Uint64 // elements applied through merges
 	dropped     atomic.Uint64 // async entries lost to a closed table
+	collapsed   atomic.Uint64 // inserts taken through the solo-collapsed path
 	batchHist   [laneBatchBuckets]atomic.Uint64
 }
 
@@ -178,6 +194,12 @@ type LaneStats struct {
 	// Dropped counts async publishes lost because the table closed
 	// between ack and merge.
 	Dropped uint64
+	// Collapsed counts inserts that took the solo-collapsed path: a lone
+	// producer found the table lock momentarily held and blocked on it
+	// directly instead of staging through a lane. A growing Collapsed
+	// with a flat Published means the tier has shrunk to laneless
+	// behaviour for a single producer.
+	Collapsed uint64
 	// BatchSizes is the merge batch-size histogram: bucket i counts
 	// merge batches of [2^i, 2^(i+1)) elements.
 	BatchSizes [laneBatchBuckets]uint64
@@ -195,11 +217,46 @@ func newIngestLanes(n, slots int, waitAck bool) *ingestLanes {
 // the combiner's send never blocks on the waiter).
 var laneDonePool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
+// noteSolo advances the solo streak after an uncontended fast-path
+// insert; any sign of a second producer resets it.
+func (ls *ingestLanes) noteSolo() {
+	if ls.inflight.Load() == 1 {
+		ls.soloStreak.Add(1)
+	} else {
+		ls.soloStreak.Store(0)
+	}
+}
+
+// collapseSolo decides whether a producer that just failed the TryLock
+// fast path should block on the table lock directly — the laneless
+// path — instead of staging through a lane. True only when nothing is
+// pending (so FIFO cannot be violated: there is no staged entry this
+// insert could overtake), this is the only producer in the insert path,
+// and it has been alone for a full streak — i.e. the population has
+// shrunk to one and the lock is merely held by a reader or maintenance
+// pass. The inflight read is advisory: a racing arrival at worst shares
+// the table-lock queue, which is exactly the laneless contract, and the
+// streak resets at its next insert.
+func (ls *ingestLanes) collapseSolo() bool {
+	if ls.pending.Load() != 0 || ls.inflight.Load() != 1 {
+		ls.soloStreak.Store(0)
+		return false
+	}
+	if ls.soloStreak.Load() < soloCollapseStreak {
+		return false
+	}
+	ls.collapsed.Add(1)
+	return true
+}
+
 // publish appends one entry to lane idx, helping drain while the ring
 // is full. ent.batch, when set, is copied into the slot-owned buffer —
 // the caller's slice is not retained. Returns os.ErrClosed after
 // shutdown.
 func (ls *ingestLanes) publish(t *Table, idx int, ent laneEntry) error {
+	// Staging means the tier is genuinely in use — stop any collapse
+	// streak so the shrink heuristic only fires after a fresh solo run.
+	ls.soloStreak.Store(0)
 	la := ls.lanes[idx]
 	for {
 		la.mu.Lock()
@@ -375,6 +432,7 @@ func (ls *ingestLanes) stats() *LaneStats {
 		Merges:      ls.merges.Load(),
 		MergedElems: ls.mergedElems.Load(),
 		Dropped:     ls.dropped.Load(),
+		Collapsed:   ls.collapsed.Load(),
 	}
 	for i := range st.BatchSizes {
 		st.BatchSizes[i] = ls.batchHist[i].Load()
@@ -407,14 +465,28 @@ func (t *Table) DrainLanes() {
 
 // laneInsert routes a single-element Insert through the lane tier.
 func (t *Table) laneInsert(ls *ingestLanes, e stream.Element) error {
+	ls.inflight.Add(1)
+	defer ls.inflight.Add(-1)
 	// Uncontended fast path: nothing staged anywhere and the table lock
 	// is free — identical cost and semantics to the laneless path, so a
-	// single producer pays one atomic load and one TryLock for having
+	// single producer pays a few atomics and one TryLock for having
 	// lanes enabled.
-	if ls.pending.Load() == 0 && t.mu.TryLock() {
-		err := t.insertOneLocked(e)
-		t.mu.Unlock()
-		return err
+	if ls.pending.Load() == 0 {
+		if t.mu.TryLock() {
+			ls.noteSolo()
+			err := t.insertOneLocked(e)
+			t.mu.Unlock()
+			return err
+		}
+		// Adaptive shrink: a producer that has been alone for a full
+		// streak found the lock held by a reader — block for it like the
+		// laneless path would, instead of staging and merging.
+		if ls.collapseSolo() {
+			t.mu.Lock()
+			err := t.insertOneLocked(e)
+			t.mu.Unlock()
+			return err
+		}
 	}
 	done := laneDonePool.Get().(chan error)
 	if err := ls.publish(t, t.nextLane(), laneEntry{single: e, done: done}); err != nil {
@@ -429,10 +501,21 @@ func (t *Table) laneInsert(ls *ingestLanes, e stream.Element) error {
 
 // laneInsertBatch routes an InsertBatch through the lane tier.
 func (t *Table) laneInsertBatch(ls *ingestLanes, elems []stream.Element) error {
-	if ls.pending.Load() == 0 && t.mu.TryLock() {
-		err := t.insertBatchLocked(elems)
-		t.mu.Unlock()
-		return err
+	ls.inflight.Add(1)
+	defer ls.inflight.Add(-1)
+	if ls.pending.Load() == 0 {
+		if t.mu.TryLock() {
+			ls.noteSolo()
+			err := t.insertBatchLocked(elems)
+			t.mu.Unlock()
+			return err
+		}
+		if ls.collapseSolo() {
+			t.mu.Lock()
+			err := t.insertBatchLocked(elems)
+			t.mu.Unlock()
+			return err
+		}
 	}
 	done := laneDonePool.Get().(chan error)
 	if err := ls.publish(t, t.nextLane(), laneEntry{batch: elems, isBatch: true, done: done}); err != nil {
@@ -485,15 +568,27 @@ func (w *LaneWriter) Insert(e stream.Element) error {
 	if err := w.t.checkSchema(e); err != nil {
 		return err
 	}
+	ls.inflight.Add(1)
+	defer ls.inflight.Add(-1)
 	// Uncontended fast path, valid under every sync policy: pending==0
 	// means every earlier publish (including this writer's) is already
 	// applied, and insertOneLocked commits the WAL inline under
 	// SyncAlways — so durability and FIFO both hold without the
-	// publish/merge round trip.
-	if ls.pending.Load() == 0 && w.t.mu.TryLock() {
-		err := w.t.insertOneLocked(e)
-		w.t.mu.Unlock()
-		return err
+	// publish/merge round trip. The same reasoning covers the collapsed
+	// branch: blocking for the lock is just the laneless path.
+	if ls.pending.Load() == 0 {
+		if w.t.mu.TryLock() {
+			ls.noteSolo()
+			err := w.t.insertOneLocked(e)
+			w.t.mu.Unlock()
+			return err
+		}
+		if ls.collapseSolo() {
+			w.t.mu.Lock()
+			err := w.t.insertOneLocked(e)
+			w.t.mu.Unlock()
+			return err
+		}
 	}
 	if ls.waitAck {
 		done := laneDonePool.Get().(chan error)
@@ -528,11 +623,22 @@ func (w *LaneWriter) InsertBatch(elems []stream.Element) error {
 			return err
 		}
 	}
-	// Same fast path as Insert: safe under every sync policy.
-	if ls.pending.Load() == 0 && w.t.mu.TryLock() {
-		err := w.t.insertBatchLocked(elems)
-		w.t.mu.Unlock()
-		return err
+	ls.inflight.Add(1)
+	defer ls.inflight.Add(-1)
+	// Same fast path and collapse as Insert: safe under every sync policy.
+	if ls.pending.Load() == 0 {
+		if w.t.mu.TryLock() {
+			ls.noteSolo()
+			err := w.t.insertBatchLocked(elems)
+			w.t.mu.Unlock()
+			return err
+		}
+		if ls.collapseSolo() {
+			w.t.mu.Lock()
+			err := w.t.insertBatchLocked(elems)
+			w.t.mu.Unlock()
+			return err
+		}
 	}
 	if ls.waitAck {
 		done := laneDonePool.Get().(chan error)

@@ -462,6 +462,86 @@ func TestLaneStallBackpressure(t *testing.T) {
 	}
 }
 
+// TestLaneSoloCollapse pins the adaptive shrink: once the producer
+// population drops to one, a failed TryLock blocks on the table lock
+// directly (the laneless path, counted in Collapsed) instead of paying
+// the publish/merge round trip — and any sign of a second producer
+// resets the streak so the tier re-engages. Counter-based on purpose:
+// the ≤5% single-producer overhead budget itself is enforced by the
+// bench-scaling harness; this test pins the mechanism.
+func TestLaneSoloCollapse(t *testing.T) {
+	tab, err := NewTable("c", laneSchema, stream.Window{Kind: stream.CountWindow, Count: 4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.lanes = newIngestLanes(2, laneRingSlots, false)
+	ls := tab.lanes
+	w := tab.NewLaneWriter()
+
+	// Phase 1: an uncontended solo producer rides the fast path and
+	// builds the collapse streak without ever staging an entry.
+	for i := int64(0); i < soloCollapseStreak; i++ {
+		if err := w.Insert(laneElem(t, 1, i, i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if got := ls.soloStreak.Load(); got < soloCollapseStreak {
+		t.Fatalf("soloStreak = %d after %d solo inserts, want >= %d", got, soloCollapseStreak, soloCollapseStreak)
+	}
+	if st := ls.stats(); st.Published != 0 {
+		t.Fatalf("Published = %d on the uncontended fast path, want 0", st.Published)
+	}
+
+	// Phase 2: a reader holds the table lock. The solo producer must
+	// collapse — block for the lock like the laneless path — which the
+	// Collapsed counter witnesses before the insert can complete.
+	tab.mu.Lock()
+	done := make(chan error, 1)
+	go func() { done <- w.Insert(laneElem(t, 1, soloCollapseStreak, 0)) }()
+	for ls.collapsed.Load() == 0 {
+		runtime.Gosched()
+	}
+	tab.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("collapsed insert: %v", err)
+	}
+	st := ls.stats()
+	if st.Collapsed == 0 {
+		t.Fatal("Collapsed = 0, want > 0")
+	}
+	if st.Published != 0 {
+		t.Fatalf("Published = %d after collapse, want 0 (nothing staged)", st.Published)
+	}
+	if got := tab.Len(); got != soloCollapseStreak+1 {
+		t.Fatalf("Len = %d, want %d", got, soloCollapseStreak+1)
+	}
+
+	// Phase 3: a second in-flight producer is contention — the next
+	// failed TryLock must reset the streak and stage through a lane, so
+	// concurrent workloads keep the combining tier.
+	ls.inflight.Add(1) // a concurrent producer inside the insert path
+	tab.mu.Lock()
+	go func() { done <- w.Insert(laneElem(t, 1, soloCollapseStreak+1, 0)) }()
+	for ls.published.Load() == 0 {
+		runtime.Gosched()
+	}
+	tab.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("contended insert: %v", err)
+	}
+	ls.inflight.Add(-1)
+	if got := ls.soloStreak.Load(); got != 0 {
+		t.Fatalf("soloStreak = %d under contention, want 0", got)
+	}
+	if st := ls.stats(); st.Published != 1 {
+		t.Fatalf("Published = %d under contention, want 1", st.Published)
+	}
+	tab.DrainLanes()
+	if got := tab.Len(); got != soloCollapseStreak+2 {
+		t.Fatalf("Len = %d, want %d", got, soloCollapseStreak+2)
+	}
+}
+
 // TestLaneHandleLessVisibleOnReturn pins the handle-less contract:
 // Insert/InsertBatch through lanes are visible when they return, even
 // under contention.

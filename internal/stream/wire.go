@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WireValue is a JSON codec for Value that survives the wire exactly.
+// encoding/json alone is lossy for the federation protocol: int64
+// flattens to float64 on decode (53-bit mantissa), []byte becomes a
+// base64 string indistinguishable from a real string, and float64
+// round-trips through shortest-form decimal. WireValue tags each value
+// with its dynamic type and encodes numerics in exact textual forms —
+// int64 as a decimal string, float64 as hex-float when the shortest
+// decimal form would not round-trip — so a value decoded on the
+// coordinator is bit-identical to the one the worker held.
+//
+// Encoding: null, {"i":"-42"}, {"f":"0x1.8p+01"}, {"s":"text"},
+// {"b":"base64"}, {"t":true}.
+type WireValue struct {
+	V Value
+}
+
+// WrapValue wraps one value for wire transport.
+func WrapValue(v Value) WireValue { return WireValue{V: v} }
+
+// WrapRow wraps a row of values.
+func WrapRow(row []Value) []WireValue {
+	if row == nil {
+		return nil
+	}
+	out := make([]WireValue, len(row))
+	for i, v := range row {
+		out[i] = WireValue{V: v}
+	}
+	return out
+}
+
+// UnwrapRow unwraps a wire row back into plain values.
+func UnwrapRow(row []WireValue) []Value {
+	if row == nil {
+		return nil
+	}
+	out := make([]Value, len(row))
+	for i, w := range row {
+		out[i] = w.V
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler.
+func (w WireValue) MarshalJSON() ([]byte, error) {
+	switch v := w.V.(type) {
+	case nil:
+		return []byte("null"), nil
+	case int64:
+		return json.Marshal(map[string]string{"i": strconv.FormatInt(v, 10)})
+	case float64:
+		return json.Marshal(map[string]string{"f": formatFloatExact(v)})
+	case string:
+		return json.Marshal(map[string]string{"s": v})
+	case []byte:
+		return json.Marshal(map[string]string{"b": base64.StdEncoding.EncodeToString(v)})
+	case bool:
+		return json.Marshal(map[string]bool{"t": v})
+	default:
+		return nil, fmt.Errorf("stream: cannot wire-encode %T", w.V)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (w *WireValue) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "null" {
+		w.V = nil
+		return nil
+	}
+	var tagged struct {
+		I *string `json:"i"`
+		F *string `json:"f"`
+		S *string `json:"s"`
+		B *string `json:"b"`
+		T *bool   `json:"t"`
+	}
+	if err := json.Unmarshal(data, &tagged); err != nil {
+		return fmt.Errorf("stream: bad wire value %s: %w", trimmed, err)
+	}
+	switch {
+	case tagged.I != nil:
+		n, err := strconv.ParseInt(*tagged.I, 10, 64)
+		if err != nil {
+			return fmt.Errorf("stream: bad wire int %q: %w", *tagged.I, err)
+		}
+		w.V = n
+	case tagged.F != nil:
+		f, err := parseFloatExact(*tagged.F)
+		if err != nil {
+			return err
+		}
+		w.V = f
+	case tagged.S != nil:
+		w.V = *tagged.S
+	case tagged.B != nil:
+		b, err := base64.StdEncoding.DecodeString(*tagged.B)
+		if err != nil {
+			return fmt.Errorf("stream: bad wire bytes: %w", err)
+		}
+		w.V = b
+	case tagged.T != nil:
+		w.V = *tagged.T
+	default:
+		return fmt.Errorf("stream: wire value %s carries no type tag", trimmed)
+	}
+	return nil
+}
+
+// formatFloatExact renders a float64 so parseFloatExact recovers the
+// identical bits. Shortest decimal form round-trips for every finite
+// float64; NaN and infinities need named forms (JSON has none).
+func formatFloatExact(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "nan"
+	case math.IsInf(f, 1):
+		return "+inf"
+	case math.IsInf(f, -1):
+		return "-inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func parseFloatExact(s string) (float64, error) {
+	switch s {
+	case "nan":
+		return math.NaN(), nil
+	case "+inf":
+		return math.Inf(1), nil
+	case "-inf":
+		return math.Inf(-1), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("stream: bad wire float %q: %w", s, err)
+	}
+	return f, nil
+}

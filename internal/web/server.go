@@ -64,6 +64,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/graph", s.guard(access.RoleRead, s.handleGraph))
 	s.mux.HandleFunc("GET /api/metrics", s.guard(access.RoleRead, s.handleMetrics))
 	s.mux.HandleFunc("GET /api/directory", s.guard(access.RoleRead, s.handleDirectory))
+	s.mux.HandleFunc("GET /api/cluster", s.guard(access.RoleRead, s.handleCluster))
 	s.mux.HandleFunc("GET /api/events", s.guard(access.RoleRead, s.handleEvents))
 	// Readiness probe: unguarded by design — orchestrators and load
 	// balancers poll it without credentials, and it exposes only health
@@ -353,6 +354,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.container.Directory().Snapshot())
+}
+
+// handleCluster reports cluster membership, sensor placements and
+// federation transport counters (self-only on a standalone node).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.container.ClusterInfo())
 }
 
 // handleEvents streams notifications for a sensor as server-sent
