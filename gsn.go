@@ -129,6 +129,7 @@ type Node struct {
 	dir       *directory.Registry
 	httpSrv   *http.Server
 	fed       *p2p.Federation // nil on a standalone node
+	peerHTTP  *http.Client    // NodeOptions.PeerHTTP, for late federation
 
 	peerMu sync.Mutex
 	peers  map[string]*p2p.Client
@@ -170,6 +171,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		container: container,
 		web:       web.NewServer(container, opts.SignKeyID),
 		dir:       dir,
+		peerHTTP:  opts.PeerHTTP,
 	}
 	if len(opts.Peers) > 0 {
 		n.fed = p2p.NewFederation(container, opts.PeerHTTP)
@@ -187,7 +189,10 @@ func NewNode(opts NodeOptions) (*Node, error) {
 func (n *Node) JoinCluster(peerURL string) {
 	n.peerMu.Lock()
 	if n.fed == nil {
-		n.fed = p2p.NewFederation(n.container, nil)
+		// Same transport as NewNode-configured peers: a node turned
+		// clustered at runtime must not bypass the caller's PeerHTTP
+		// (fault injection, TLS config).
+		n.fed = p2p.NewFederation(n.container, n.peerHTTP)
 		n.container.SetCluster(n.fed)
 	}
 	fed := n.fed
@@ -404,6 +409,7 @@ func (n *Node) Close() error {
 	if n.httpSrv != nil {
 		n.httpSrv.Close()
 	}
+	n.web.Close()
 	return n.container.Close()
 }
 

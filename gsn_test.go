@@ -135,6 +135,46 @@ func TestNodeListenServesAPI(t *testing.T) {
 	}
 }
 
+// countingTransport counts round trips before delegating to the
+// default transport.
+type countingTransport struct{ calls atomic.Int64 }
+
+func (ct *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	ct.calls.Add(1)
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestJoinClusterUsesPeerHTTP: a node turned clustered at runtime must
+// route federation traffic through NodeOptions.PeerHTTP exactly like a
+// NewNode-configured peer list does — tests and operators thread fault
+// injection and TLS config through that client.
+func TestJoinClusterUsesPeerHTTP(t *testing.T) {
+	owner, err := NewNode(NodeOptions{Name: "owner", SyncProcessing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	addr, err := owner.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct := &countingTransport{}
+	late, err := NewNode(NodeOptions{
+		Name:     "late",
+		PeerHTTP: &http.Client{Transport: ct, Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	late.JoinCluster("http://" + addr)
+	late.GossipRound()
+	if ct.calls.Load() == 0 {
+		t.Fatal("JoinCluster federation bypassed NodeOptions.PeerHTTP")
+	}
+}
+
 func TestTwoNodeFederationViaFacade(t *testing.T) {
 	producer, err := NewNode(NodeOptions{Name: "prod", SyncProcessing: true})
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"gsn/internal/sqlengine"
 	"gsn/internal/sqlparser"
@@ -112,6 +113,51 @@ func singleTableName(stmt *sqlparser.SelectStatement) string {
 	return stream.CanonicalName(tn.Name)
 }
 
+// checkFederatable errors when the statement references a table —
+// anywhere: joins, compound branches, subqueries — that has remote
+// owners but is not the one routable base table. Cluster routing only
+// understands single-base-table statements; executing such a shape
+// locally (or unioning only its base table) would resolve the other
+// remotely-owned references against this node's window alone, silently
+// serving a partial answer. Erroring instead upholds the
+// partitioned-coordinator contract (docs/operations.md).
+func checkFederatable(cl Cluster, stmt *sqlparser.SelectStatement, routable string) error {
+	for _, t := range stmt.Tables() {
+		name := stream.CanonicalName(t)
+		if name == routable {
+			continue
+		}
+		if owners := cl.Owners(name); len(owners) > 0 {
+			return fmt.Errorf("core: statement shape is not federatable: %s also lives on %s, but only single-base-table statements resolve across the cluster — run the statement on an owning node or restrict it to one base table",
+				name, strings.Join(owners, ", "))
+		}
+	}
+	return nil
+}
+
+// routableTo reports whether shipping the whole statement to owner is
+// sound: every referenced table other than the routable base must live
+// solely on that owner — the owner resolves subqueries against its own
+// catalog, so a table held locally (or on a different node) would make
+// the routed answer silently partial. An unroutable statement falls
+// through to the union path, whose own federability check decides
+// between correct local resolution and an explicit error.
+func (c *Container) routableTo(cl Cluster, stmt *sqlparser.SelectStatement, routable, owner string) bool {
+	for _, t := range stmt.Tables() {
+		name := stream.CanonicalName(t)
+		if name == routable {
+			continue
+		}
+		if _, local := c.store.Table(name); local {
+			return false
+		}
+		if o := cl.Owners(name); len(o) != 1 || o[0] != owner {
+			return false
+		}
+	}
+	return true
+}
+
 // queryRouted is the coordinator's decision tree for one ad-hoc query.
 // Local-only statements (no cluster, multi-table shapes, tables nobody
 // else owns) take the cached local path untouched. For a table with
@@ -121,13 +167,18 @@ func singleTableName(stmt *sqlparser.SelectStatement) string {
 //     local fold (when the table lives here too) plus one PartialQuery
 //     per owner, merged in contract order (local first, owners sorted);
 //   - other statements with a single remote owner and no local copy
-//     route whole to the owner;
+//     route whole to the owner (when every other referenced table also
+//     lives solely on that owner — see routableTo);
 //   - everything else falls back to a raw row union: SELECT * from
 //     every owner, concatenated with the local window, executed here.
 //
 // An unreachable owner fails the query with an error naming the node —
 // partial answers are never served silently (partitioned-coordinator
-// semantics; see docs/operations.md).
+// semantics; see docs/operations.md). The same contract makes shapes
+// cluster routing cannot federate — joins, compounds or subqueries
+// touching remotely-owned tables beyond the one routable base table —
+// fail with an explicit "not federatable" error instead of quietly
+// answering from the local window (checkFederatable).
 func (c *Container) queryRouted(sql string) (*sqlengine.Relation, error) {
 	cl := c.Cluster()
 	if cl == nil {
@@ -139,10 +190,22 @@ func (c *Container) queryRouted(sql string) (*sqlengine.Relation, error) {
 	}
 	table := singleTableName(stmt)
 	if table == "" {
+		// Multi-table / compound shapes execute locally — but only when
+		// every referenced table is purely local; a join over a
+		// remotely-owned stream must fail, not silently answer from this
+		// node's window.
+		if err := checkFederatable(cl, stmt, ""); err != nil {
+			return nil, err
+		}
 		return c.LocalQuery(sql)
 	}
 	owners := cl.Owners(table)
 	if len(owners) == 0 {
+		// The base table is purely local, but a subquery may still
+		// reference a remotely-owned stream.
+		if err := checkFederatable(cl, stmt, table); err != nil {
+			return nil, err
+		}
 		return c.LocalQuery(sql)
 	}
 
@@ -179,7 +242,7 @@ func (c *Container) queryRouted(sql string) (*sqlengine.Relation, error) {
 		return plan.MergePartials(parts, c.engineOpts())
 	}
 
-	if !hasLocal && len(owners) == 1 {
+	if !hasLocal && len(owners) == 1 && c.routableTo(cl, stmt, table, owners[0]) {
 		rel, err := cl.RouteQuery(owners[0], sql)
 		if err != nil {
 			return nil, fmt.Errorf("core: cluster query incomplete: owner %s unreachable: %w", owners[0], err)
@@ -189,7 +252,12 @@ func (c *Container) queryRouted(sql string) (*sqlengine.Relation, error) {
 	}
 
 	// Raw row union: the correctness fallback (and the bytes-moved
-	// baseline partial shipping is measured against).
+	// baseline partial shipping is measured against). The union only
+	// federates the base table — subqueries resolve through the local
+	// catalog — so any other remotely-owned reference must fail first.
+	if err := checkFederatable(cl, stmt, table); err != nil {
+		return nil, err
+	}
 	union := &sqlengine.Relation{Cols: cols}
 	if hasLocal {
 		union.Rows = append(union.Rows, sqlengine.RowsOfSource(localTab)...)

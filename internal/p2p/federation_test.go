@@ -121,10 +121,12 @@ func newFedNode(t *testing.T, name string, clock stream.Clock, reg *wrappers.Reg
 	n := &fedNode{t: t, c: c, url: url}
 	n.fed = NewFederation(c, httpc)
 	c.SetCluster(n.fed)
-	n.srv = &http.Server{Handler: NewServer(c, "").Handler()}
+	p2pSrv := NewServer(c, "")
+	n.srv = &http.Server{Handler: p2pSrv.Handler()}
 	go n.srv.Serve(ln)
 	t.Cleanup(func() {
 		n.srv.Close()
+		p2pSrv.Close()
 		c.Close()
 	})
 	return n
@@ -516,6 +518,52 @@ func TestFederationUnreachableOwner(t *testing.T) {
 	ft.Heal()
 	if _, err := coord.c.Query(sql); err != nil {
 		t.Errorf("post-heal query failed: %v", err)
+	}
+}
+
+// TestFederationNotFederatableShapes: cluster routing only understands
+// single-base-table statements, so a join, compound or subquery that
+// touches a remotely-owned table beyond that base must fail with an
+// explicit error — never silently answer from the coordinator's local
+// window. A remote base with a purely local subquery, by contrast, IS
+// answerable: the union path federates the base rows and resolves the
+// subquery through the local catalog.
+func TestFederationNotFederatableShapes(t *testing.T) {
+	clock := stream.NewManualClock(1_000_000)
+	workerRows := [][]stream.Value{{"a", int64(1), 0.5}, {"b", int64(2), 0.75}}
+	worker := newFedNode(t, "worker", clock,
+		feedRegistry(map[string]*feedWrapper{"rem": {clock: clock, rows: workerRows}}), nil)
+	if err := worker.c.DeployXML([]byte(feedDescriptor("rem", "rem"))); err != nil {
+		t.Fatal(err)
+	}
+	coordRows := [][]stream.Value{{"a", int64(1), 0.25}, {"c", int64(3), 1.0}}
+	coord := newFedNode(t, "coord", clock,
+		feedRegistry(map[string]*feedWrapper{"loc": {clock: clock, rows: coordRows}}), nil)
+	if err := coord.c.DeployXML([]byte(feedDescriptor("loc", "loc"))); err != nil {
+		t.Fatal(err)
+	}
+	coord.fed.AddPeer(worker.url)
+	coord.fed.GossipRound()
+	worker.produce(clock, "rem", len(workerRows))
+	coord.produce(clock, "loc", len(coordRows))
+
+	for _, sql := range []string{
+		"select l.v, r.v from loc l, rem r",                   // join
+		"select room from loc union select room from rem",     // compound
+		"select room from loc where v in (select v from rem)", // subquery under a local base
+	} {
+		_, err := coord.c.Query(sql)
+		if err == nil || !strings.Contains(err.Error(), "not federatable") {
+			t.Errorf("%s: err = %v, want a not-federatable error", sql, err)
+		}
+	}
+
+	got, err := coord.c.Query("select room, v from rem where v in (select v from loc) order by v")
+	if err != nil {
+		t.Fatalf("remote base with local subquery: %v", err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0] != "a" || got.Rows[0][1] != int64(1) {
+		t.Errorf("union-with-local-subquery rows = %v, want [[a 1]]", got.Rows)
 	}
 }
 

@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -112,17 +114,34 @@ type querySession struct {
 // sessionIdleLimit is how long a routed-query session survives without
 // a poll before the sweep reclaims it — the coordinator long-polls
 // continuously, so an idle session means its owner is gone (crashed, or
-// its DELETE was lost to a partition).
-const sessionIdleLimit = 2 * time.Minute
+// its DELETE was lost to a partition). sessionReapInterval paces the
+// background sweep, so reclamation does not depend on any further
+// request ever reaching this node.
+const (
+	sessionIdleLimit    = 2 * time.Minute
+	sessionReapInterval = 30 * time.Second
+)
 
 type sessionTable struct {
 	mu   sync.Mutex
-	next int64
 	byID map[string]*querySession
 }
 
 func newSessionTable() *sessionTable {
 	return &sessionTable{byID: make(map[string]*querySession)}
+}
+
+// newSessionID returns a 128-bit random identifier. Randomness (not a
+// counter) is load-bearing: ids must be unguessable and never repeat
+// across server restarts, or a coordinator long-polling a stale id
+// after an owner reboot could silently receive a *different* query's
+// results once the id is reissued.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 // RegisterRequest is the body of POST /p2p/register.
@@ -157,7 +176,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown virtual sensor", http.StatusNotFound)
 		return
 	}
-	sess := &querySession{lastPoll: time.Now()}
+	id, err := newSessionID()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("minting session id: %v", err), http.StatusInternalServerError)
+		return
+	}
+	sess := &querySession{id: id, lastPoll: time.Now()}
 	qid, err := s.container.RegisterQuery(req.VS, req.SQL, req.Sampling, func(rel *sqlengine.Relation) {
 		sess.mu.Lock()
 		sess.rev++
@@ -184,32 +208,28 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.sessions.mu.Lock()
-	s.sessions.next++
-	sess.id = strconv.FormatInt(s.sessions.next, 10)
 	s.sessions.byID[sess.id] = sess
-	stale := s.staleSessionsLocked()
 	s.sessions.mu.Unlock()
-	s.reapSessions(stale)
 	writeJSON(w, RegisterResponse{ID: sess.id})
 }
 
-// staleSessionsLocked removes idle sessions from the table and returns
-// them for unregistration; the caller holds s.sessions.mu.
-func (s *Server) staleSessionsLocked() []*querySession {
+// sweepSessions unregisters every session idle past the limit. It runs
+// from the server's background reap loop — never from the request path
+// — so orphaned sessions (coordinator crashed, DELETE lost to a
+// partition) are reclaimed even if no request ever arrives again.
+func (s *Server) sweepSessions(idleLimit time.Duration) {
 	var stale []*querySession
+	s.sessions.mu.Lock()
 	for id, sess := range s.sessions.byID {
 		sess.mu.Lock()
-		idle := time.Since(sess.lastPoll) > sessionIdleLimit
+		idle := time.Since(sess.lastPoll) > idleLimit
 		sess.mu.Unlock()
 		if idle {
 			delete(s.sessions.byID, id)
 			stale = append(stale, sess)
 		}
 	}
-	return stale
-}
-
-func (s *Server) reapSessions(stale []*querySession) {
+	s.sessions.mu.Unlock()
 	for _, sess := range stale {
 		_ = s.container.UnregisterQuery(sess.queryID)
 	}

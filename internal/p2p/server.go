@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"gsn/internal/core"
@@ -41,19 +42,65 @@ const (
 )
 
 // Server exposes a container to peer nodes. Mount its Handler under
-// /p2p/ on the node's HTTP server.
+// /p2p/ on the node's HTTP server; call Close when done to stop the
+// background session reaper.
 type Server struct {
 	container *core.Container
 	keys      *integrity.KeyRing
 	signKeyID string // sign responses with this key when set
 	sessions  *sessionTable
+
+	reapStop  chan struct{}
+	reapDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer creates a p2p server for the container. signKeyID is
 // optional; when set, stream responses carry an HMAC signature from the
 // container's keyring.
 func NewServer(c *core.Container, signKeyID string) *Server {
-	return &Server{container: c, keys: c.Keys(), signKeyID: signKeyID, sessions: newSessionTable()}
+	return newServer(c, signKeyID, sessionIdleLimit, sessionReapInterval)
+}
+
+// newServer is NewServer with the reap cadence injectable for tests.
+func newServer(c *core.Container, signKeyID string, idleLimit, reapEvery time.Duration) *Server {
+	s := &Server{
+		container: c,
+		keys:      c.Keys(),
+		signKeyID: signKeyID,
+		sessions:  newSessionTable(),
+		reapStop:  make(chan struct{}),
+		reapDone:  make(chan struct{}),
+	}
+	go s.reapLoop(idleLimit, reapEvery)
+	return s
+}
+
+// reapLoop periodically reclaims routed-query sessions whose
+// coordinator stopped polling. A timer (rather than piggybacking on
+// incoming requests) is load-bearing: an owner that never hears from
+// another coordinator again must still unregister the orphaned
+// continuous queries, or they run forever.
+func (s *Server) reapLoop(idleLimit, reapEvery time.Duration) {
+	defer close(s.reapDone)
+	t := time.NewTicker(reapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			s.sweepSessions(idleLimit)
+		}
+	}
+}
+
+// Close stops the background session reaper. It does not tear live
+// sessions down — their continuous queries belong to the container,
+// whose Close unregisters everything.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.reapStop) })
+	<-s.reapDone
 }
 
 // Handler returns the p2p HTTP handler (paths are rooted at /p2p/).

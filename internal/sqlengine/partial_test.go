@@ -180,9 +180,9 @@ func TestDistributableDetection(t *testing.T) {
 		}
 	}
 	ineligible := []string{
-		"select v, f from w",                                 // ungrouped row shape: ship rows, not states
-		"select v, count(distinct f) as n from w group by v", // DISTINCT state is not mergeable
-		"select v from w where v > (select avg(v) from w)",   // subquery re-resolves tables per node
+		"select v, f from w", // ungrouped row shape: ship rows, not states
+		"select v, count(distinct f) as n from w group by v",                   // DISTINCT state is not mergeable
+		"select v from w where v > (select avg(v) from w)",                     // subquery re-resolves tables per node
 		"select v, count(*) as n from w where timed > now() - 5000 group by v", // node clocks diverge
 	}
 	for _, q := range ineligible {

@@ -47,6 +47,10 @@ func NewServer(c *core.Container, signKeyID string) *Server {
 	return s
 }
 
+// Close releases the interface layer's background resources (the p2p
+// session reaper).
+func (s *Server) Close() { s.p2p.Close() }
+
 func (s *Server) routes() {
 	// Peer protocol (peers are authenticated by integrity signatures,
 	// not API keys).
